@@ -1,0 +1,130 @@
+// mediasim runs the paper's example services end to end on the
+// in-process runtime and prints the media-flow snapshots.
+//
+// Usage:
+//
+//	mediasim -scenario prepaid [-naive]
+//	mediasim -scenario ctd [-busy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ipmedia"
+	"ipmedia/internal/box"
+	"ipmedia/internal/scenario"
+)
+
+func main() {
+	name := flag.String("scenario", "prepaid", "scenario: prepaid or ctd")
+	naive := flag.Bool("naive", false, "prepaid: run the uncoordinated Figure 2 baseline")
+	busy := flag.Bool("busy", false, "ctd: make the clicked telephone unavailable")
+	trace := flag.Bool("trace", false, "prepaid: print the servers' wire trace")
+	flag.Parse()
+
+	switch *name {
+	case "prepaid":
+		runPrepaid(*naive, *trace)
+	case "ctd":
+		runCTD(*busy)
+	default:
+		log.Fatalf("unknown scenario %q", *name)
+	}
+}
+
+func runPrepaid(naive, trace bool) {
+	p, err := scenario.NewPrepaid()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Stop()
+	var traceMu sync.Mutex
+	if trace {
+		tap := func(e box.WireEvent) {
+			traceMu.Lock()
+			fmt.Printf("  %s\n", e)
+			traceMu.Unlock()
+		}
+		p.PBX.SetTrace(tap)
+		p.PC.SetTrace(tap)
+	}
+	if err := p.Establish(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("snapshot 1:", p.Plane.Flows())
+	var transcript []string
+	if naive {
+		p.GoNaive()
+		transcript, err = p.RunNaive()
+	} else {
+		transcript, err = p.RunCorrect()
+	}
+	for _, line := range transcript {
+		fmt.Println(line)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final:", p.Plane.Flows())
+	for _, e := range p.Errs() {
+		fmt.Println("server error:", e)
+	}
+}
+
+func runCTD(busy bool) {
+	net := ipmedia.NewMemNetwork()
+	plane := ipmedia.NewMediaPlane()
+	p1, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "user1", Net: net, Plane: plane, MediaPort: 5004})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p1.Stop()
+	p2, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "user2", Net: net, Plane: plane, MediaPort: 5006, Unavailable: busy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p2.Stop()
+	tone, err := ipmedia.NewToneGenerator("tone", net, plane)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tone.Stop()
+
+	ctd, done, err := ipmedia.NewClickToDial(net, ipmedia.ClickToDialConfig{
+		User1Addr: "user1", User2Addr: "user2", ToneAddr: "tone",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctd.Stop()
+
+	await := func(what string, pred func() bool) {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if pred() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		log.Fatalf("timeout: %s", what)
+	}
+	await("user1 ringing", func() bool { return len(p1.Ringing()) == 1 })
+	p1.Answer(p1.Ringing()[0])
+	await("tone", func() bool { return plane.HasFlow("tone", "user1") })
+	fmt.Println("tone phase:", plane.Flows())
+	if busy {
+		p1.HangUp("in0")
+	} else {
+		await("user2 ringing", func() bool { return len(p2.Ringing()) == 1 })
+		p2.Answer(p2.Ringing()[0])
+		await("direct media", func() bool { return plane.HasFlow("user1", "user2") && plane.HasFlow("user2", "user1") })
+		fmt.Println("connected:", plane.Flows())
+		p2.HangUp("in0")
+	}
+	<-done
+	fmt.Println("terminated; final flows:", plane.Flows())
+}

@@ -1,0 +1,90 @@
+// Click-to-Dial (paper Figure 6): user 1 clicks a web link; the box
+// rings user 1's telephone, then the clicked telephone, playing
+// ringback (or busy tone) to user 1 from a tone resource, and finally
+// flowlinks the two parties.
+//
+// Run with: go run ./examples/clicktodial [-busy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ipmedia"
+)
+
+func main() {
+	busy := flag.Bool("busy", false, "make the clicked telephone unavailable")
+	flag.Parse()
+
+	net := ipmedia.NewMemNetwork()
+	plane := ipmedia.NewMediaPlane()
+
+	p1, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "user1", Net: net, Plane: plane, MediaPort: 5004})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p1.Stop()
+	p2, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "user2", Net: net, Plane: plane, MediaPort: 5006, Unavailable: *busy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p2.Stop()
+	tone, err := ipmedia.NewToneGenerator("tone", net, plane)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tone.Stop()
+
+	fmt.Println("user1 clicks the web link; the Click-to-Dial box starts")
+	ctd, done, err := ipmedia.NewClickToDial(net, ipmedia.ClickToDialConfig{
+		User1Addr: "user1", User2Addr: "user2", ToneAddr: "tone",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctd.Stop()
+
+	waitFor("user1 ringing", func() bool { return len(p1.Ringing()) == 1 })
+	fmt.Println("user1's phone rings; user1 answers")
+	p1.Answer(p1.Ringing()[0])
+
+	waitFor("tone to user1", func() bool { return plane.HasFlow("tone", "user1") })
+	if *busy {
+		fmt.Println("user2 is unavailable: user1 hears busy tone; user1 gives up")
+		p1.HangUp("in0")
+	} else {
+		fmt.Println("user1 hears ringback while user2's phone rings")
+		waitFor("user2 ringing", func() bool { return len(p2.Ringing()) == 1 })
+		fmt.Println("user2 answers")
+		p2.Answer(p2.Ringing()[0])
+		waitFor("direct media", func() bool {
+			return plane.HasFlow("user1", "user2") && plane.HasFlow("user2", "user1")
+		})
+		fmt.Println("connected; flows:", plane.Flows())
+		fmt.Println("user2 hangs up")
+		p2.HangUp("in0")
+	}
+	select {
+	case <-done:
+		fmt.Println("Click-to-Dial program terminated cleanly")
+	case <-time.After(5 * time.Second):
+		log.Fatal("program did not terminate")
+	}
+	for _, e := range ctd.Errs() {
+		fmt.Println("box error:", e)
+	}
+}
+
+func waitFor(what string, pred func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatalf("timeout waiting for %s", what)
+}

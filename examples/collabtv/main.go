@@ -1,0 +1,188 @@
+// Collaborative television (paper Figure 8): a large television in the
+// family room (video + English audio), a French-speaking friend's
+// headphones (French audio), and a daughter's laptop (video + English
+// audio) all share one movie at one time point. The collaborative
+// control box for the television holds the single signaling channel to
+// the movie server, with five tunnels controlling the five media
+// channels; pause and play are mediated by it and affect all five.
+//
+// The daughter then leaves the collaboration and seeks to the end of
+// the movie: her collaboration box gets its own signaling channel to
+// the server, associated with the same movie but a different time
+// pointer.
+//
+// Run with: go run ./examples/collabtv
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ipmedia"
+)
+
+func waitFor(what string, pred func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatalf("timeout waiting for %s", what)
+}
+
+func device(net *ipmedia.MemNetwork, plane *ipmedia.MediaPlane, name string, port int, video bool) *ipmedia.Device {
+	codecs := []ipmedia.Codec{ipmedia.G711, ipmedia.G726}
+	if video {
+		codecs = []ipmedia.Codec{"H264", "H263"}
+	}
+	d, err := ipmedia.NewDevice(ipmedia.DeviceConfig{
+		Name: name, Net: net, Plane: plane, MediaPort: port,
+		RecvCodecs: codecs, SendCodecs: codecs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Viewers receive; they do not send media to the server.
+	d.SetMute(false, true)
+	return d
+}
+
+func main() {
+	net := ipmedia.NewMemNetwork()
+	plane := ipmedia.NewMediaPlane()
+
+	movies, err := ipmedia.NewMovieServer("movies", net, plane)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer movies.Stop()
+
+	// The five media endpoints of Figure 8.
+	tvVideo := device(net, plane, "tv-video", 5004, true)
+	tvAudio := device(net, plane, "tv-audio", 5006, false)
+	frAudio := device(net, plane, "headphones-fr", 5008, false)
+	lapVideo := device(net, plane, "laptop-video", 5010, true)
+	lapAudio := device(net, plane, "laptop-audio", 5012, false)
+	for _, d := range []*ipmedia.Device{tvVideo, tvAudio, frAudio, lapVideo, lapAudio} {
+		defer d.Stop()
+	}
+
+	// The television's collaborative control box: channels to its
+	// devices, to the friend's headphones, to the daughter's collab
+	// box (accepted as cc1/cc2), and ONE channel to the movie server
+	// whose five tunnels control the five media channels.
+	collabA := ipmedia.NewRunner(ipmedia.NewBox("collabA", ipmedia.ServerProfile{Name: "collabA"}), net)
+	defer collabA.Stop()
+	ccNames := []string{"cc1", "cc2"}
+	if err := collabA.Listen("collabA", func(n int) string { return ccNames[n%len(ccNames)] }); err != nil {
+		log.Fatal(err)
+	}
+	for _, dial := range [][2]string{{"a-v", "tv-video"}, {"a-a", "tv-audio"}, {"b", "headphones-fr"}, {"ms", "movies"}} {
+		if err := collabA.Connect(dial[0], dial[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	collabA.Do(func(ctx *ipmedia.Ctx) {
+		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "watch", Attrs: map[string]string{"movie": "casablanca", "pos": "600"}})
+	})
+
+	// The daughter's collaboration box, chained through collabA.
+	collabC := ipmedia.NewRunner(ipmedia.NewBox("collabC", ipmedia.ServerProfile{Name: "collabC"}), net)
+	defer collabC.Stop()
+	for _, dial := range [][2]string{{"c-v", "laptop-video"}, {"c-a", "laptop-audio"}, {"up1", "collabA"}, {"up2", "collabA"}} {
+		if err := collabC.Connect(dial[0], dial[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	collabC.Do(func(ctx *ipmedia.Ctx) {
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("c-v", 0), ipmedia.TunnelSlot("up1", 0)))
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("c-a", 0), ipmedia.TunnelSlot("up2", 0)))
+	})
+	if !collabA.AwaitChannel("cc2", 5*time.Second) {
+		log.Fatal("collabA did not accept the daughter's channels")
+	}
+	collabA.Do(func(ctx *ipmedia.Ctx) {
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("a-v", 0), ipmedia.TunnelSlot("ms", 0)))
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("a-a", 0), ipmedia.TunnelSlot("ms", 1)))
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("b", 0), ipmedia.TunnelSlot("ms", 2)))
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("cc1", 0), ipmedia.TunnelSlot("ms", 3)))
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("cc2", 0), ipmedia.TunnelSlot("ms", 4)))
+	})
+
+	// Devices request their media channels.
+	tvVideo.OpenOn("in0", ipmedia.Video)
+	tvAudio.OpenOn("in0", ipmedia.Audio)
+	frAudio.OpenOn("in0", "audio-fr")
+	lapVideo.OpenOn("in0", ipmedia.Video)
+	lapAudio.OpenOn("in0", ipmedia.Audio)
+
+	fmt.Println("family presses play on the television remote")
+	collabA.Do(func(ctx *ipmedia.Ctx) {
+		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "play"})
+	})
+	waitFor("all five media streams", func() bool {
+		for _, name := range []string{"tv-video", "tv-audio", "headphones-fr", "laptop-video", "laptop-audio"} {
+			found := false
+			for _, f := range plane.Flows() {
+				if f.To == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	})
+	fmt.Println("five streams from one session:", plane.Flows())
+	if s, ok := movies.Session("in0"); ok {
+		fmt.Printf("server session: movie=%s pos=%d playing=%v (shared by all five tunnels)\n", s.Movie, s.Pos, s.Playing)
+	}
+
+	fmt.Println("\npause affects all five channels at once")
+	collabA.Do(func(ctx *ipmedia.Ctx) {
+		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "pause"})
+	})
+	waitFor("all streams paused", func() bool { return len(plane.Flows()) == 0 })
+	collabA.Do(func(ctx *ipmedia.Ctx) {
+		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "play"})
+	})
+	waitFor("streams resumed", func() bool { return len(plane.Flows()) == 5 })
+
+	fmt.Println("\nthe daughter leaves the collaboration and fast-forwards to the end")
+	collabC.Do(func(ctx *ipmedia.Ctx) {
+		ctx.Teardown("up1")
+		ctx.Teardown("up2")
+	})
+	if err := collabC.Connect("ms", "movies"); err != nil {
+		log.Fatal(err)
+	}
+	collabC.Do(func(ctx *ipmedia.Ctx) {
+		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "watch", Attrs: map[string]string{"movie": "casablanca", "pos": "5400"}})
+		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "play"})
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("c-v", 0), ipmedia.TunnelSlot("ms", 0)))
+		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("c-a", 0), ipmedia.TunnelSlot("ms", 1)))
+	})
+	waitFor("two sessions on the server", func() bool { return movies.SessionCount() == 2 })
+	waitFor("laptop streams from its own session", func() bool {
+		v, a := false, false
+		for _, f := range plane.Flows() {
+			if f.To == "laptop-video" {
+				v = true
+			}
+			if f.To == "laptop-audio" {
+				a = true
+			}
+		}
+		return v && a && len(plane.Flows()) == 5
+	})
+	fmt.Println("flows:", plane.Flows())
+	fmt.Println("sessions:", movies.SessionCount(), "— same movie, different time pointers")
+	for _, e := range append(collabA.Errs(), collabC.Errs()...) {
+		fmt.Println("box error:", e)
+	}
+}

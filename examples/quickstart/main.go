@@ -1,0 +1,68 @@
+// Quickstart: two telephones, one audio channel, compositionally
+// controlled. Device A calls device B; B rings and answers; the media
+// plane shows packets flowing both ways; A mutes its microphone; A
+// hangs up.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ipmedia"
+)
+
+func main() {
+	net := ipmedia.NewMemNetwork()
+	plane := ipmedia.NewMediaPlane()
+
+	a, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "alice", Net: net, Plane: plane, MediaPort: 5004})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "bob", Net: net, Plane: plane, MediaPort: 5006})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Stop()
+
+	fmt.Println("alice calls bob...")
+	if err := a.Call("call", "bob", ipmedia.Audio); err != nil {
+		log.Fatal(err)
+	}
+	waitFor("bob ringing", func() bool { return len(b.Ringing()) == 1 })
+	fmt.Println("bob rings on", b.Ringing())
+
+	b.Answer(b.Ringing()[0])
+	waitFor("media both ways", func() bool {
+		return plane.HasFlow("alice", "bob") && plane.HasFlow("bob", "alice")
+	})
+	plane.Tick(50) // 50 packet periods
+	fmt.Println("flows:", plane.Flows())
+	fmt.Printf("alice stats: %+v\n", a.Agent().Stats())
+	fmt.Printf("bob   stats: %+v\n", b.Agent().Stats())
+
+	fmt.Println("alice mutes her microphone...")
+	a.SetMute(false, true)
+	waitFor("alice->bob muted", func() bool { return !plane.HasFlow("alice", "bob") })
+	fmt.Println("flows:", plane.Flows())
+
+	fmt.Println("alice hangs up...")
+	a.HangUp("call")
+	waitFor("silence", func() bool { return len(plane.Flows()) == 0 })
+	fmt.Println("done.")
+}
+
+func waitFor(what string, pred func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatalf("timeout waiting for %s", what)
+}

@@ -1,0 +1,90 @@
+// Voicemail: a DFC-style feature box in the subscriber's signaling
+// path. The paper motivates application servers with exactly this
+// service — "a persistent network presence, such as voicemail, for
+// handheld devices" (Section I). If the subscriber does not answer in
+// time, the feature flowlinks the caller to a recorder resource.
+//
+// Run with: go run ./examples/voicemail [-answer]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ipmedia"
+)
+
+func main() {
+	answer := flag.Bool("answer", false, "have the subscriber answer in time")
+	flag.Parse()
+
+	net := ipmedia.NewMemNetwork()
+	plane := ipmedia.NewMediaPlane()
+
+	caller, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "caller", Net: net, Plane: plane, MediaPort: 5004})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer caller.Stop()
+	callee, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "callee", Net: net, Plane: plane, MediaPort: 5006})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer callee.Stop()
+	recorder, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "vmrec", Net: net, Plane: plane, MediaPort: 5008, AutoAccept: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	recorder.SetMute(false, true)
+	defer recorder.Stop()
+
+	vm, done, err := ipmedia.NewVoicemail(net, ipmedia.VoicemailConfig{
+		Addr: "vmbox", SubscriberAddr: "callee", RecorderAddr: "vmrec",
+		NoAnswer: 300 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vm.Stop()
+
+	fmt.Println("caller dials the subscriber (through the voicemail box)")
+	if err := caller.Call("c", "vmbox", ipmedia.Audio); err != nil {
+		log.Fatal(err)
+	}
+	waitFor("callee ringing", func() bool { return len(callee.Ringing()) == 1 })
+	fmt.Println("callee's phone rings...")
+
+	if *answer {
+		callee.Answer(callee.Ringing()[0])
+		waitFor("direct media", func() bool {
+			return plane.HasFlow("caller", "callee") && plane.HasFlow("callee", "caller")
+		})
+		fmt.Println("answered; flows:", plane.Flows())
+	} else {
+		fmt.Println("...nobody answers")
+		waitFor("diverted to recorder", func() bool { return plane.HasFlow("caller", "vmrec") })
+		fmt.Println("diverted; flows:", plane.Flows())
+		plane.Tick(25)
+		fmt.Printf("recorded packets: %+v\n", recorder.Agent().Stats())
+	}
+	caller.HangUp("c")
+	select {
+	case how := <-done:
+		fmt.Println("feature ended:", how)
+	case <-time.After(5 * time.Second):
+		log.Fatal("feature did not terminate")
+	}
+}
+
+func waitFor(what string, pred func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	log.Fatalf("timeout waiting for %s", what)
+}

@@ -1,0 +1,3 @@
+module ipmedia
+
+go 1.22

@@ -1,0 +1,402 @@
+// Package box implements the box runtime of paper Section VII: Box
+// objects contain the high-level code that calls on Goal and Slot
+// objects, with a Maps association between slots and the goal objects
+// controlling them, and the state-oriented programming model of
+// Section IV (program states carrying goal annotations, with guarded
+// transitions).
+//
+// The Box core is strictly synchronous and clock-free: events go in,
+// outputs come out. Runtimes — the goroutine Runner in this package,
+// the discrete-event simulator, and the model checker — own delivery,
+// timing, and transports. This is what lets the same box code run over
+// in-process queues, TCP, virtual time, and exhaustive exploration.
+package box
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipmedia/internal/core"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+// TunnelSlot names the slot at this box for tunnel i of the named
+// channel. All slots follow this convention, so programs can refer to
+// slots of channels they create.
+func TunnelSlot(channel string, i int) string {
+	return channel + ".t" + strconv.Itoa(i)
+}
+
+// slotChannel recovers the channel name and tunnel index from a slot
+// name.
+func slotChannel(name string) (string, int, bool) {
+	i := strings.LastIndex(name, ".t")
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(name[i+2:])
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i], n, true
+}
+
+// EventKind classifies events delivered to a box.
+type EventKind uint8
+
+// The event kinds.
+const (
+	EvEnvelope EventKind = iota // a signal or meta-signal arrived on a channel
+	EvTimer                     // a timer set by this box fired
+	EvCall                      // run a closure inside the box (runtime-internal)
+)
+
+// Event is one stimulus for the box core.
+type Event struct {
+	Kind    EventKind
+	Channel string       // EvEnvelope: channel the envelope arrived on
+	Env     sig.Envelope // EvEnvelope payload
+	Timer   string       // EvTimer: timer name
+	Call    func(*Ctx)   // EvCall: closure to run
+}
+
+// OutputKind classifies box outputs for the runtime.
+type OutputKind uint8
+
+// The output kinds.
+const (
+	OutSend        OutputKind = iota // transmit Env on Channel
+	OutDial                          // create a signaling channel Channel toward Addr
+	OutTeardown                      // destroy channel Channel (MetaTeardown + close)
+	OutTimerSet                      // arm timer Timer for Dur
+	OutTimerCancel                   // disarm timer Timer
+	OutNote                          // diagnostic for logs and tests
+)
+
+// Output is one instruction from the box core to its runtime.
+type Output struct {
+	Kind    OutputKind
+	Channel string
+	Env     sig.Envelope
+	Addr    string
+	Timer   string
+	Dur     time.Duration
+	Note    string
+}
+
+func (o Output) String() string {
+	switch o.Kind {
+	case OutSend:
+		return fmt.Sprintf("send %s on %s", o.Env, o.Channel)
+	case OutDial:
+		return fmt.Sprintf("dial %s as %s", o.Addr, o.Channel)
+	case OutTeardown:
+		return fmt.Sprintf("teardown %s", o.Channel)
+	case OutTimerSet:
+		return fmt.Sprintf("timer %s in %s", o.Timer, o.Dur)
+	case OutTimerCancel:
+		return fmt.Sprintf("cancel timer %s", o.Timer)
+	default:
+		return "note: " + o.Note
+	}
+}
+
+type chanInfo struct {
+	name      string
+	initiator bool
+}
+
+// Box is the synchronous core of one box (peer module involved in
+// media control). It may be driven by the Runner in this package, by
+// the discrete-event simulator, or directly by tests.
+type Box struct {
+	name    string
+	profile core.Profile // profile for annotation-created goals
+
+	slots map[string]*slot.Slot
+	goals map[string]core.Goal // the Maps object: slot name -> goal
+	chans map[string]*chanInfo
+
+	program  *Program
+	state    string
+	pendingT map[string]bool // armed timers
+
+	// DefaultGoal builds the goal object for a slot that receives
+	// traffic before any annotation or explicit goal covers it. The
+	// default default is a holdSlot with the box profile.
+	DefaultGoal func(slotName string) core.Goal
+
+	// Hook, if non-nil, observes every event before program transitions
+	// run. Devices and resources use it for autonomous behavior.
+	Hook func(ctx *Ctx, ev *Event)
+
+	outs []Output
+}
+
+// New creates a box. The profile is used by all annotation-created
+// goals; application servers pass core.ServerProfile, media endpoints
+// their EndpointProfile.
+func New(name string, profile core.Profile) *Box {
+	b := &Box{
+		name:     name,
+		profile:  profile,
+		slots:    map[string]*slot.Slot{},
+		goals:    map[string]core.Goal{},
+		chans:    map[string]*chanInfo{},
+		pendingT: map[string]bool{},
+	}
+	b.DefaultGoal = func(slotName string) core.Goal {
+		return core.NewHoldSlot(slotName, b.profile)
+	}
+	return b
+}
+
+// Name returns the box name.
+func (b *Box) Name() string { return b.name }
+
+// Profile returns the box's media profile.
+func (b *Box) Profile() core.Profile { return b.profile }
+
+// Slot implements core.Slots for this box's goal objects.
+func (b *Box) Slot(name string) *slot.Slot { return b.slots[name] }
+
+// GoalFor returns the goal object currently controlling the named
+// slot, if any.
+func (b *Box) GoalFor(name string) core.Goal { return b.goals[name] }
+
+// State returns the current program state name, if a program is set.
+func (b *Box) State() string { return b.state }
+
+// SlotNames returns the box's slot names, sorted for deterministic
+// iteration.
+func (b *Box) SlotNames() []string {
+	out := make([]string, 0, len(b.slots))
+	for n := range b.slots {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Links returns the slot pairs currently joined by flowlinks (or raw
+// forwarders), for signaling-path analysis.
+func (b *Box) Links() [][2]string {
+	var out [][2]string
+	seen := map[string]bool{}
+	for _, name := range b.SlotNames() {
+		g := b.goals[name]
+		if g == nil || seen[name] {
+			continue
+		}
+		if a, ok := g.(*annotated); ok {
+			g = a.Goal
+		}
+		ns := g.SlotNames()
+		if len(ns) == 2 {
+			out = append(out, [2]string{ns[0], ns[1]})
+			seen[ns[0]], seen[ns[1]] = true, true
+		}
+	}
+	return out
+}
+
+// Channels returns the names of the box's signaling channels.
+func (b *Box) Channels() []string {
+	out := make([]string, 0, len(b.chans))
+	for n := range b.chans {
+		out = append(out, n)
+	}
+	return out
+}
+
+// HasChannel reports whether the named channel exists.
+func (b *Box) HasChannel(name string) bool { return b.chans[name] != nil }
+
+// AddChannel registers a signaling channel. The runtime calls it when
+// a channel is accepted; Dial registers the initiating side.
+func (b *Box) AddChannel(name string, initiator bool) {
+	b.chans[name] = &chanInfo{name: name, initiator: initiator}
+}
+
+// ensureSlot creates the slot (and its default goal) on first use.
+func (b *Box) ensureSlot(name string) (*slot.Slot, error) {
+	if s := b.slots[name]; s != nil {
+		return s, nil
+	}
+	ch, _, ok := slotChannel(name)
+	if !ok {
+		return nil, fmt.Errorf("box %s: malformed slot name %q", b.name, name)
+	}
+	ci := b.chans[ch]
+	if ci == nil {
+		return nil, fmt.Errorf("box %s: slot %q references unknown channel %q", b.name, name, ch)
+	}
+	s := slot.New(name, ci.initiator)
+	b.slots[name] = s
+	return s, nil
+}
+
+// ensureGoal returns the goal for a slot, installing the default if
+// none is set, and applying its attach actions.
+func (b *Box) ensureGoal(name string) (core.Goal, error) {
+	if g := b.goals[name]; g != nil {
+		return g, nil
+	}
+	g := b.DefaultGoal(name)
+	if err := b.install(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// install maps a goal over its slots and applies its attach actions.
+func (b *Box) install(g core.Goal) error {
+	for _, s := range g.SlotNames() {
+		if _, err := b.ensureSlot(s); err != nil {
+			return err
+		}
+		b.goals[s] = g
+	}
+	acts, err := g.Attach(b)
+	if err != nil {
+		return err
+	}
+	b.emitActions(acts)
+	return nil
+}
+
+// emitActions converts goal actions into transport outputs.
+func (b *Box) emitActions(acts []core.Action) {
+	for _, a := range acts {
+		ch, tunnel, ok := slotChannel(a.Slot)
+		if !ok {
+			continue
+		}
+		b.outs = append(b.outs, Output{
+			Kind:    OutSend,
+			Channel: ch,
+			Env:     sig.Envelope{Tunnel: tunnel, Sig: a.Sig},
+		})
+	}
+}
+
+// asRaw reports whether a goal (possibly wrapped by an annotation) is
+// a raw-forwarding goal.
+func asRaw(g core.Goal) (core.RawGoal, bool) {
+	if a, ok := g.(*annotated); ok {
+		g = a.Goal
+	}
+	rg, ok := g.(core.RawGoal)
+	return rg, ok
+}
+
+// destroyChannel removes a channel and all its tunnels, slots, and
+// goal mappings ("destroying channel 1 is a meta-action that of course
+// destroys all its tunnels and slots", paper Section IV-B). A slot
+// that was flowlinked to a destroyed slot falls back to a closeSlot:
+// its path is broken, so its half of the channel is shut down cleanly.
+func (b *Box) destroyChannel(name string) {
+	delete(b.chans, name)
+	var widowed []string
+	for sn := range b.slots {
+		ch, _, ok := slotChannel(sn)
+		if !ok || ch != name {
+			continue
+		}
+		if g := b.goals[sn]; g != nil {
+			for _, partner := range g.SlotNames() {
+				if pch, _, ok := slotChannel(partner); ok && pch != name {
+					widowed = append(widowed, partner)
+				}
+			}
+		}
+		delete(b.slots, sn)
+		delete(b.goals, sn)
+	}
+	for _, sn := range widowed {
+		if b.slots[sn] == nil {
+			continue
+		}
+		if err := b.install(core.NewCloseSlot(sn)); err != nil {
+			b.outs = append(b.outs, Output{Kind: OutNote, Note: "widowed slot cleanup: " + err.Error()})
+		}
+	}
+}
+
+// Handle processes one event and returns the outputs it produced. It
+// must be called from a single goroutine.
+func (b *Box) Handle(ev Event) ([]Output, error) {
+	b.outs = nil
+	ctx := &Ctx{b: b, ev: &ev}
+	if err := b.dispatch(ctx, &ev); err != nil {
+		return b.outs, err
+	}
+	if b.Hook != nil && ev.Kind != EvCall {
+		b.Hook(ctx, &ev)
+	}
+	if err := b.step(ctx); err != nil {
+		return b.outs, err
+	}
+	outs := b.outs
+	b.outs = nil
+	return outs, nil
+}
+
+func (b *Box) dispatch(ctx *Ctx, ev *Event) error {
+	switch ev.Kind {
+	case EvEnvelope:
+		if ev.Env.IsMeta() {
+			if ev.Env.Meta.Kind == sig.MetaTeardown {
+				b.destroyChannel(ev.Channel)
+			}
+			return nil // metas are observed by hooks and guards
+		}
+		name := TunnelSlot(ev.Channel, ev.Env.Tunnel)
+		if b.chans[ev.Channel] == nil {
+			// Signal for a channel already destroyed locally; drop.
+			return nil
+		}
+		s, err := b.ensureSlot(name)
+		if err != nil {
+			return err
+		}
+		g, err := b.ensureGoal(name)
+		if err != nil {
+			return err
+		}
+		if rg, ok := asRaw(g); ok {
+			// Uncoordinated forwarding: the slot is not a protocol
+			// endpoint (Figure 2 baseline).
+			b.emitActions(rg.OnRaw(name, ev.Env.Sig))
+			return nil
+		}
+		sev, err := s.Receive(ev.Env.Sig)
+		if err != nil {
+			return fmt.Errorf("box %s: %w", b.name, err)
+		}
+		acts, err := g.OnEvent(b, name, sev, ev.Env.Sig)
+		if err != nil {
+			return fmt.Errorf("box %s: goal %s: %w", b.name, g.Kind(), err)
+		}
+		b.emitActions(acts)
+		return nil
+	case EvTimer:
+		if !b.pendingT[ev.Timer] {
+			ev.Timer = "" // stale fire: not guardable
+			return nil
+		}
+		delete(b.pendingT, ev.Timer)
+		return nil
+	case EvCall:
+		if ev.Call != nil {
+			ev.Call(ctx)
+		}
+		return ctx.err
+	default:
+		return fmt.Errorf("box %s: unknown event kind %d", b.name, ev.Kind)
+	}
+}

@@ -1,0 +1,176 @@
+package box
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmedia/internal/core"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/transport"
+)
+
+// TestProgramCompileErrors: malformed programs are rejected up front.
+func TestProgramCompileErrors(t *testing.T) {
+	b := New("x", core.ServerProfile{Name: "x"})
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{"missing initial", &Program{Initial: "nope", States: []*State{{Name: "a"}}}, "initial state"},
+		{"duplicate state", &Program{Initial: "a", States: []*State{{Name: "a"}, {Name: "a"}}}, "duplicate"},
+		{"dangling transition", &Program{Initial: "a", States: []*State{{
+			Name:  "a",
+			Trans: []Trans{{When: func(*Ctx) bool { return false }, To: "ghost"}},
+		}}}, "undefined state"},
+	}
+	for _, c := range cases {
+		if _, err := b.SetProgram(c.prog); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestProgramLivelockDetected: a guard that is always true with a
+// self-loop must be caught, not spin forever.
+func TestProgramLivelockDetected(t *testing.T) {
+	b := New("x", core.ServerProfile{Name: "x"})
+	_, err := b.SetProgram(&Program{
+		Initial: "a",
+		States: []*State{
+			{Name: "a", Trans: []Trans{{When: func(*Ctx) bool { return true }, To: "b"}}},
+			{Name: "b", Trans: []Trans{{When: func(*Ctx) bool { return true }, To: "a"}}},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "livelock") {
+		t.Fatalf("err = %v, want livelock detection", err)
+	}
+}
+
+// TestAnnotationProfileOverride: an annotation can carry its own
+// profile, distinct from the box profile — the transcoder relies on
+// this.
+func TestAnnotationProfileOverride(t *testing.T) {
+	net := transport.NewMemNetwork()
+	dev := NewRunner(New("D", deviceProfile("D", 5004)), net)
+	defer dev.Stop()
+	if err := dev.Listen("D", nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewRunner(New("S", core.ServerProfile{Name: "S"}), net)
+	defer srv.Stop()
+	if err := srv.Connect("1", "D"); err != nil {
+		t.Fatal(err)
+	}
+	special := core.NewEndpointProfile("special", "hS", 9000, []sig.Codec{sig.G726}, []sig.Codec{sig.G726})
+	srv.SetProgram(&Program{
+		Initial: "s",
+		States: []*State{{
+			Name:   "s",
+			Annots: []Annot{{Kind: AnnOpen, Slot1: TunnelSlot("1", 0), Medium: sig.Audio, Profile: special}},
+		}},
+	})
+	await(t, dev, "device sees the override profile", func(ctx *Ctx) bool {
+		s := ctx.Box().Slot(TunnelSlot("in0", 0))
+		if s == nil {
+			return false
+		}
+		d, ok := s.Desc()
+		return ok && d.ID.Origin == "special" && d.Port == 9000
+	})
+	noErrs(t, srv, dev)
+}
+
+// TestTimerCancelPreventsFire: a canceled timer must not trigger
+// transitions.
+func TestTimerCancelPreventsFire(t *testing.T) {
+	net := transport.NewMemNetwork()
+	srv := NewRunner(New("S", core.ServerProfile{Name: "S"}), net)
+	defer srv.Stop()
+	fired := make(chan struct{}, 1)
+	srv.SetProgram(&Program{
+		Initial: "armed",
+		States: []*State{
+			{
+				Name: "armed",
+				OnEnter: func(ctx *Ctx) {
+					ctx.SetTimer("t", 20*time.Millisecond)
+					ctx.CancelTimer("t")
+				},
+				Trans: []Trans{{When: func(ctx *Ctx) bool { return ctx.OnTimer("t") }, To: "boom"}},
+			},
+			{Name: "boom", OnEnter: func(*Ctx) { fired <- struct{}{} }},
+		},
+	})
+	select {
+	case <-fired:
+		t.Fatal("canceled timer fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+	noErrs(t, srv)
+}
+
+// TestStaleTimerIgnored: an EvTimer injected without a pending timer is
+// not guardable.
+func TestStaleTimerIgnored(t *testing.T) {
+	b := New("x", core.ServerProfile{Name: "x"})
+	if _, err := b.SetProgram(&Program{
+		Initial: "a",
+		States: []*State{
+			{Name: "a", Trans: []Trans{{When: func(ctx *Ctx) bool { return ctx.OnTimer("ghost") }, To: "b"}}},
+			{Name: "b"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Handle(Event{Kind: EvTimer, Timer: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != "a" {
+		t.Fatalf("stale timer fired a transition into %q", b.State())
+	}
+}
+
+// TestWidowedFlowlinkSlotCleanup: destroying one channel of a
+// flowlinked pair must shut the partner slot down cleanly.
+func TestWidowedFlowlinkSlotCleanup(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a := NewRunner(New("A", deviceProfile("A", 5004)), net)
+	b := NewRunner(New("B", deviceProfile("B", 5006)), net)
+	mid := NewRunner(New("M", core.ServerProfile{Name: "M"}), net)
+	defer a.Stop()
+	defer b.Stop()
+	defer mid.Stop()
+	if err := a.Listen("A", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Listen("B", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Connect("ca", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Connect("cb", "B"); err != nil {
+		t.Fatal(err)
+	}
+	mid.Do(func(ctx *Ctx) {
+		ctx.SetGoal(core.NewFlowLink(TunnelSlot("ca", 0), TunnelSlot("cb", 0)))
+	})
+	await(t, a, "A's channel", func(ctx *Ctx) bool { return ctx.Box().HasChannel("in0") })
+	a.Do(func(ctx *Ctx) {
+		ctx.SetGoal(core.NewOpenSlot(TunnelSlot("in0", 0), sig.Audio, a.Box().Profile()))
+	})
+	await(t, b, "B flowing", func(ctx *Ctx) bool {
+		s := ctx.Box().Slot(TunnelSlot("in0", 0))
+		return s != nil && s.IsFlowing()
+	})
+	// Destroy the A-side channel at the middle box: B's half must be
+	// closed by the widowed-slot fallback, not left dangling.
+	mid.Do(func(ctx *Ctx) { ctx.Teardown("ca") })
+	await(t, b, "B closed", func(ctx *Ctx) bool {
+		s := ctx.Box().Slot(TunnelSlot("in0", 0))
+		return s != nil && s.IsClosed()
+	})
+	noErrs(t, a, b, mid)
+}

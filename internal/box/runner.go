@@ -1,0 +1,340 @@
+// Runner: the live runtime for a box. One goroutine owns the box core;
+// transports, timers, and external callers feed it through an actor
+// inbox. The same box core also runs under the discrete-event
+// simulator and the model checker without a Runner.
+package box
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/transport"
+)
+
+// Runner drives one Box over a transport.Network.
+type Runner struct {
+	box *Box
+	net transport.Network
+
+	inbox    chan func()
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// loop-goroutine-only state
+	ports   map[string]transport.Port
+	timers  map[string]*time.Timer
+	acceptN int
+
+	mu    sync.Mutex
+	errs  []error
+	notes []string
+	trace func(WireEvent)
+
+	// OnError, if set, observes box errors as they happen (testing).
+	OnError func(error)
+}
+
+// WireEvent is one envelope crossing this box's edge of a signaling
+// channel, for live message-sequence traces.
+type WireEvent struct {
+	Box     string
+	Dir     string // "send" or "recv"
+	Channel string
+	Env     sig.Envelope
+	At      time.Time
+}
+
+func (e WireEvent) String() string {
+	return fmt.Sprintf("%s %s %s %s", e.Box, e.Dir, e.Channel, e.Env)
+}
+
+// SetTrace installs a wire observer; pass nil to remove it. The
+// callback runs on the box goroutine and must not call back into the
+// runner.
+func (r *Runner) SetTrace(f func(WireEvent)) {
+	r.Do(func(*Ctx) { r.trace = f })
+}
+
+func (r *Runner) traceEvent(dir, channel string, env sig.Envelope) {
+	if r.trace != nil {
+		r.trace(WireEvent{Box: r.box.Name(), Dir: dir, Channel: channel, Env: env, At: time.Now()})
+	}
+}
+
+// NewRunner wraps b for live execution over net.
+func NewRunner(b *Box, net transport.Network) *Runner {
+	r := &Runner{
+		box:    b,
+		net:    net,
+		inbox:  make(chan func(), 256),
+		done:   make(chan struct{}),
+		ports:  map[string]transport.Port{},
+		timers: map[string]*time.Timer{},
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Box returns the underlying box. Touch it only via Do.
+func (r *Runner) Box() *Box { return r.box }
+
+func (r *Runner) loop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case f := <-r.inbox:
+			f()
+		case <-r.done:
+			// Drain anything already queued, then stop.
+			for {
+				select {
+				case f := <-r.inbox:
+					f()
+				default:
+					r.closeAll()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (r *Runner) closeAll() {
+	for _, p := range r.ports {
+		p.Close()
+	}
+	for _, t := range r.timers {
+		t.Stop()
+	}
+}
+
+// post queues f for the loop goroutine; it drops the work if the
+// runner has stopped.
+func (r *Runner) post(f func()) {
+	select {
+	case r.inbox <- f:
+	case <-r.done:
+	}
+}
+
+// Stop shuts the runner down and waits for the loop to exit.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// Errs returns the box errors observed so far.
+func (r *Runner) Errs() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error(nil), r.errs...)
+}
+
+// Notes returns the diagnostic notes emitted by the box.
+func (r *Runner) Notes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.notes...)
+}
+
+func (r *Runner) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	r.errs = append(r.errs, err)
+	r.mu.Unlock()
+	if r.OnError != nil {
+		r.OnError(err)
+	}
+}
+
+// Do runs f inside the box goroutine and waits for it to finish. It is
+// the only safe way to inspect or mutate box state from outside.
+func (r *Runner) Do(f func(ctx *Ctx)) {
+	donec := make(chan struct{})
+	r.post(func() {
+		defer close(donec)
+		r.handle(Event{Kind: EvCall, Call: f})
+	})
+	select {
+	case <-donec:
+	case <-r.done:
+	}
+}
+
+// SetProgram installs and starts a program on the box.
+func (r *Runner) SetProgram(p *Program) {
+	r.Do(func(ctx *Ctx) {
+		outs, err := r.box.SetProgram(p)
+		r.process(outs)
+		r.fail(err)
+	})
+}
+
+// Inject delivers an event as if it came from a transport, for tests.
+func (r *Runner) Inject(ev Event) {
+	r.post(func() { r.handle(ev) })
+}
+
+// handle runs one event through the box and processes its outputs.
+// Loop goroutine only.
+func (r *Runner) handle(ev Event) {
+	if ev.Kind == EvEnvelope {
+		r.traceEvent("recv", ev.Channel, ev.Env)
+	}
+	outs, err := r.box.Handle(ev)
+	r.process(outs)
+	r.fail(err)
+}
+
+// process executes box outputs. Loop goroutine only.
+func (r *Runner) process(outs []Output) {
+	for _, o := range outs {
+		switch o.Kind {
+		case OutSend:
+			if p := r.ports[o.Channel]; p != nil {
+				r.traceEvent("send", o.Channel, o.Env)
+				p.Send(o.Env)
+			}
+		case OutDial:
+			p, err := r.net.Dial(o.Addr)
+			if err != nil {
+				// The intended far endpoint is unreachable: synthesize
+				// the unavailable meta-signal for the program.
+				r.handle(Event{Kind: EvEnvelope, Channel: o.Channel,
+					Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaUnavailable}}})
+				continue
+			}
+			r.addPort(o.Channel, p)
+			p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup, Attrs: map[string]string{"from": r.box.Name()}}})
+		case OutTeardown:
+			if p := r.ports[o.Channel]; p != nil {
+				p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}})
+				p.Close()
+				delete(r.ports, o.Channel)
+			}
+		case OutTimerSet:
+			if t := r.timers[o.Timer]; t != nil {
+				t.Stop()
+			}
+			name := o.Timer
+			r.timers[name] = time.AfterFunc(o.Dur, func() {
+				r.post(func() { r.handle(Event{Kind: EvTimer, Timer: name}) })
+			})
+		case OutTimerCancel:
+			if t := r.timers[o.Timer]; t != nil {
+				t.Stop()
+				delete(r.timers, o.Timer)
+			}
+		case OutNote:
+			r.mu.Lock()
+			r.notes = append(r.notes, o.Note)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// addPort registers a connected port and pumps its envelopes into the
+// loop. Loop goroutine only.
+func (r *Runner) addPort(channel string, p transport.Port) {
+	r.ports[channel] = p
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for e := range p.Recv() {
+			ev := Event{Kind: EvEnvelope, Channel: channel, Env: e}
+			r.post(func() { r.handle(ev) })
+		}
+		// Transport gone without a teardown: synthesize one so the box
+		// cleans up, unless the channel is already gone.
+		r.post(func() {
+			if r.box.HasChannel(channel) {
+				r.handle(Event{Kind: EvEnvelope, Channel: channel,
+					Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}}})
+			}
+			if r.ports[channel] != nil {
+				r.ports[channel].Close()
+				delete(r.ports, channel)
+			}
+		})
+	}()
+}
+
+// Listen accepts signaling channels at addr. Accepted channels are
+// named in0, in1, ... unless nameFor is non-nil.
+func (r *Runner) Listen(addr string, nameFor func(n int) string) error {
+	l, err := r.net.Listen(addr)
+	if err != nil {
+		return err
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer l.Close()
+		for {
+			p, err := l.Accept()
+			if err != nil {
+				return
+			}
+			r.post(func() {
+				n := r.acceptN
+				r.acceptN++
+				name := "in" + strconv.Itoa(n)
+				if nameFor != nil {
+					name = nameFor(n)
+				}
+				r.box.AddChannel(name, false)
+				r.addPort(name, p)
+			})
+		}
+	}()
+	go func() {
+		<-r.done
+		l.Close()
+	}()
+	return nil
+}
+
+// AwaitChannel waits until the box has a channel with the given name
+// (e.g. an accepted incoming channel) and reports whether it appeared
+// before the timeout.
+func (r *Runner) AwaitChannel(name string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		has := false
+		r.Do(func(*Ctx) { has = r.box.HasChannel(name) })
+		if has {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// Connect dials addr and registers the channel under the given name,
+// synchronously. It is the out-of-program counterpart of Ctx.Dial,
+// used by devices placing calls.
+func (r *Runner) Connect(channel, addr string) error {
+	var err error
+	r.Do(func(ctx *Ctx) {
+		if r.box.HasChannel(channel) {
+			err = fmt.Errorf("box %s: channel %q already exists", r.box.Name(), channel)
+			return
+		}
+		var p transport.Port
+		p, err = r.net.Dial(addr)
+		if err != nil {
+			return
+		}
+		r.box.AddChannel(channel, true)
+		r.addPort(channel, p)
+		p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup, Attrs: map[string]string{"from": r.box.Name()}}})
+	})
+	return err
+}

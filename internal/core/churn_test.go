@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+// TestQuickGoalChurnConverges is the strongest property test in the
+// package: a one-flowlink path whose end goals are reassigned at
+// random moments (open/hold/close in any order, mid-handshake,
+// mid-flow), with deliveries in random order. After the churn stops
+// and a final pair of goals is installed, the path must converge to
+// exactly the state its Section V specification requires.
+func TestQuickGoalChurnConverges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := newWorld(t)
+		w.tunnel("L", "s1")
+		w.tunnel("s2", "R")
+		w.attach(NewFlowLink("s1", "s2"))
+		w.attach(NewHoldSlot("L", endpointProfile("L", 5004)))
+		w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+
+		mkGoal := func(end string, kind int) Goal {
+			switch kind {
+			case 0:
+				return NewOpenSlot(end, sig.Audio, endpointProfile(end, 5004))
+			case 1:
+				return NewHoldSlot(end, endpointProfile(end, 5006))
+			default:
+				return NewCloseSlot(end)
+			}
+		}
+
+		// Churn: random reassignments interleaved with random
+		// deliveries.
+		for i := 0; i < 12; i++ {
+			switch r.Intn(3) {
+			case 0:
+				w.attach(mkGoal("L", r.Intn(3)))
+			case 1:
+				w.attach(mkGoal("R", r.Intn(3)))
+			default:
+				w.runShuffled(r, r.Intn(20))
+			}
+		}
+
+		// Final goals: a pair with a deterministic specification.
+		lKind, rKind := r.Intn(3), r.Intn(3)
+		w.attach(mkGoal("L", lKind))
+		w.attach(mkGoal("R", rKind))
+
+		// An open/close pairing never quiesces (the openslot retries
+		// forever); everything else must drain.
+		openVsClose := (lKind == 0 && rKind == 2) || (lKind == 2 && rKind == 0)
+		quiesced := w.runShuffled(r, 5000)
+		l, rr := w.Slot("L"), w.Slot("R")
+		switch {
+		case openVsClose:
+			// ◇□¬bothFlowing: sample the tail of the run.
+			for i := 0; i < 50; i++ {
+				w.runShuffled(r, 1)
+				if l.State() == slot.Flowing && rr.State() == slot.Flowing {
+					return false
+				}
+			}
+			return true
+		case lKind == 2 || rKind == 2: // any close: ◇□bothClosed
+			return quiesced && l.State() == slot.Closed && rr.State() == slot.Closed
+		case lKind == 1 && rKind == 1: // hold/hold: closed or flowing
+			if !quiesced {
+				return false
+			}
+			closed := l.State() == slot.Closed && rr.State() == slot.Closed
+			return closed || bothFlowing(l, rr)
+		default: // at least one open, none close: □◇bothFlowing
+			return quiesced && bothFlowing(l, rr)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

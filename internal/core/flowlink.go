@@ -1,0 +1,257 @@
+// FlowLink: the fourth and most complex goal primitive (paper Sections
+// IV-A and VII). A flowlink controls two slots, attempts to match
+// their states as if the slots had always been connected transparently,
+// and keeps them matched, with a bias toward media flow (Figure 12).
+//
+// Its code design follows the paper's two key concepts exactly:
+//
+//   - a slot is *described* if a current descriptor has been received
+//     for it (slots in the opened and flowing states are described);
+//   - each slot has a Boolean *up-to-date* (utd) variable that is true
+//     iff the other slot is described and this slot has been sent the
+//     other slot's most recent descriptor.
+//
+// In any live state the flowlink works to make the utd variables true.
+// Selector handling needs no history at all: a selector received on
+// one slot is forwarded iff it answers the other slot's current
+// descriptor, and is discarded as obsolete otherwise.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+// FlowLink coordinates the signals of its two slots so that the
+// signaling paths through them behave as one transparent path.
+type FlowLink struct {
+	A, B string
+	// UtdA (UtdB) is true iff slot A (B) has been sent slot B's (A's)
+	// most recent descriptor. Both are initialized false at attach, so
+	// a new flowlink always re-describes both sides — the behavior
+	// visible in paper Figure 13, including the apparently redundant
+	// describe(noMedia).
+	UtdA, UtdB bool
+}
+
+// NewFlowLink builds a flowlink over slots a and b.
+func NewFlowLink(a, b string) *FlowLink { return &FlowLink{A: a, B: b} }
+
+// Kind implements Goal.
+func (g *FlowLink) Kind() string { return "flowLink" }
+
+// SlotNames implements Goal.
+func (g *FlowLink) SlotNames() []string { return []string{g.A, g.B} }
+
+// other returns the name of the other slot of the link.
+func (g *FlowLink) other(name string) string {
+	if name == g.A {
+		return g.B
+	}
+	return g.A
+}
+
+// utd returns a pointer to the utd variable of the named slot.
+func (g *FlowLink) utd(name string) *bool {
+	if name == g.A {
+		return &g.UtdA
+	}
+	return &g.UtdB
+}
+
+// Attach implements Goal. Initially the flowlink's slots can be in any
+// states; it is a precondition that if both slots have their medium
+// defined, the media are the same (paper Section IV-A).
+func (g *FlowLink) Attach(ss Slots) ([]Action, error) {
+	sa, sb := ss.Slot(g.A), ss.Slot(g.B)
+	if sa == nil || sb == nil {
+		return nil, fmt.Errorf("core: flowLink(%s,%s): unknown slot", g.A, g.B)
+	}
+	if sa.State() != slot.Closed && sb.State() != slot.Closed && sa.Medium() != sb.Medium() {
+		return nil, fmt.Errorf("core: flowLink(%s,%s): medium mismatch %q vs %q", g.A, g.B, sa.Medium(), sb.Medium())
+	}
+	g.UtdA, g.UtdB = false, false
+	em := NewEmitter(ss)
+	em.ackIfOwed(g.A)
+	em.ackIfOwed(g.B)
+	g.reconcile(em, ss)
+	return em.Done()
+}
+
+// reconcile performs the state matching of paper Figure 12: from
+// whichever superstate the pair of slot states is in, it pushes toward
+// the goal substate (both flowing if either side is live, both closed
+// otherwise), and in live states it works to make the utd variables
+// true. It loops to a fixpoint because one emission can enable
+// another (e.g. oacking one slot makes it flowing, enabling a
+// describe).
+func (g *FlowLink) reconcile(em *Emitter, ss Slots) {
+	for progress := true; progress && em.err == nil; {
+		progress = false
+		for _, pair := range [2][2]string{{g.A, g.B}, {g.B, g.A}} {
+			from, to := pair[0], pair[1]
+			sf, st := ss.Slot(from), ss.Slot(to)
+			d, described := sf.Desc()
+			if !described {
+				continue
+			}
+			// from is described (opened or flowing); push its descriptor
+			// toward to, in whatever form to's state requires.
+			utd := g.utd(to)
+			switch st.State() {
+			case slot.Closed:
+				if !st.OwesCloseAck() {
+					em.Emit(to, sig.Open(sf.Medium(), d))
+					*utd = true
+					progress = true
+				}
+			case slot.Opened:
+				em.Emit(to, sig.Oack(d))
+				*utd = true
+				progress = true
+			case slot.Flowing:
+				if !*utd {
+					em.Emit(to, sig.Describe(d))
+					*utd = true
+					progress = true
+				}
+			case slot.Opening, slot.Closing:
+				// Wait for the far end's oack/close or the closeack.
+			}
+		}
+	}
+}
+
+// OnEvent implements Goal.
+func (g *FlowLink) OnEvent(ss Slots, name string, ev slot.Event, in sig.Signal) ([]Action, error) {
+	em := NewEmitter(ss)
+	other := g.other(name)
+	switch ev {
+	case slot.EvOpen, slot.EvOpenRace, slot.EvOack, slot.EvDescribe:
+		// This slot has a fresh descriptor: the other slot is no longer
+		// up to date. Reconciliation forwards it in the right form.
+		*g.utd(other) = false
+		g.reconcile(em, ss)
+	case slot.EvClose:
+		// One side of the path is closing the channel. Acknowledge, and
+		// propagate the closure to the other side (Figure 12: the
+		// environment chose the one-live or both-dead superstate).
+		em.ackIfOwed(name)
+		*g.utd(name) = false
+		*g.utd(other) = false
+		if so := ss.Slot(other); so.State().Live() {
+			em.Emit(other, sig.Close())
+		}
+	case slot.EvCloseAck:
+		// A closure completed; the far end may have reopened the other
+		// side in the meantime.
+		g.reconcile(em, ss)
+	case slot.EvSelect:
+		// Forward iff the selector answers the other slot's current
+		// descriptor; otherwise it is obsolete and is discarded (paper
+		// Section VII). Only fresh selectors matter, so no history of
+		// selectors is kept.
+		so := ss.Slot(other)
+		if d, ok := so.Desc(); ok && d.ID == in.Sel.Answers && so.State() == slot.Flowing {
+			em.Emit(other, sig.Select(in.Sel))
+		}
+	case slot.EvStale:
+		// Already discarded by the slot.
+	}
+	return em.Done()
+}
+
+// Refresh implements Goal: a flowlink has no media profile of its own.
+func (g *FlowLink) Refresh(Slots, bool, bool) ([]Action, error) { return nil, nil }
+
+// Clone implements Goal.
+func (g *FlowLink) Clone() Goal {
+	c := *g
+	return &c
+}
+
+// Encode implements Goal.
+func (g *FlowLink) Encode(b *bytes.Buffer) {
+	b.WriteString("link:")
+	b.WriteString(g.A)
+	b.WriteByte(',')
+	b.WriteString(g.B)
+	b.WriteByte(boolByte(g.UtdA))
+	b.WriteByte(boolByte(g.UtdB))
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Forwarder is NOT one of the paper's primitives: it is the baseline
+// that reproduces the erroneous behavior of paper Figure 2. A
+// forwarder models a server that is not coordinated with other
+// servers: "it is standard behavior for a server receiving a signal
+// that does not concern itself to forward the signal untouched"
+// (Section II-A). It performs no state matching, no descriptor
+// caching, and no selector filtering; its box does not act as a
+// protocol endpoint at all.
+type Forwarder struct {
+	A, B string
+}
+
+// NewForwarder builds an uncoordinated forwarding link over slots a
+// and b.
+func NewForwarder(a, b string) *Forwarder { return &Forwarder{A: a, B: b} }
+
+// Kind implements Goal.
+func (g *Forwarder) Kind() string { return "forwarder" }
+
+// SlotNames implements Goal.
+func (g *Forwarder) SlotNames() []string { return []string{g.A, g.B} }
+
+// Attach implements Goal: a forwarder does nothing on attach.
+func (g *Forwarder) Attach(Slots) ([]Action, error) { return nil, nil }
+
+// OnEvent is never called for a Forwarder; the box runtime detects raw
+// goals and calls OnRaw instead.
+func (g *Forwarder) OnEvent(Slots, string, slot.Event, sig.Signal) ([]Action, error) {
+	return nil, fmt.Errorf("core: Forwarder.OnEvent must not be called; use OnRaw")
+}
+
+// OnRaw forwards the incoming signal untouched to the other slot.
+func (g *Forwarder) OnRaw(name string, in sig.Signal) []Action {
+	to := g.A
+	if name == g.A {
+		to = g.B
+	}
+	return []Action{{Slot: to, Sig: in, Raw: true}}
+}
+
+// Refresh implements Goal.
+func (g *Forwarder) Refresh(Slots, bool, bool) ([]Action, error) { return nil, nil }
+
+// Clone implements Goal.
+func (g *Forwarder) Clone() Goal {
+	c := *g
+	return &c
+}
+
+// Encode implements Goal.
+func (g *Forwarder) Encode(b *bytes.Buffer) {
+	b.WriteString("fwd:")
+	b.WriteString(g.A)
+	b.WriteByte(',')
+	b.WriteString(g.B)
+}
+
+// RawGoal marks goals whose slots are not protocol endpoints: the box
+// runtime delivers raw signals to OnRaw without slot state tracking.
+type RawGoal interface {
+	Goal
+	OnRaw(slotName string, in sig.Signal) []Action
+}
+
+var _ RawGoal = (*Forwarder)(nil)

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+// linkWorld builds the canonical one-flowlink path:
+//
+//	L ──tunnel── s1 [flowLink] s2 ──tunnel── R
+//
+// where L and R are path-end slots in other boxes and s1, s2 are the
+// flowlink's slots in a middle box.
+func linkWorld(t *testing.T) *world {
+	w := newWorld(t)
+	w.tunnel("L", "s1")
+	w.tunnel("s2", "R") // middle box initiates the right-hand channel
+	return w
+}
+
+// TestFlowLinkTransparency: openslot — flowlink — holdslot must reach
+// bothFlowing end to end, with the end descriptors spliced through the
+// middle box.
+func TestFlowLinkTransparency(t *testing.T) {
+	w := linkWorld(t)
+	pl, pr := endpointProfile("L", 5004), endpointProfile("R", 5006)
+	w.attach(NewOpenSlot("L", sig.Audio, pl))
+	w.attach(NewHoldSlot("R", pr))
+	w.attach(NewFlowLink("s1", "s2"))
+	if !w.run(200) {
+		t.Fatal("did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if !bothFlowing(l, r) {
+		t.Fatalf("path not bothFlowing: %s", fmtEnds(l, r))
+	}
+	// End-to-end splicing: L's cached descriptor must be R's, not the
+	// middle box's, and vice versa.
+	ld, _ := l.Desc()
+	rd, _ := r.Desc()
+	if ld.ID.Origin != "R" || rd.ID.Origin != "L" {
+		t.Fatalf("descriptors not spliced end to end: L sees %s, R sees %s", ld.ID, rd.ID)
+	}
+	if !l.Enabled() || !r.Enabled() {
+		t.Fatal("both directions must be enabled end to end")
+	}
+}
+
+// TestFlowLinkBiasTowardFlow: paper Section IV-A — if a flowlink is
+// attached when one slot is flowing and the other closed, it opens the
+// closed one rather than closing the flowing one.
+func TestFlowLinkBiasTowardFlow(t *testing.T) {
+	w := linkWorld(t)
+	// Bring up the left-hand tunnel only: the middle box holds s1.
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("s1", ServerProfile{Name: "mid"}))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	if !w.run(100) {
+		t.Fatal("setup did not quiesce")
+	}
+	if w.Slot("s1").State() != slot.Flowing || w.Slot("s2").State() != slot.Closed {
+		t.Fatal("setup: want s1 flowing, s2 closed")
+	}
+	// Now flowlink s1 and s2: it must open s2, exactly like the
+	// busyTone state of the Click-to-Dial program (paper Figure 6).
+	w.attach(NewFlowLink("s1", "s2"))
+	if !w.run(200) {
+		t.Fatal("did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if !bothFlowing(l, r) {
+		t.Fatalf("flowlink must extend flow to the closed side: %s", fmtEnds(l, r))
+	}
+}
+
+// TestFlowLinkRelink reproduces the Figure 13 mechanics on one box: a
+// flowlink is attached when both slots are flowing toward different
+// parties; it must re-describe both sides and converge, with each end
+// receiving the other's descriptor and answering it.
+func TestFlowLinkRelink(t *testing.T) {
+	w := linkWorld(t)
+	// Establish both tunnels independently, with the middle box holding
+	// both slots (muted, as a server does).
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewOpenSlot("R", sig.Audio, endpointProfile("R", 5006)))
+	w.attach(NewHoldSlot("s1", ServerProfile{Name: "mid"}))
+	w.attach(NewHoldSlot("s2", ServerProfile{Name: "mid"}))
+	if !w.run(200) {
+		t.Fatal("setup did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if l.State() != slot.Flowing || r.State() != slot.Flowing {
+		t.Fatal("setup: both tunnels must be flowing")
+	}
+	if l.Enabled() || r.Enabled() {
+		t.Fatal("setup: both ends muted by the server")
+	}
+	// Replace the two holdslots by a flowlink: media must come up end
+	// to end.
+	w.attach(NewFlowLink("s1", "s2"))
+	if !w.run(200) {
+		t.Fatal("relink did not quiesce")
+	}
+	if !bothFlowing(l, r) {
+		t.Fatalf("relink must converge to bothFlowing: %s", fmtEnds(l, r))
+	}
+	if !l.Enabled() || !r.Enabled() {
+		t.Fatal("relink must enable media in both directions")
+	}
+}
+
+// TestFlowLinkUnlink is the inverse of relink: a flowing end-to-end
+// path is broken by replacing the flowlink with two holdslots; both
+// ends must stay flowing but become disabled (held).
+func TestFlowLinkUnlink(t *testing.T) {
+	w := linkWorld(t)
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	w.attach(NewFlowLink("s1", "s2"))
+	if !w.run(200) {
+		t.Fatal("setup did not quiesce")
+	}
+	w.attach(NewHoldSlot("s1", ServerProfile{Name: "mid"}))
+	w.attach(NewHoldSlot("s2", ServerProfile{Name: "mid"}))
+	if !w.run(200) {
+		t.Fatal("unlink did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if l.State() != slot.Flowing || r.State() != slot.Flowing {
+		t.Fatal("unlink must keep the channels open")
+	}
+	if l.Enabled() || r.Enabled() {
+		t.Fatal("unlink must mute both ends")
+	}
+}
+
+// TestFlowLinkClosePropagation: a close at one path end must propagate
+// through the flowlink to the other end.
+func TestFlowLinkClosePropagation(t *testing.T) {
+	w := linkWorld(t)
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	w.attach(NewFlowLink("s1", "s2"))
+	if !w.run(200) {
+		t.Fatal("setup did not quiesce")
+	}
+	// The left end switches to a closeslot: the whole path must close.
+	w.attach(NewCloseSlot("L"))
+	if !w.run(200) {
+		t.Fatal("close did not quiesce")
+	}
+	for _, n := range []string{"L", "s1", "s2", "R"} {
+		if st := w.Slot(n).State(); st != slot.Closed {
+			t.Fatalf("slot %s is %s, want closed", n, st)
+		}
+	}
+}
+
+// TestFlowLinkRejectPropagation: a closeslot at the right path end
+// rejects the open forwarded by the flowlink; the rejection must
+// propagate back and the openslot keeps retrying without ever flowing.
+func TestFlowLinkRejectPropagation(t *testing.T) {
+	w := linkWorld(t)
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewCloseSlot("R"))
+	w.attach(NewFlowLink("s1", "s2"))
+	for i := 0; i < 100; i++ {
+		for _, dst := range w.order {
+			w.deliver(dst)
+		}
+		l, r := w.Slot("L"), w.Slot("R")
+		if l.State() == slot.Flowing && r.State() == slot.Flowing {
+			t.Fatal("openslot-closeslot path must never be bothFlowing")
+		}
+	}
+}
+
+// TestFlowLinkStaleSelectorDiscarded: a selector answering an outdated
+// descriptor must be absorbed by the flowlink, not forwarded (paper
+// Section VII).
+func TestFlowLinkStaleSelectorDiscarded(t *testing.T) {
+	w := linkWorld(t)
+	pl := endpointProfile("L", 5004)
+	w.attach(NewOpenSlot("L", sig.Audio, pl))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	fl := NewFlowLink("s1", "s2")
+	w.attach(fl)
+	if !w.run(200) {
+		t.Fatal("setup did not quiesce")
+	}
+	// Hand-feed the flowlink a selector answering a bogus descriptor.
+	stale := sig.Select(sig.Selector{Answers: sig.DescID{Origin: "ghost", Seq: 9}, Addr: "x", Port: 1, Codec: sig.G711})
+	w.queues["s1"] = append(w.queues["s1"], stale)
+	before := w.Slot("R").Hist().SelRcvd
+	if !w.run(50) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Slot("R").Hist().SelRcvd != before {
+		t.Fatal("stale selector leaked through the flowlink")
+	}
+}
+
+// TestFlowLinkDescriptorChangeMidOpen reproduces the paper's utd Case
+// 2 analysis (Section VII): slot 1's descriptor changes between the
+// flowlink sending open on slot 2 and receiving oack; the flowlink
+// must follow up with a describe carrying the new descriptor.
+func TestFlowLinkDescriptorChangeMidOpen(t *testing.T) {
+	w := linkWorld(t)
+	pl := endpointProfile("L", 5004)
+	gl := NewOpenSlot("L", sig.Audio, pl)
+	w.attach(gl)
+	w.attach(NewFlowLink("s1", "s2"))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+
+	// Drive only the left tunnel until the flowlink has opened s2.
+	for i := 0; i < 10 && w.Slot("s2").State() != slot.Opening; i++ {
+		w.deliver("s1")
+		w.deliver("L")
+	}
+	if w.Slot("s2").State() != slot.Opening {
+		t.Fatal("flowlink should have forwarded the open")
+	}
+	// Left end changes its descriptor (muteIn toggles) while s2 is
+	// still opening.
+	pl.SetMuteIn(true)
+	acts, err := gl.Refresh(w, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.send(acts)
+	if !w.run(200) {
+		t.Fatal("did not quiesce")
+	}
+	// R must have ended up with L's *new* (noMedia) descriptor.
+	rd, ok := w.Slot("R").Desc()
+	if !ok || !rd.NoMedia() {
+		t.Fatalf("R must see L's newest descriptor, got %v", rd)
+	}
+	if w.Slot("R").Enabled() {
+		t.Fatal("R must answer the noMedia descriptor with noMedia")
+	}
+}
+
+// TestTwoFlowLinkPath: a path with two flowlinks (three boxes) must
+// still be transparent end to end.
+func TestTwoFlowLinkPath(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "m1a")
+	w.tunnel("m1b", "m2a")
+	w.tunnel("m2b", "R")
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewFlowLink("m1a", "m1b"))
+	w.attach(NewFlowLink("m2a", "m2b"))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	if !w.run(400) {
+		t.Fatal("did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if !bothFlowing(l, r) {
+		t.Fatalf("two-flowlink path not bothFlowing: %s", fmtEnds(l, r))
+	}
+	ld, _ := l.Desc()
+	rd, _ := r.Desc()
+	if ld.ID.Origin != "R" || rd.ID.Origin != "L" {
+		t.Fatal("descriptors must splice across two flowlinks")
+	}
+	// Tear down from the right; the close must propagate across both
+	// flowlinks.
+	w.attach(NewCloseSlot("R"))
+	w.attach(NewCloseSlot("L")) // left also gives up (otherwise it retries forever)
+	if !w.run(400) {
+		t.Fatal("teardown did not quiesce")
+	}
+	for _, n := range []string{"L", "m1a", "m1b", "m2a", "m2b", "R"} {
+		if st := w.Slot(n).State(); st != slot.Closed {
+			t.Fatalf("slot %s is %s, want closed", n, st)
+		}
+	}
+}
+
+// TestFlowLinkMediumMismatch: the medium precondition of paper Section
+// IV-A must be enforced at attach.
+func TestFlowLinkMediumMismatch(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "s1")
+	w.tunnel("s2", "R")
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("s1", ServerProfile{Name: "mid"}))
+	vp := NewEndpointProfile("R", "10.0.0.R", 5008, []sig.Codec{sig.H263}, []sig.Codec{sig.H263})
+	w.attach(NewOpenSlot("s2", sig.Video, ServerProfile{Name: "mid"}))
+	w.attach(NewHoldSlot("R", vp))
+	if !w.run(200) {
+		t.Fatal("setup did not quiesce")
+	}
+	fl := NewFlowLink("s1", "s2")
+	if _, err := fl.Attach(w); err == nil {
+		t.Fatal("flowlink over audio and video slots must be rejected")
+	}
+}
+
+// TestQuickFlowLinkPathConverges: property — for any interleaving of
+// signal deliveries, an openslot—flowlink—holdslot path converges to
+// bothFlowing, and an openslot—flowlink—closeslot path never flows.
+func TestQuickFlowLinkPathConverges(t *testing.T) {
+	f := func(seed int64, hold bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := linkWorld(t)
+		w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+		if hold {
+			w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+		} else {
+			w.attach(NewCloseSlot("R"))
+		}
+		w.attach(NewFlowLink("s1", "s2"))
+		quiesced := w.runShuffled(r, 2000)
+		l, rr := w.Slot("L"), w.Slot("R")
+		if hold {
+			return quiesced && bothFlowing(l, rr)
+		}
+		// close case: must never be bothFlowing at quiescence points;
+		// with random scheduling we only check the end condition.
+		return !(l.State() == slot.Flowing && rr.State() == slot.Flowing)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRelinkAnyOrder: property — attaching a flowlink over two
+// already-flowing slots converges to bothFlowing under any delivery
+// interleaving (the distributed-convergence argument of paper Section
+// VIII-B).
+func TestQuickRelinkAnyOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := linkWorld(t)
+		w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+		w.attach(NewOpenSlot("R", sig.Audio, endpointProfile("R", 5006)))
+		w.attach(NewHoldSlot("s1", ServerProfile{Name: "mid"}))
+		w.attach(NewHoldSlot("s2", ServerProfile{Name: "mid"}))
+		if !w.runShuffled(r, 2000) {
+			return false
+		}
+		w.attach(NewFlowLink("s1", "s2"))
+		if !w.runShuffled(r, 2000) {
+			return false
+		}
+		return bothFlowing(w.Slot("L"), w.Slot("R"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

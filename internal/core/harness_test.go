@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+// world is a miniature runtime for goal engines: boxes hold slots and
+// one goal each; tunnels are FIFO queues between peered slots. It is
+// the test-only analogue of the box runtime and the model-checker
+// stepper.
+type world struct {
+	t      *testing.T
+	slots  map[string]*slot.Slot
+	goals  map[string]Goal   // goal controlling each slot
+	peer   map[string]string // slot -> far slot of its tunnel
+	queues map[string][]sig.Signal
+	order  []string // deterministic queue iteration order
+}
+
+func newWorld(t *testing.T) *world {
+	return &world{
+		t:      t,
+		slots:  map[string]*slot.Slot{},
+		goals:  map[string]Goal{},
+		peer:   map[string]string{},
+		queues: map[string][]sig.Signal{},
+	}
+}
+
+func (w *world) Slot(name string) *slot.Slot { return w.slots[name] }
+
+// tunnel creates a peered pair of slots; the first is the channel
+// initiator.
+func (w *world) tunnel(a, b string) {
+	w.slots[a] = slot.New(a, true)
+	w.slots[b] = slot.New(b, false)
+	w.peer[a], w.peer[b] = b, a
+	w.order = append(w.order, a, b)
+}
+
+// attach installs a goal object over its slots and applies its initial
+// actions.
+func (w *world) attach(g Goal) {
+	w.t.Helper()
+	for _, s := range g.SlotNames() {
+		w.goals[s] = g
+	}
+	acts, err := g.Attach(w)
+	if err != nil {
+		w.t.Fatalf("attach %s: %v", g.Kind(), err)
+	}
+	w.send(acts)
+}
+
+func (w *world) send(acts []Action) {
+	for _, a := range acts {
+		dst := w.peer[a.Slot]
+		w.queues[dst] = append(w.queues[dst], a.Sig)
+	}
+}
+
+// deliver pops one signal destined for the named slot and processes it
+// through the slot and its goal.
+func (w *world) deliver(dst string) bool {
+	w.t.Helper()
+	q := w.queues[dst]
+	if len(q) == 0 {
+		return false
+	}
+	g := q[0]
+	w.queues[dst] = q[1:]
+	ev, err := w.slots[dst].Receive(g)
+	if err != nil {
+		w.t.Fatalf("deliver %s to %s: %v", g, dst, err)
+	}
+	if w.goals[dst] == nil {
+		return true // no controller yet: consumed silently
+	}
+	acts, err := w.goals[dst].OnEvent(w, dst, ev, g)
+	if err != nil {
+		w.t.Fatalf("goal %s on %s/%s: %v", w.goals[dst].Kind(), dst, ev, err)
+	}
+	w.send(acts)
+	return true
+}
+
+// run delivers signals FIFO round-robin until quiescent or the step
+// budget is exhausted; it reports whether the world quiesced.
+func (w *world) run(budget int) bool {
+	for i := 0; i < budget; i++ {
+		progressed := false
+		for _, dst := range w.order {
+			if w.deliver(dst) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			return true
+		}
+	}
+	return false
+}
+
+// runShuffled is like run but delivers in pseudo-random order, for
+// property tests over interleavings.
+func (w *world) runShuffled(r *rand.Rand, budget int) bool {
+	for i := 0; i < budget; i++ {
+		var nonEmpty []string
+		for _, dst := range w.order {
+			if len(w.queues[dst]) > 0 {
+				nonEmpty = append(nonEmpty, dst)
+			}
+		}
+		if len(nonEmpty) == 0 {
+			return true
+		}
+		w.deliver(nonEmpty[r.Intn(len(nonEmpty))])
+	}
+	return false
+}
+
+func (w *world) quiescent() bool {
+	for _, q := range w.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func endpointProfile(name string, port int) *EndpointProfile {
+	return NewEndpointProfile(name, "10.0.0."+name, port, []sig.Codec{sig.G711, sig.G726}, []sig.Codec{sig.G711, sig.G726})
+}
+
+// bothFlowing checks the model-checking definition of the bothFlowing
+// path state (paper Section VIII-A) on the two path-end slots: each
+// end has most recently received the descriptor most recently sent by
+// the other end, and each end has most recently received a selector
+// responding to its own most recent descriptor.
+func bothFlowing(l, r *slot.Slot) bool {
+	lh, rh := l.Hist(), r.Hist()
+	ld, lok := l.Desc()
+	rd, rok := r.Desc()
+	return l.State() == slot.Flowing && r.State() == slot.Flowing &&
+		lok && rok &&
+		ld.Equal(rh.DescSent) && rd.Equal(lh.DescSent) &&
+		lh.HasSelRcvd && lh.SelRcvd.Answers == lh.DescSent.ID &&
+		rh.HasSelRcvd && rh.SelRcvd.Answers == rh.DescSent.ID
+}
+
+func fmtEnds(l, r *slot.Slot) string {
+	return fmt.Sprintf("L=%v R=%v", l, r)
+}

@@ -1,0 +1,167 @@
+// Media profiles: how a goal object describes its box as a receiver of
+// media and answers descriptors as a sender.
+package core
+
+import (
+	"bytes"
+
+	"ipmedia/internal/sig"
+)
+
+// Profile supplies the descriptors and selectors a goal object sends.
+// A genuine media endpoint uses an EndpointProfile carrying its real
+// address and codecs; a slot in an application server "may be
+// masquerading as a media endpoint, but it is not a genuine media
+// endpoint, and can neither send nor receive media packets fruitfully"
+// (paper Section IV-A), so servers use a ServerProfile that mutes
+// media flow in both directions.
+type Profile interface {
+	// Describe returns the current self-description as a receiver of
+	// media. Repeated calls return the same descriptor ID until the
+	// content changes, which keeps protocol state spaces finite.
+	Describe() sig.Descriptor
+	// Answer builds the selector with which this box answers
+	// descriptor d.
+	Answer(d sig.Descriptor) sig.Selector
+	// Clone deep-copies the profile.
+	Clone() Profile
+	// Encode appends a deterministic state fingerprint.
+	Encode(b *bytes.Buffer)
+}
+
+// ServerProfile is the profile of an application-server goal object:
+// it declines media in both directions.
+type ServerProfile struct {
+	// Name scopes the descriptor ID, usually the box name.
+	Name string
+}
+
+// Describe returns the server's constant noMedia descriptor.
+func (p ServerProfile) Describe() sig.Descriptor {
+	return sig.NoMediaDescriptor(sig.DescID{Origin: p.Name, Seq: 1})
+}
+
+// Answer answers any descriptor with a noMedia selector.
+func (p ServerProfile) Answer(d sig.Descriptor) sig.Selector {
+	return sig.Selector{Answers: d.ID, Codec: sig.NoMedia}
+}
+
+// Clone returns the profile itself; it is immutable.
+func (p ServerProfile) Clone() Profile { return p }
+
+// Encode appends the profile fingerprint.
+func (p ServerProfile) Encode(b *bytes.Buffer) {
+	b.WriteString("srv:")
+	b.WriteString(p.Name)
+}
+
+// EndpointProfile is the profile of a genuine media endpoint: a real
+// receiving address, priority-ordered receive and send codec lists,
+// and the user's current mute choices (paper Figure 5).
+type EndpointProfile struct {
+	Origin     string // descriptor ID scope, usually the device name
+	Addr       string
+	Port       int
+	RecvCodecs []sig.Codec // priority-ordered codecs this endpoint can receive
+	SendCodecs []sig.Codec // codecs this endpoint can transmit
+	MuteIn     bool        // user does not wish to receive media
+	MuteOut    bool        // user does not wish to send media
+
+	seq    uint32
+	issued []sig.Descriptor // every distinct content ever described
+}
+
+// NewEndpointProfile builds a profile for a device at addr:port.
+func NewEndpointProfile(origin, addr string, port int, recv, send []sig.Codec) *EndpointProfile {
+	return &EndpointProfile{Origin: origin, Addr: addr, Port: port, RecvCodecs: recv, SendCodecs: send}
+}
+
+// desired builds the descriptor content implied by the current state,
+// without an ID.
+func (p *EndpointProfile) desired() sig.Descriptor {
+	if p.MuteIn {
+		return sig.Descriptor{Codecs: []sig.Codec{sig.NoMedia}}
+	}
+	return sig.Descriptor{Addr: p.Addr, Port: p.Port, Codecs: append([]sig.Codec(nil), p.RecvCodecs...)}
+}
+
+// Describe returns the endpoint's current descriptor. Descriptor IDs
+// are a function of content: re-describing previously seen content
+// reuses its ID. This keeps protocol state spaces finite under
+// openslot retry loops and mute toggles — a requirement of the model
+// checker — and is harmless live, since a selector answering the ID
+// still answers exactly this content.
+func (p *EndpointProfile) Describe() sig.Descriptor {
+	want := p.desired()
+	for _, d := range p.issued {
+		if want.SameContent(d) {
+			return d
+		}
+	}
+	p.seq++
+	want.ID = sig.DescID{Origin: p.Origin, Seq: p.seq}
+	p.issued = append(p.issued, want)
+	return want
+}
+
+// Answer answers descriptor d per the unilateral codec-choice rule of
+// paper Section VI-B.
+func (p *EndpointProfile) Answer(d sig.Descriptor) sig.Selector {
+	return sig.AnswerDescriptor(d, p.Addr, p.Port, p.SendCodecs, p.MuteOut)
+}
+
+// SetMuteIn updates muteIn; it reports whether the value changed.
+func (p *EndpointProfile) SetMuteIn(v bool) bool {
+	if p.MuteIn == v {
+		return false
+	}
+	p.MuteIn = v
+	return true
+}
+
+// SetMuteOut updates muteOut; it reports whether the value changed.
+func (p *EndpointProfile) SetMuteOut(v bool) bool {
+	if p.MuteOut == v {
+		return false
+	}
+	p.MuteOut = v
+	return true
+}
+
+// Clone deep-copies the profile.
+func (p *EndpointProfile) Clone() Profile {
+	c := *p
+	c.RecvCodecs = append([]sig.Codec(nil), p.RecvCodecs...)
+	c.SendCodecs = append([]sig.Codec(nil), p.SendCodecs...)
+	c.issued = make([]sig.Descriptor, len(p.issued))
+	for i, d := range p.issued {
+		c.issued[i] = d
+		c.issued[i].Codecs = append([]sig.Codec(nil), d.Codecs...)
+	}
+	return &c
+}
+
+// Encode appends the profile fingerprint.
+func (p *EndpointProfile) Encode(b *bytes.Buffer) {
+	b.WriteString("ep:")
+	b.WriteString(p.Origin)
+	b.WriteString(p.Addr)
+	b.WriteByte(byte(p.Port >> 8))
+	b.WriteByte(byte(p.Port))
+	for _, c := range p.RecvCodecs {
+		b.WriteString(string(c))
+		b.WriteByte(',')
+	}
+	b.WriteByte(';')
+	for _, c := range p.SendCodecs {
+		b.WriteString(string(c))
+		b.WriteByte(',')
+	}
+	if p.MuteIn {
+		b.WriteByte('I')
+	}
+	if p.MuteOut {
+		b.WriteByte('O')
+	}
+	b.WriteByte(byte(p.seq))
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"testing"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+// TestOpenVsHoldConverges: a one-tunnel path with an openslot at the
+// left and a holdslot at the right must reach the bothFlowing state
+// (paper Section V: □◇bothFlowing).
+func TestOpenVsHoldConverges(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	pl, pr := endpointProfile("L", 5004), endpointProfile("R", 5006)
+	w.attach(NewOpenSlot("L", sig.Audio, pl))
+	w.attach(NewHoldSlot("R", pr))
+	if !w.run(100) {
+		t.Fatal("did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if !bothFlowing(l, r) {
+		t.Fatalf("not bothFlowing: %s", fmtEnds(l, r))
+	}
+	// Both ends wanted media, so both directions must be enabled
+	// (paper Section V: Lenabled = ¬LmuteIn ∧ ¬RmuteOut).
+	if !l.Enabled() || !r.Enabled() {
+		t.Fatalf("both ends unmuted, both must be enabled: Lenabled=%v Renabled=%v", l.Enabled(), r.Enabled())
+	}
+	if l.Medium() != sig.Audio || r.Medium() != sig.Audio {
+		t.Fatal("medium must match on both ends")
+	}
+}
+
+// TestOpenVsHoldMuted: mute flags must translate into enabled history
+// variables per Section V.
+func TestOpenVsHoldMuted(t *testing.T) {
+	cases := []struct {
+		name                 string
+		lIn, lOut, rIn, rOut bool
+		wantLEnab, wantREnab bool // Lenabled: right-to-left ready; we track per-slot "sent real selector"
+	}{
+		{"all unmuted", false, false, false, false, true, true},
+		{"left muteOut", false, true, false, false, false, true},
+		{"right muteIn", false, false, true, false, false, true},
+		{"left muteIn", true, false, false, false, true, false},
+		{"both muted out", false, true, false, true, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := newWorld(t)
+			w.tunnel("L", "R")
+			pl, pr := endpointProfile("L", 5004), endpointProfile("R", 5006)
+			pl.MuteIn, pl.MuteOut = c.lIn, c.lOut
+			pr.MuteIn, pr.MuteOut = c.rIn, c.rOut
+			w.attach(NewOpenSlot("L", sig.Audio, pl))
+			w.attach(NewHoldSlot("R", pr))
+			if !w.run(100) {
+				t.Fatal("did not quiesce")
+			}
+			l, r := w.Slot("L"), w.Slot("R")
+			if l.State() != slot.Flowing || r.State() != slot.Flowing {
+				t.Fatalf("must reach flowing: %s", fmtEnds(l, r))
+			}
+			// l.Enabled(): left has sent a real selector, i.e. media
+			// can flow left-to-right: ¬LmuteOut ∧ ¬RmuteIn.
+			if want := !c.lOut && !c.rIn; l.Enabled() != want {
+				t.Errorf("left enabled = %v, want %v", l.Enabled(), want)
+			}
+			if want := !c.rOut && !c.lIn; r.Enabled() != want {
+				t.Errorf("right enabled = %v, want %v", r.Enabled(), want)
+			}
+		})
+	}
+}
+
+// TestOpenVsCloseNeverFlows: an openslot against a closeslot can never
+// reach bothFlowing (◇□¬bothFlowing); the openslot retries forever.
+func TestOpenVsCloseNeverFlows(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewCloseSlot("R"))
+	for i := 0; i < 200; i++ {
+		for _, dst := range w.order {
+			w.deliver(dst)
+		}
+		l, r := w.Slot("L"), w.Slot("R")
+		if l.State() == slot.Flowing && r.State() == slot.Flowing {
+			t.Fatalf("step %d: reached bothFlowing against a closeslot", i)
+		}
+	}
+	if w.quiescent() {
+		t.Fatal("openslot must keep retrying against a closeslot")
+	}
+}
+
+// TestCloseVsCloseStabilizes: both ends closing from an established
+// channel must reach bothClosed and stay there (◇□bothClosed).
+func TestCloseVsCloseStabilizes(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	// First bring the channel up with open/hold...
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	if !w.run(100) {
+		t.Fatal("setup did not quiesce")
+	}
+	// ...then switch both ends to closeslots (simultaneously, the
+	// hardest case: closes cross in flight).
+	w.attach(NewCloseSlot("L"))
+	w.attach(NewCloseSlot("R"))
+	if !w.run(100) {
+		t.Fatal("teardown did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if l.State() != slot.Closed || r.State() != slot.Closed {
+		t.Fatalf("not bothClosed: %s", fmtEnds(l, r))
+	}
+}
+
+// TestCloseVsHoldStabilizes: closeslot against holdslot reaches
+// bothClosed (◇□bothClosed) from any starting point.
+func TestCloseVsHoldStabilizes(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	if !w.run(100) {
+		t.Fatal("setup did not quiesce")
+	}
+	w.attach(NewCloseSlot("L"))
+	if !w.run(100) {
+		t.Fatal("teardown did not quiesce")
+	}
+	if l, r := w.Slot("L"), w.Slot("R"); l.State() != slot.Closed || r.State() != slot.Closed {
+		t.Fatalf("not bothClosed: %s", fmtEnds(l, r))
+	}
+}
+
+// TestHoldVsHoldStaysClosed: two holdslots never originate anything;
+// from closed the path stays closed (the ◇□bothClosed disjunct).
+func TestHoldVsHoldStaysClosed(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	w.attach(NewHoldSlot("L", endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	if !w.run(10) {
+		t.Fatal("did not quiesce")
+	}
+	if l, r := w.Slot("L"), w.Slot("R"); l.State() != slot.Closed || r.State() != slot.Closed {
+		t.Fatal("hold/hold from closed must stay closed")
+	}
+}
+
+// TestHoldVsHoldKeepsFlowing: two holdslots attached to an established
+// channel keep it flowing (the □◇bothFlowing disjunct).
+func TestHoldVsHoldKeepsFlowing(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("R", endpointProfile("R", 5006)))
+	if !w.run(100) {
+		t.Fatal("setup did not quiesce")
+	}
+	w.attach(NewHoldSlot("L", endpointProfile("L", 5004)))
+	if !w.run(100) {
+		t.Fatal("did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if !bothFlowing(l, r) {
+		t.Fatalf("hold/hold from flowing must stay bothFlowing: %s", fmtEnds(l, r))
+	}
+}
+
+// TestOpenOpenRace: both ends open simultaneously; the channel
+// initiator wins and the path still converges to bothFlowing.
+func TestOpenOpenRace(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewOpenSlot("R", sig.Audio, endpointProfile("R", 5006)))
+	if !w.run(100) {
+		t.Fatal("did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if !bothFlowing(l, r) {
+		t.Fatalf("open-open race must converge to bothFlowing: %s", fmtEnds(l, r))
+	}
+}
+
+// TestOpenSlotPrecondition: the engine-level attach tolerates any
+// state, but still pushes toward flowing from each.
+func TestOpenSlotAttachMidLife(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	w.attach(NewHoldSlot("L", endpointProfile("L", 5004)))
+	w.attach(NewOpenSlot("R", sig.Audio, endpointProfile("R", 5006)))
+	if !w.run(100) {
+		t.Fatal("did not quiesce")
+	}
+	// Re-attach a fresh openslot to the already-flowing slot R: it must
+	// not disturb the channel.
+	w.attach(NewOpenSlot("R", sig.Audio, endpointProfile("R", 5006)))
+	if !w.run(100) {
+		t.Fatal("did not quiesce after re-attach")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if !bothFlowing(l, r) {
+		t.Fatalf("re-attach must preserve bothFlowing: %s", fmtEnds(l, r))
+	}
+}
+
+// TestMuteRefreshWhileFlowing exercises the modify event of paper
+// Figure 5: toggling mute flags mid-call re-describes and re-selects,
+// and the enabled variables track the new values.
+func TestMuteRefreshWhileFlowing(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	pl, pr := endpointProfile("L", 5004), endpointProfile("R", 5006)
+	gl := NewOpenSlot("L", sig.Audio, pl)
+	w.attach(gl)
+	w.attach(NewHoldSlot("R", pr))
+	if !w.run(100) {
+		t.Fatal("setup did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if !l.Enabled() || !r.Enabled() {
+		t.Fatal("setup: both directions must be enabled")
+	}
+
+	// Left mutes its output: left's enabled must drop; right's stays.
+	pl.SetMuteOut(true)
+	acts, err := gl.Refresh(w, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.send(acts)
+	if !w.run(100) {
+		t.Fatal("refresh did not quiesce")
+	}
+	if l.Enabled() {
+		t.Fatal("muteOut must disable left's sending")
+	}
+	if !r.Enabled() {
+		t.Fatal("right must stay enabled")
+	}
+
+	// Left mutes its input: a fresh noMedia descriptor goes out; right
+	// must answer with a noMedia selector, disabling right's sending.
+	pl.SetMuteIn(true)
+	acts, err = gl.Refresh(w, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.send(acts)
+	if !w.run(100) {
+		t.Fatal("refresh did not quiesce")
+	}
+	if r.Enabled() {
+		t.Fatal("left muteIn must lead right to answer noMedia")
+	}
+
+	// Unmute everything: the channel must recover fully (□◇bothFlowing).
+	pl.SetMuteOut(false)
+	pl.SetMuteIn(false)
+	acts, err = gl.Refresh(w, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.send(acts)
+	if !w.run(100) {
+		t.Fatal("refresh did not quiesce")
+	}
+	if !bothFlowing(l, r) || !l.Enabled() || !r.Enabled() {
+		t.Fatalf("unmute must restore bothFlowing with both enabled: %s", fmtEnds(l, r))
+	}
+}
+
+// TestCloseSlotRejectsReopen: a closeslot must keep its slot closed
+// against a retrying openslot without ever deadlocking, and respond to
+// each open with an immediate reject.
+func TestCloseSlotRejectsReopen(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewCloseSlot("R"))
+	sawRReject := false
+	for i := 0; i < 100; i++ {
+		for _, dst := range w.order {
+			w.deliver(dst)
+		}
+		if w.Slot("R").State() == slot.Closing {
+			sawRReject = true
+		}
+		if w.Slot("R").State() == slot.Flowing {
+			t.Fatal("closeslot slot must never flow")
+		}
+	}
+	if !sawRReject {
+		t.Fatal("closeslot must actively reject opens")
+	}
+}
+
+// TestServerProfileMutesBothDirections: goal objects in application
+// servers mute media flow in both directions (paper Section IV-A).
+func TestServerProfileMutesBothDirections(t *testing.T) {
+	w := newWorld(t)
+	w.tunnel("L", "R")
+	w.attach(NewOpenSlot("L", sig.Audio, endpointProfile("L", 5004)))
+	w.attach(NewHoldSlot("R", ServerProfile{Name: "srv"}))
+	if !w.run(100) {
+		t.Fatal("did not quiesce")
+	}
+	l, r := w.Slot("L"), w.Slot("R")
+	if l.State() != slot.Flowing || r.State() != slot.Flowing {
+		t.Fatal("channel must still reach flowing")
+	}
+	if l.Enabled() || r.Enabled() {
+		t.Fatal("a server end must leave both directions disabled")
+	}
+	d, _ := l.Desc()
+	if !d.NoMedia() {
+		t.Fatal("server descriptor must be noMedia")
+	}
+}

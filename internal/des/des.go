@@ -1,0 +1,94 @@
+// Package des is a deterministic virtual-clock discrete-event
+// simulator. The performance analysis of paper Section VIII-C is
+// parameterized by c, "the average time it takes for a server to read
+// a new stimulus from an input queue and compute the next signal to
+// send", and n, "the average time it takes for the network or server
+// infrastructure to accept a signal and deliver it to its destination
+// box". This simulator executes the real box cores under exactly that
+// cost model, so the paper's latency formulas are measured rather than
+// assumed.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled closure.
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a virtual clock with an event queue. Events at equal times
+// run in scheduling order, so runs are deterministic.
+type Sim struct {
+	now  time.Duration
+	heap eventHeap
+	seq  int64
+}
+
+// NewSim creates a simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes events until the queue is empty or the step budget is
+// exhausted; it reports whether the queue drained.
+func (s *Sim) Run(maxSteps int) bool {
+	for steps := 0; len(s.heap) > 0; steps++ {
+		if maxSteps > 0 && steps >= maxSteps {
+			return false
+		}
+		e := heap.Pop(&s.heap).(event)
+		s.now = e.at
+		e.fn()
+	}
+	return true
+}
+
+// RunUntil executes events with time at most t; it leaves later events
+// queued and advances the clock to t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for len(s.heap) > 0 && s.heap[0].at <= t {
+		e := heap.Pop(&s.heap).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}

@@ -1,0 +1,182 @@
+package des
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/core"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.At(10*time.Millisecond, func() { order = append(order, 11) }) // same time: scheduling order
+	if !s.Run(0) {
+		t.Fatal("run did not drain")
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var fired time.Duration
+	s.At(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { fired = s.Now() })
+	})
+	s.Run(0)
+	if fired != 12*time.Millisecond {
+		t.Fatalf("nested event at %v, want 12ms", fired)
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	ran := 0
+	s.At(10*time.Millisecond, func() { ran++ })
+	s.At(20*time.Millisecond, func() { ran++ })
+	s.RunUntil(15 * time.Millisecond)
+	if ran != 1 || s.Now() != 15*time.Millisecond {
+		t.Fatalf("ran=%d now=%v", ran, s.Now())
+	}
+	s.Run(0)
+	if ran != 2 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestSimPastSchedulingClamped(t *testing.T) {
+	s := NewSim()
+	s.At(10*time.Millisecond, func() {
+		s.At(1*time.Millisecond, func() {
+			if s.Now() != 10*time.Millisecond {
+				t.Errorf("past event must run now, at %v", s.Now())
+			}
+		})
+	})
+	s.Run(0)
+}
+
+func TestSimStepBudget(t *testing.T) {
+	s := NewSim()
+	var loop func()
+	loop = func() { s.After(time.Millisecond, loop) }
+	s.After(0, loop)
+	if s.Run(100) {
+		t.Fatal("infinite schedule must hit the step budget")
+	}
+}
+
+// TestNetCostModel: a single open/oack exchange between two hosted
+// boxes must cost exactly the (c, n) model: the opener's stimulus at
+// t0 costs c, the signal travels n, the acceptor computes c, replies,
+// n back, and the opener's oack processing completes at 2n+4c... but
+// the measured observable — acceptor flowing — lands at n+2c.
+func TestNetCostModel(t *testing.T) {
+	const c, n = 20 * time.Millisecond, 34 * time.Millisecond
+	sim := NewSim()
+	net := NewNet(sim, c, n)
+	prof := func(name string, port int) *core.EndpointProfile {
+		return core.NewEndpointProfile(name, "h"+name, port, []sig.Codec{sig.G711}, []sig.Codec{sig.G711})
+	}
+	l := net.Add(box.New("L", prof("L", 1)))
+	r := net.Add(box.New("R", prof("R", 2)))
+	net.Wire(l, "c", r, "c")
+
+	var rFlowingAt, lFlowingAt time.Duration
+	net.Observer = func(h *BoxHost, at time.Duration) {
+		if s := h.B.Slot("c.t0"); s != nil && s.State() == slot.Flowing {
+			if h == r && rFlowingAt == 0 {
+				rFlowingAt = at
+			}
+			if h == l && lFlowingAt == 0 {
+				lFlowingAt = at
+			}
+		}
+	}
+	l.Call(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewOpenSlot("c.t0", sig.Audio, l.B.Profile()))
+	})
+	if !sim.Run(10000) {
+		t.Fatal("did not quiesce")
+	}
+	if len(net.Errs()) > 0 {
+		t.Fatal(net.Errs()[0])
+	}
+	// Open emitted at c, arrives at c+n, acceptor flowing at 2c+n.
+	if want := 2*c + n; rFlowingAt != want {
+		t.Errorf("acceptor flowing at %v, want %v", rFlowingAt, want)
+	}
+	// Oack emitted at 2c+n, arrives 2c+2n, opener flowing at 3c+2n.
+	if want := 3*c + 2*n; lFlowingAt != want {
+		t.Errorf("opener flowing at %v, want %v", lFlowingAt, want)
+	}
+}
+
+// TestNetComputeSerialization: two stimuli arriving together at one box
+// are processed back to back, not in parallel.
+func TestNetComputeSerialization(t *testing.T) {
+	const c, n = 10 * time.Millisecond, 5 * time.Millisecond
+	sim := NewSim()
+	net := NewNet(sim, c, n)
+	b := net.Add(box.New("B", core.ServerProfile{Name: "B"}))
+	var times []time.Duration
+	net.Observer = func(h *BoxHost, at time.Duration) { times = append(times, at) }
+	b.Deliver(0, box.Event{Kind: box.EvCall, Call: func(*box.Ctx) {}})
+	b.Deliver(0, box.Event{Kind: box.EvCall, Call: func(*box.Ctx) {}})
+	sim.Run(0)
+	if len(times) != 2 || times[0] != c || times[1] != 2*c {
+		t.Fatalf("processing times %v, want [%v %v]", times, c, 2*c)
+	}
+}
+
+// TestNetTimer: a box timer set for d fires after d.
+func TestNetTimer(t *testing.T) {
+	const c = 10 * time.Millisecond
+	sim := NewSim()
+	net := NewNet(sim, c, time.Millisecond)
+	b := net.Add(box.New("B", core.ServerProfile{Name: "B"}))
+	var firedAt time.Duration
+	b.Call(func(ctx *box.Ctx) { ctx.SetTimer("t", 100*time.Millisecond) })
+	net.Observer = func(h *BoxHost, at time.Duration) {
+		if firedAt == 0 && at > c {
+			firedAt = at
+		}
+	}
+	sim.Run(0)
+	// Timer set during the call at time c, fires at c+100, processed +c.
+	if want := c + 100*time.Millisecond + c; firedAt != want {
+		t.Fatalf("timer handled at %v, want %v", firedAt, want)
+	}
+}
+
+// TestNetDialUnknown synthesizes the unavailable meta.
+func TestNetDialUnknown(t *testing.T) {
+	sim := NewSim()
+	net := NewNet(sim, time.Millisecond, time.Millisecond)
+	b := net.Add(box.New("B", core.ServerProfile{Name: "B"}))
+	got := false
+	b.B.Hook = func(ctx *box.Ctx, ev *box.Event) {
+		if ev.Kind == box.EvEnvelope && ev.Env.IsMeta() && ev.Env.Meta.Kind == sig.MetaUnavailable {
+			got = true
+		}
+	}
+	b.Call(func(ctx *box.Ctx) { ctx.Dial("x", "nobody") })
+	sim.Run(0)
+	if !got {
+		t.Fatal("dial to unknown host must surface as unavailable")
+	}
+}

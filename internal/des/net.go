@@ -1,0 +1,170 @@
+// Hosting real box cores on the virtual clock: every stimulus costs
+// the box c of compute time (stimuli queue if the box is busy), and
+// every signal costs n of network delivery time — the cost model of
+// paper Section VIII-C.
+package des
+
+import (
+	"fmt"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/sig"
+)
+
+// Net hosts boxes on a simulator with uniform compute cost C and
+// network latency N.
+type Net struct {
+	Sim *Sim
+	C   time.Duration // per-stimulus compute cost ("c" in the paper)
+	N   time.Duration // per-signal network latency ("n" in the paper)
+	// Latency, if non-nil, samples the per-signal network latency
+	// instead of the constant N — the paper's n is explicitly an
+	// *average*, and this hook lets experiments check that the latency
+	// formulas hold in expectation under jitter.
+	Latency func() time.Duration
+
+	hosts map[string]*BoxHost
+	errs  []error
+	// Observer, if set, runs after every handled event with the host
+	// and the virtual time at which its outputs were emitted.
+	Observer func(h *BoxHost, t time.Duration)
+	// Trace, if set, records every signal put on the wire: sender,
+	// receiver, envelope, and emission time. Used by the golden-trace
+	// fidelity tests against the paper's message-sequence charts.
+	Trace func(from, to string, env sig.Envelope, t time.Duration)
+}
+
+// NewNet creates a simulated network with the given cost model.
+func NewNet(sim *Sim, c, n time.Duration) *Net {
+	return &Net{Sim: sim, C: c, N: n, hosts: map[string]*BoxHost{}}
+}
+
+// hop returns the latency of one signal delivery.
+func (nt *Net) hop() time.Duration {
+	if nt.Latency != nil {
+		return nt.Latency()
+	}
+	return nt.N
+}
+
+// arriveAt computes the FIFO-preserving arrival time of a signal sent
+// at t on the named outgoing channel.
+func (h *BoxHost) arriveAt(channel string, t time.Duration) time.Duration {
+	at := t + h.net.hop()
+	if last := h.lastArrive[channel]; at < last {
+		at = last
+	}
+	h.lastArrive[channel] = at
+	return at
+}
+
+// Errs returns box errors recorded during the run.
+func (nt *Net) Errs() []error { return nt.errs }
+
+// BoxHost is one box on the simulated network.
+type BoxHost struct {
+	net    *Net
+	B      *box.Box
+	freeAt time.Duration
+	peers  map[string]peerRef // channel name -> far side
+	// lastArrive clamps jittered deliveries so each directed channel
+	// stays FIFO, as the paper's signaling channels are (Section III-A).
+	lastArrive map[string]time.Duration
+	nIn        int
+}
+
+type peerRef struct {
+	host    *BoxHost
+	channel string
+}
+
+// Add hosts a box. Its name is its address.
+func (nt *Net) Add(b *box.Box) *BoxHost {
+	h := &BoxHost{net: nt, B: b, peers: map[string]peerRef{}, lastArrive: map[string]time.Duration{}}
+	nt.hosts[b.Name()] = h
+	return h
+}
+
+// Wire creates a signaling channel between two hosted boxes, named
+// independently on each side; a is the initiator.
+func (nt *Net) Wire(a *BoxHost, aChan string, b *BoxHost, bChan string) {
+	a.B.AddChannel(aChan, true)
+	b.B.AddChannel(bChan, false)
+	a.peers[aChan] = peerRef{host: b, channel: bChan}
+	b.peers[bChan] = peerRef{host: a, channel: aChan}
+}
+
+// Deliver schedules an event for the box, honoring the compute model:
+// processing starts when the box is free, takes C, and outputs depart
+// at completion.
+func (h *BoxHost) Deliver(at time.Duration, ev box.Event) {
+	h.net.Sim.At(at, func() {
+		start := h.freeAt
+		if h.net.Sim.Now() > start {
+			start = h.net.Sim.Now()
+		}
+		finish := start + h.net.C
+		h.freeAt = finish
+		h.net.Sim.At(finish, func() { h.handle(ev, finish) })
+	})
+}
+
+// Call runs a closure inside the box at the current virtual time plus
+// compute cost, e.g. installing a goal or program transition triggers.
+func (h *BoxHost) Call(f func(ctx *box.Ctx)) {
+	h.Deliver(h.net.Sim.Now(), box.Event{Kind: box.EvCall, Call: f})
+}
+
+func (h *BoxHost) handle(ev box.Event, t time.Duration) {
+	outs, err := h.B.Handle(ev)
+	if err != nil {
+		h.net.errs = append(h.net.errs, fmt.Errorf("%s: %w", h.B.Name(), err))
+	}
+	h.process(outs, t)
+	if h.net.Observer != nil {
+		h.net.Observer(h, t)
+	}
+}
+
+func (h *BoxHost) process(outs []box.Output, t time.Duration) {
+	for _, o := range outs {
+		switch o.Kind {
+		case box.OutSend:
+			if p, ok := h.peers[o.Channel]; ok {
+				env := o.Env
+				if h.net.Trace != nil {
+					h.net.Trace(h.B.Name(), p.host.B.Name(), env, t)
+				}
+				p.host.Deliver(h.arriveAt(o.Channel, t), box.Event{Kind: box.EvEnvelope, Channel: p.channel, Env: env})
+			}
+		case box.OutDial:
+			// Address = box name on the simulated network.
+			callee, ok := h.net.hosts[o.Addr]
+			if !ok {
+				h.Deliver(t+h.net.hop(), box.Event{Kind: box.EvEnvelope, Channel: o.Channel,
+					Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaUnavailable}}})
+				continue
+			}
+			callee.nIn++
+			far := fmt.Sprintf("in%d", callee.nIn-1)
+			callee.B.AddChannel(far, false)
+			h.peers[o.Channel] = peerRef{host: callee, channel: far}
+			callee.peers[far] = peerRef{host: h, channel: o.Channel}
+			callee.Deliver(t+h.net.hop(), box.Event{Kind: box.EvEnvelope, Channel: far,
+				Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup}}})
+		case box.OutTeardown:
+			if p, ok := h.peers[o.Channel]; ok {
+				delete(h.peers, o.Channel)
+				p.host.Deliver(t+h.net.hop(), box.Event{Kind: box.EvEnvelope, Channel: p.channel,
+					Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}}})
+			}
+		case box.OutTimerSet:
+			name := o.Timer
+			h.Deliver(t+o.Dur, box.Event{Kind: box.EvTimer, Timer: name})
+		case box.OutTimerCancel, box.OutNote:
+			// Timer cancellation is handled by the box's pending set;
+			// a stale virtual fire is ignored there.
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package endpoint
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/sig"
+)
+
+// TestRehomeMidCall: an endpoint changes its media address mid-call
+// (paper Section VI footnote 4; the mobility application of Section
+// X-F). The fresh descriptor propagates, the far end answers a new
+// selector, and media retargets — without reopening the channel.
+func TestRehomeMidCall(t *testing.T) {
+	f := newFixture(t)
+	defer f.cleanup()
+	a := f.device("A", 5004, false)
+	f.device("B", 5006, true)
+	if err := a.Call("c", "B", sig.Audio); err != nil {
+		t.Fatal(err)
+	}
+	f.eventually("media both ways", func() bool {
+		return f.plane.HasFlow("A", "B") && f.plane.HasFlow("B", "A")
+	})
+	f.plane.Tick(5)
+	before := a.Agent().Stats()
+	if before.Accepted == 0 {
+		t.Fatal("setup: A must be receiving")
+	}
+
+	// A moves to a new subnet: same name, new media socket.
+	a.Rehome("A-new", 6004)
+
+	// Media keeps flowing both ways, now to the new socket.
+	f.eventually("flows retargeted", func() bool {
+		return f.plane.HasFlow("A", "B") && f.plane.HasFlow("B", "A")
+	})
+	f.eventually("packets at the new home", func() bool {
+		f.plane.Tick(1)
+		return a.Agent().Stats().Accepted > 0 // fresh agent at the new address
+	})
+	// The channel was never re-opened: still the same flowing slot.
+	st, enabled, ok := a.SlotState("c")
+	if !ok || st.String() != "flowing" || !enabled {
+		t.Fatalf("slot after rehome: %v enabled=%v", st, enabled)
+	}
+}
+
+// TestRehomeTwiceAndBack: descriptor identity is content-addressed, so
+// moving back to a previous address re-uses its descriptor ID; the
+// path still converges every time.
+func TestRehomeTwiceAndBack(t *testing.T) {
+	f := newFixture(t)
+	defer f.cleanup()
+	a := f.device("A", 5004, false)
+	f.device("B", 5006, true)
+	if err := a.Call("c", "B", sig.Audio); err != nil {
+		t.Fatal(err)
+	}
+	f.eventually("media", func() bool { return f.plane.HasFlow("B", "A") })
+	for i := 0; i < 3; i++ {
+		a.Rehome("A-roam", 6004)
+		f.eventually("roamed", func() bool {
+			f.plane.Tick(1)
+			return a.Agent().Stats().Accepted > 0
+		})
+		a.Rehome("A", 5004)
+		f.eventually("home again", func() bool {
+			f.plane.Tick(1)
+			return a.Agent().Stats().Accepted > 0
+		})
+	}
+}
+
+// TestPeerCrashCleanup: failure injection — one side of a call dies
+// without any signaling. The transport closes, the survivor
+// synthesizes a teardown, destroys the channel, and media stops.
+func TestPeerCrashCleanup(t *testing.T) {
+	f := newFixture(t)
+	defer f.cleanup()
+	a := f.device("A", 5004, false)
+	b := f.device("B", 5006, true)
+	if err := a.Call("c", "B", sig.Audio); err != nil {
+		t.Fatal(err)
+	}
+	f.eventually("media both ways", func() bool {
+		return f.plane.HasFlow("A", "B") && f.plane.HasFlow("B", "A")
+	})
+	// A crashes: no close, no teardown, just gone.
+	a.Stop()
+	f.eventually("B cleaned up", func() bool {
+		has := true
+		b.Runner().Do(func(ctx *box.Ctx) { has = ctx.Box().HasChannel("in0") })
+		return !has
+	})
+	f.eventually("B's media stopped", func() bool { return !f.plane.HasFlow("B", "A") })
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		for _, e := range b.Runner().Errs() {
+			t.Fatalf("survivor error: %v", e)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,165 @@
+// The media-bundling experiment (paper Section IX-B, third protocol
+// difference): each SIP signal refers to all media channels of the
+// path at once, and invite transactions cannot overlap, so controlling
+// an audio and a video channel on the same path serializes into two
+// full transactions. In the compositional protocol every tunnel is
+// independent, so both channels come up concurrently — the signals can
+// even be bundled into one packet as an optimization.
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/core"
+	"ipmedia/internal/des"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/sip"
+)
+
+// BundlingOurs measures both an audio and a video channel (two tunnels
+// of the same signaling path) being relinked at the same instant by
+// both servers. The tunnels are independent; the only coupling is the
+// boxes' compute serialization, so the total is 2n+3c plus a few c.
+func BundlingOurs(c, n time.Duration) (Row, error) {
+	sim := des.NewSim()
+	net := des.NewNet(sim, c, n)
+	mkEnd := func(name string, basePort int) *box.Box {
+		b := box.New(name, core.NewEndpointProfile(name, "h"+name, basePort,
+			[]sig.Codec{sig.G711}, []sig.Codec{sig.G711}))
+		return b
+	}
+	a := net.Add(mkEnd("A", 5004))
+	cc := net.Add(mkEnd("C", 5008))
+	pbx := net.Add(box.New("PBX", core.ServerProfile{Name: "PBX"}))
+	pc := net.Add(box.New("PC", core.ServerProfile{Name: "PC"}))
+	net.Wire(pbx, "a", a, "up")
+	net.Wire(pbx, "pc", pc, "pbx")
+	net.Wire(pc, "c", cc, "up")
+
+	// Per-tunnel endpoint profiles: audio on tunnel 0, video on 1.
+	profs := map[*des.BoxHost][2]*core.EndpointProfile{
+		a: {
+			core.NewEndpointProfile("A0", "hA", 5004, []sig.Codec{sig.G711}, []sig.Codec{sig.G711}),
+			core.NewEndpointProfile("A1", "hA", 5006, []sig.Codec{sig.H264}, []sig.Codec{sig.H264}),
+		},
+		cc: {
+			core.NewEndpointProfile("C0", "hC", 5008, []sig.Codec{sig.G711}, []sig.Codec{sig.G711}),
+			core.NewEndpointProfile("C1", "hC", 5010, []sig.Codec{sig.H264}, []sig.Codec{sig.H264}),
+		},
+	}
+	mediums := [2]sig.Medium{sig.Audio, sig.Video}
+
+	// Setup: both tunnels established, severed at PC (holding).
+	for _, h := range []*des.BoxHost{a, cc} {
+		h := h
+		h.Call(func(ctx *box.Ctx) {
+			for t := 0; t < 2; t++ {
+				ctx.SetGoal(core.NewOpenSlot(box.TunnelSlot("up", t), mediums[t], profs[h][t]))
+			}
+		})
+	}
+	pbx.Call(func(ctx *box.Ctx) {
+		for t := 0; t < 2; t++ {
+			ctx.SetGoal(core.NewHoldSlot(box.TunnelSlot("a", t), pbx.B.Profile()))
+			ctx.SetGoal(core.NewHoldSlot(box.TunnelSlot("pc", t), pbx.B.Profile()))
+		}
+	})
+	pc.Call(func(ctx *box.Ctx) {
+		for t := 0; t < 2; t++ {
+			ctx.SetGoal(core.NewFlowLink(box.TunnelSlot("c", t), box.TunnelSlot("pbx", t)))
+		}
+	})
+	if !sim.Run(1_000_000) {
+		return Row{}, fmt.Errorf("lab: bundling setup did not quiesce")
+	}
+	pc.Call(func(ctx *box.Ctx) {
+		for t := 0; t < 2; t++ {
+			ctx.SetGoal(core.NewHoldSlot(box.TunnelSlot("c", t), pc.B.Profile()))
+			ctx.SetGoal(core.NewHoldSlot(box.TunnelSlot("pbx", t), pc.B.Profile()))
+		}
+	})
+	if !sim.Run(1_000_000) {
+		return Row{}, fmt.Errorf("lab: bundling setup phase 2 did not quiesce")
+	}
+	if errs := net.Errs(); len(errs) > 0 {
+		return Row{}, errs[0]
+	}
+
+	// Measure: both servers relink both tunnels at the same instant.
+	start := sim.Now()
+	ready := map[string]time.Duration{}
+	net.Observer = func(h *des.BoxHost, t time.Duration) {
+		if h != a && h != cc {
+			return
+		}
+		for tn := 0; tn < 2; tn++ {
+			key := fmt.Sprintf("%s.%d", h.B.Name(), tn)
+			if _, done := ready[key]; done {
+				continue
+			}
+			s := h.B.Slot(box.TunnelSlot("up", tn))
+			if s != nil && s.Enabled() {
+				if d, ok := s.Desc(); ok && d.ID.Origin != "PBX" && d.ID.Origin != "PC" {
+					ready[key] = t
+				}
+			}
+		}
+	}
+	pbx.Call(func(ctx *box.Ctx) {
+		for t := 0; t < 2; t++ {
+			ctx.SetGoal(core.NewFlowLink(box.TunnelSlot("a", t), box.TunnelSlot("pc", t)))
+		}
+	})
+	pc.Call(func(ctx *box.Ctx) {
+		for t := 0; t < 2; t++ {
+			ctx.SetGoal(core.NewFlowLink(box.TunnelSlot("c", t), box.TunnelSlot("pbx", t)))
+		}
+	})
+	if !sim.Run(1_000_000) {
+		return Row{}, fmt.Errorf("lab: bundling relink did not quiesce")
+	}
+	if errs := net.Errs(); len(errs) > 0 {
+		return Row{}, errs[0]
+	}
+	if len(ready) != 4 {
+		return Row{}, fmt.Errorf("lab: only %d of 4 tunnel ends became ready", len(ready))
+	}
+	var m time.Duration
+	for _, t := range ready {
+		if t-start > m {
+			m = t - start
+		}
+	}
+	// Expected: the audio tunnel completes at 2n+3c; the video tunnel's
+	// signals travel in the same packets (attached in one stimulus) and
+	// queue one compute slot behind audio at the forwarding server and
+	// at the endpoint: 2n+4c.
+	return Row{
+		Name: "bundling: ours, audio+video", C: c, N: n,
+		Measured: m, Formula: "2n+4c", Expected: 2*n + 4*c,
+	}, nil
+}
+
+// BundlingSIP measures the same double relink on the SIP baseline: the
+// audio and video transactions cannot overlap on the signaling path,
+// so the video operation starts only when the audio one completes.
+func BundlingSIP(c, n time.Duration) (Row, error) {
+	f := newSIPFixture(c, n, sip.ServerOptions{}, sip.ServerOptions{})
+	// The queued video transaction starts the instant the server
+	// completes the audio one.
+	f.pc.OnDone = func() {
+		f.pc.OnDone = nil
+		f.pc.Relink()
+	}
+	f.pc.Relink()
+	m, err := f.runOp(f.pc.TagOf(2))
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Name: "bundling: SIP, audio+video", C: c, N: n,
+		Measured: m, Formula: "13n+14c", Expected: 13*n + 14*c,
+	}, nil
+}

@@ -1,0 +1,91 @@
+// The glare window (E17): SIP's transactional design makes two
+// servers' operations collide whenever they start close enough
+// together — "because of media bundling, a transaction to control a
+// video channel contends with a transaction to control an audio
+// channel on the same signaling path" (paper Section IX-B). This
+// experiment sweeps the offset between the two servers' start times
+// and measures the width of the window in which the operations
+// collide. The compositional protocol has no transactions, so the
+// window is zero at every offset.
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"ipmedia/internal/sip"
+)
+
+// GlareWindowResult reports the contention windows.
+type GlareWindowResult struct {
+	C, N time.Duration
+	// SIPWindow is the largest start offset at which the two SIP
+	// operations still glare.
+	SIPWindow time.Duration
+	// OursConflicts counts offsets at which the compositional protocol
+	// failed to converge (must be zero).
+	OursConflicts int
+	Offsets       int
+}
+
+func (r GlareWindowResult) String() string {
+	return fmt.Sprintf("glare window: SIP=%v, compositional=0 (0 conflicts over %d offsets)",
+		r.SIPWindow, r.Offsets)
+}
+
+// GlareWindow sweeps the start offset between the PBX's and PC's
+// operations from 0 to maxOffset in the given step.
+func GlareWindow(c, n time.Duration, maxOffset, step time.Duration) (GlareWindowResult, error) {
+	res := GlareWindowResult{C: c, N: n}
+	for off := time.Duration(0); off <= maxOffset; off += step {
+		res.Offsets++
+
+		// SIP: does the pair glare at this offset?
+		f := newSIPFixture(c, n, sip.ServerOptions{}, sip.ServerOptions{RetryAfterGlare: true})
+		f.pbx.Relink()
+		off := off
+		f.sim.After(off, func() { f.pc.Relink() })
+		if _, err := f.run(); err != nil {
+			return res, fmt.Errorf("offset %v: %w", off, err)
+		}
+		if f.pbx.GlaresSeen+f.pc.GlaresSeen > 0 {
+			if off > res.SIPWindow {
+				res.SIPWindow = off
+			}
+		}
+
+		// Compositional: the same two relinks offset in time must always
+		// converge to bothFlowing, with no protocol errors.
+		g := newFig13(c, n)
+		if err := g.establish(); err != nil {
+			return res, err
+		}
+		aAt, cAt, err := g.measureRelinkOffset(off)
+		if err != nil || aAt == 0 || cAt == 0 {
+			res.OursConflicts++
+		}
+	}
+	return res, nil
+}
+
+// measureRelinkOffset is measureRelink with the PC's relink delayed by
+// off after the PBX's.
+func (f *fig13) measureRelinkOffset(off time.Duration) (aReady, cReady time.Duration, err error) {
+	start := f.sim.Now()
+	var aAt, cAt time.Duration
+	f.net.Observer = observeReady(f, &aAt, &cAt)
+	f.pbx.Call(func(ctx *boxCtx) { ctx.SetGoal(newLink(aSlot, pcSlot)) })
+	f.sim.After(off, func() {
+		f.pc.Call(func(ctx *boxCtx) { ctx.SetGoal(newLink(cSlot, pbxSlot)) })
+	})
+	if !f.sim.Run(1_000_000) {
+		return 0, 0, fmt.Errorf("lab: offset relink did not quiesce")
+	}
+	if len(f.net.Errs()) > 0 {
+		return 0, 0, f.net.Errs()[0]
+	}
+	if aAt == 0 || cAt == 0 {
+		return 0, 0, fmt.Errorf("lab: endpoints not ready at offset %v", off)
+	}
+	return aAt - start, cAt - start, nil
+}

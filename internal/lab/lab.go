@@ -1,0 +1,321 @@
+// Package lab contains the experiment harnesses that regenerate the
+// paper's quantitative results (experiment index E7–E12 in DESIGN.md):
+// the Figure 13 latency of the compositional protocol, the general
+// pn+(p+1)c formula, the Figure 14 SIP comparison with and without
+// glare, the ablation of SIP's three delay sources, and the Section
+// VIII-A verification statistics.
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/core"
+	"ipmedia/internal/des"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+// PaperC and PaperN are the concrete cost parameters of paper Section
+// VIII-C: c = 20 ms server compute, n = 34 ms network delivery.
+const (
+	PaperC = 20 * time.Millisecond
+	PaperN = 34 * time.Millisecond
+)
+
+// Row is one measured data point compared against the paper's formula.
+type Row struct {
+	Name     string
+	C, N     time.Duration
+	Measured time.Duration
+	Formula  string
+	Expected time.Duration
+}
+
+// Match reports whether measurement equals expectation exactly (the
+// simulator is deterministic, so the formulas must hold exactly).
+func (r Row) Match() bool { return r.Measured == r.Expected }
+
+func (r Row) String() string {
+	return fmt.Sprintf("%-28s c=%-6s n=%-6s measured=%-8s %s=%-8s match=%v",
+		r.Name, r.C, r.N, r.Measured, r.Formula, r.Expected, r.Match())
+}
+
+// endpointBox builds a one-slot endpoint box for the DES experiments.
+func endpointBox(name string, port int) *box.Box {
+	prof := core.NewEndpointProfile(name, "h"+name, port, []sig.Codec{sig.G711, sig.G726}, []sig.Codec{sig.G711, sig.G726})
+	return box.New(name, prof)
+}
+
+// fig13 builds the A—PBX—PC—C topology of paper Figure 13 on the
+// virtual clock, establishes the Snapshot 3 state, and measures the
+// latency of the concurrent relink in both servers.
+//
+// The paper's analysis: both endpoints can transmit after 2n+3c.
+type fig13 struct {
+	sim  *des.Sim
+	net  *des.Net
+	a, c *des.BoxHost
+	pbx  *des.BoxHost
+	pc   *des.BoxHost
+}
+
+func newFig13(c, n time.Duration) *fig13 {
+	f := &fig13{sim: des.NewSim()}
+	f.net = des.NewNet(f.sim, c, n)
+	f.a = f.net.Add(endpointBox("A", 5004))
+	f.c = f.net.Add(endpointBox("C", 5008))
+	f.pbx = f.net.Add(box.New("PBX", core.ServerProfile{Name: "PBX"}))
+	f.pc = f.net.Add(box.New("PC", core.ServerProfile{Name: "PC"}))
+	// Channels: A "up"—PBX "a"; PBX "pc"—PC "pbx"; PC "c"—C "up".
+	f.net.Wire(f.pbx, "a", f.a, "up")
+	f.net.Wire(f.pbx, "pc", f.pc, "pbx")
+	f.net.Wire(f.pc, "c", f.c, "up")
+	return f
+}
+
+const (
+	upSlot  = "up.t0"
+	aSlot   = "a.t0"
+	pcSlot  = "pc.t0"
+	pbxSlot = "pbx.t0"
+	cSlot   = "c.t0"
+)
+
+// establish drives the fixture to the paper's Snapshot 3: every tunnel
+// flowing, both servers holding (muted), all descriptors cached along
+// the way.
+func (f *fig13) establish() error {
+	// Phase 1: endpoints open; PC links c through to the PBX, which
+	// holds — this opens the middle tunnel and caches C's descriptor at
+	// the PBX.
+	f.a.Call(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewOpenSlot(upSlot, sig.Audio, f.a.B.Profile()))
+	})
+	f.c.Call(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewOpenSlot(upSlot, sig.Audio, f.c.B.Profile()))
+	})
+	f.pbx.Call(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewHoldSlot(aSlot, f.pbx.B.Profile()))
+		ctx.SetGoal(core.NewHoldSlot(pcSlot, f.pbx.B.Profile()))
+	})
+	f.pc.Call(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewFlowLink(cSlot, pbxSlot))
+	})
+	if !f.sim.Run(100000) {
+		return fmt.Errorf("lab: fig13 establish phase 1 did not quiesce")
+	}
+	// Phase 2: PC withdraws the link (funds exhausted, Snapshot 2->3):
+	// both its slots held.
+	f.pc.Call(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewHoldSlot(cSlot, f.pc.B.Profile()))
+		ctx.SetGoal(core.NewHoldSlot(pbxSlot, f.pc.B.Profile()))
+	})
+	if !f.sim.Run(100000) {
+		return fmt.Errorf("lab: fig13 establish phase 2 did not quiesce")
+	}
+	for _, st := range []struct {
+		h    *des.BoxHost
+		name string
+	}{{f.a, upSlot}, {f.c, upSlot}, {f.pbx, aSlot}, {f.pbx, pcSlot}, {f.pc, cSlot}, {f.pc, pbxSlot}} {
+		s := st.h.B.Slot(st.name)
+		if s == nil || s.State() != slot.Flowing {
+			return fmt.Errorf("lab: fig13 setup: slot %s/%s not flowing", st.h.B.Name(), st.name)
+		}
+	}
+	return nil
+}
+
+// boxCtx and newLink are local aliases used by the experiment files.
+type boxCtx = box.Ctx
+
+var newLink = core.NewFlowLink
+
+// observeReady builds a DES observer recording when each endpoint can
+// first transmit to the other (descriptor received and real selector
+// sent).
+func observeReady(f *fig13, aAt, cAt *time.Duration) func(h *des.BoxHost, t time.Duration) {
+	return func(h *des.BoxHost, t time.Duration) {
+		check := func(host *des.BoxHost, peer string, at *time.Duration) {
+			if *at != 0 || h != host {
+				return
+			}
+			s := host.B.Slot(upSlot)
+			if s == nil || !s.Enabled() {
+				return
+			}
+			if d, ok := s.Desc(); ok && d.ID.Origin == peer {
+				*at = t
+			}
+		}
+		check(f.a, "C", aAt)
+		check(f.c, "A", cAt)
+	}
+}
+
+// measureRelink performs the concurrent relink and returns when each
+// endpoint could first transmit to the other, relative to the relink
+// instant.
+func (f *fig13) measureRelink(concurrent bool) (aReady, cReady time.Duration, err error) {
+	if len(f.net.Errs()) > 0 {
+		return 0, 0, f.net.Errs()[0]
+	}
+	start := f.sim.Now()
+	var aAt, cAt time.Duration
+	f.net.Observer = observeReady(f, &aAt, &cAt)
+	// The measured operation: the PBX switches back to C and PC
+	// restores its link, at the same instant (Figure 13) or PC alone
+	// (the common, uncontended case).
+	f.pbx.Call(func(ctx *box.Ctx) { ctx.SetGoal(core.NewFlowLink(aSlot, pcSlot)) })
+	if concurrent {
+		f.pc.Call(func(ctx *box.Ctx) { ctx.SetGoal(core.NewFlowLink(cSlot, pbxSlot)) })
+	} else {
+		// Uncontended: PC's link is already in place beforehand.
+	}
+	if !f.sim.Run(100000) {
+		return 0, 0, fmt.Errorf("lab: relink did not quiesce")
+	}
+	if len(f.net.Errs()) > 0 {
+		return 0, 0, f.net.Errs()[0]
+	}
+	if aAt == 0 || cAt == 0 {
+		return 0, 0, fmt.Errorf("lab: endpoints never became ready (A=%v C=%v)", aAt, cAt)
+	}
+	return aAt - start, cAt - start, nil
+}
+
+// Fig13 measures E9: the compositional protocol's relink latency in
+// the concurrent scenario of paper Figure 13. Expected: 2n+3c (128 ms
+// with the paper's parameters).
+func Fig13(c, n time.Duration) (Row, error) {
+	r, _, err := Fig13Traced(c, n)
+	return r, err
+}
+
+// TraceLine is one signal on the wire during a traced run.
+type TraceLine struct {
+	At       time.Duration
+	From, To string
+	Env      sig.Envelope
+}
+
+func (l TraceLine) String() string {
+	return fmt.Sprintf("%-8v %s->%s %s", l.At, l.From, l.To, l.Env)
+}
+
+// Fig13Traced is Fig13 plus the full wire trace of the measured relink
+// phase, for comparison against the paper's message-sequence chart.
+func Fig13Traced(c, n time.Duration) (Row, []TraceLine, error) {
+	f := newFig13(c, n)
+	if err := f.establish(); err != nil {
+		return Row{}, nil, err
+	}
+	var trace []TraceLine
+	f.net.Trace = func(from, to string, env sig.Envelope, t time.Duration) {
+		trace = append(trace, TraceLine{At: t, From: from, To: to, Env: env})
+	}
+	aReady, cReady, err := f.measureRelink(true)
+	if err != nil {
+		return Row{}, trace, err
+	}
+	m := aReady
+	if cReady > m {
+		m = cReady
+	}
+	return Row{
+		Name: "fig13 concurrent relink", C: c, N: n,
+		Measured: m, Formula: "2n+3c", Expected: 2*n + 3*c,
+	}, trace, nil
+}
+
+// PathSweep measures E10: the latency pn+(p+1)c of providing media
+// flow from a signaling path, measured from the moment the last
+// flowlink is initialized, for paths where that flowlink is p hops
+// from its farther endpoint.
+func PathSweep(c, n time.Duration, maxP int) ([]Row, error) {
+	var rows []Row
+	for p := 1; p <= maxP; p++ {
+		m, err := sweepOne(c, n, p)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, Row{
+			Name: fmt.Sprintf("path p=%d", p), C: c, N: n,
+			Measured: m, Formula: "pn+(p+1)c",
+			Expected: time.Duration(p)*n + time.Duration(p+1)*c,
+		})
+	}
+	return rows, nil
+}
+
+// sweepOne builds L — F1 — ... — F(p-1) — R (p tunnels), establishes
+// everything with F1 holding, then measures R's readiness after F1
+// links. p = number of hops between F1 (the last flowlink initialized)
+// and its farther endpoint R.
+func sweepOne(c, n time.Duration, p int) (time.Duration, error) {
+	sim := des.NewSim()
+	net := des.NewNet(sim, c, n)
+	l := net.Add(endpointBox("L", 5004))
+	r := net.Add(endpointBox("R", 5008))
+	var mids []*des.BoxHost
+	for i := 1; i < p; i++ {
+		mids = append(mids, net.Add(box.New(fmt.Sprintf("F%d", i+1), core.ServerProfile{Name: fmt.Sprintf("F%d", i+1)})))
+	}
+	f1 := net.Add(box.New("F1", core.ServerProfile{Name: "F1"}))
+
+	// Wire: L — F1 — mids... — R.
+	net.Wire(f1, "left", l, "up")
+	prev, prevChan := f1, "right"
+	for i, m := range mids {
+		net.Wire(prev, prevChan, m, "left")
+		prev, prevChan = m, "right"
+		_ = i
+	}
+	net.Wire(prev, prevChan, r, "up")
+
+	// Setup: endpoints open; interior boxes flowlink; F1 holds both its
+	// slots so the path is established but severed at F1.
+	l.Call(func(ctx *box.Ctx) { ctx.SetGoal(core.NewOpenSlot(upSlot, sig.Audio, l.B.Profile())) })
+	r.Call(func(ctx *box.Ctx) { ctx.SetGoal(core.NewOpenSlot(upSlot, sig.Audio, r.B.Profile())) })
+	f1.Call(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewHoldSlot("left.t0", f1.B.Profile()))
+		ctx.SetGoal(core.NewHoldSlot("right.t0", f1.B.Profile()))
+	})
+	for _, m := range mids {
+		m := m
+		m.Call(func(ctx *box.Ctx) { ctx.SetGoal(core.NewFlowLink("left.t0", "right.t0")) })
+	}
+	if !sim.Run(1000000) {
+		return 0, fmt.Errorf("lab: sweep setup did not quiesce")
+	}
+	if len(net.Errs()) > 0 {
+		return 0, net.Errs()[0]
+	}
+
+	start := sim.Now()
+	var rAt time.Duration
+	net.Observer = func(h *des.BoxHost, t time.Duration) {
+		if rAt != 0 || h != r {
+			return
+		}
+		s := r.B.Slot(upSlot)
+		if s == nil || !s.Enabled() {
+			return
+		}
+		if d, ok := s.Desc(); ok && d.ID.Origin == "L" {
+			rAt = t
+		}
+	}
+	f1.Call(func(ctx *box.Ctx) { ctx.SetGoal(core.NewFlowLink("left.t0", "right.t0")) })
+	if !sim.Run(1000000) {
+		return 0, fmt.Errorf("lab: sweep relink did not quiesce")
+	}
+	if len(net.Errs()) > 0 {
+		return 0, net.Errs()[0]
+	}
+	if rAt == 0 {
+		return 0, fmt.Errorf("lab: R never ready (p=%d)", p)
+	}
+	return rAt - start, nil
+}

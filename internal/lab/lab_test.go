@@ -1,0 +1,209 @@
+package lab
+
+import (
+	"testing"
+	"time"
+)
+
+// costGrid exercises each experiment across several (c, n) parameter
+// settings; the virtual clock is deterministic, so the paper's
+// formulas must hold exactly at every point.
+var costGrid = []struct{ c, n time.Duration }{
+	{PaperC, PaperN},
+	{5 * time.Millisecond, 50 * time.Millisecond},
+	{1 * time.Millisecond, 100 * time.Millisecond},
+	{30 * time.Millisecond, 40 * time.Millisecond},
+}
+
+func TestFig13MatchesFormula(t *testing.T) {
+	for _, g := range costGrid {
+		r, err := Fig13(g.c, g.n)
+		if err != nil {
+			t.Fatalf("c=%v n=%v: %v", g.c, g.n, err)
+		}
+		if !r.Match() {
+			t.Errorf("%s", r)
+		}
+	}
+}
+
+func TestFig13PaperNumbers(t *testing.T) {
+	// "With these numbers the latency of Figure 13 is 128 ms."
+	r, err := Fig13(PaperC, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Measured != 128*time.Millisecond {
+		t.Fatalf("fig13 latency = %v, paper says 128 ms", r.Measured)
+	}
+}
+
+func TestPathSweepMatchesFormula(t *testing.T) {
+	for _, g := range costGrid[:2] {
+		rows, err := PathSweep(g.c, g.n, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 6 {
+			t.Fatalf("want 6 rows, got %d", len(rows))
+		}
+		for _, r := range rows {
+			if !r.Match() {
+				t.Errorf("%s", r)
+			}
+		}
+	}
+}
+
+func TestSIPCommonMatchesFormula(t *testing.T) {
+	for _, g := range costGrid {
+		r, err := SIPCommon(g.c, g.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Match() {
+			t.Errorf("%s", r)
+		}
+	}
+}
+
+func TestSIPCommonPaperNumbers(t *testing.T) {
+	// "In the common situation, the comparison is 378 ms versus 128 ms."
+	sipRow, err := SIPCommon(PaperC, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := Fig13(PaperC, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sipRow.Measured != 378*time.Millisecond || ours.Measured != 128*time.Millisecond {
+		t.Fatalf("comparison = %v vs %v, paper says 378 ms vs 128 ms", sipRow.Measured, ours.Measured)
+	}
+}
+
+func TestSIPGlareMatchesFormula(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r, d, err := SIPGlare(PaperC, PaperN, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Match() {
+			t.Errorf("seed %d (d=%v): %s", seed, d, r)
+		}
+		// The paper quotes 3560 ms at d's expectation of 3 s.
+		if want := 10*PaperN + 11*PaperC + d; r.Measured != want {
+			t.Errorf("seed %d: measured %v, want %v", seed, r.Measured, want)
+		}
+	}
+}
+
+func TestAblationsIsolateDelaySources(t *testing.T) {
+	rows, err := Ablations(PaperC, PaperN, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 ablation rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match() {
+			t.Errorf("%s", r)
+		}
+	}
+	// The fully ablated SIP (cached + parallel) must equal the
+	// compositional protocol's 2n+3c.
+	if rows[3].Measured != 2*PaperN+3*PaperC {
+		t.Errorf("removing all SIP-specific delays must recover 2n+3c, got %v", rows[3].Measured)
+	}
+}
+
+func TestBundlingComparison(t *testing.T) {
+	ours, err := BundlingOurs(PaperC, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sip, err := BundlingSIP(PaperC, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ours.Match() {
+		t.Errorf("%s", ours)
+	}
+	if !sip.Match() {
+		t.Errorf("%s", sip)
+	}
+	// The shape the paper predicts: bundled SIP serializes the two
+	// transactions; independent tunnels cost almost nothing extra.
+	if sip.Measured < 4*ours.Measured {
+		t.Errorf("bundling penalty too small: SIP %v vs ours %v", sip.Measured, ours.Measured)
+	}
+}
+
+func TestRowFormatting(t *testing.T) {
+	r := Row{Name: "x", C: PaperC, N: PaperN, Measured: 128 * time.Millisecond,
+		Formula: "2n+3c", Expected: 128 * time.Millisecond}
+	if !r.Match() {
+		t.Fatal("row should match")
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty row string")
+	}
+}
+
+func TestMessageCounts(t *testing.T) {
+	m, err := MessageCounts(PaperC, PaperN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ours: 14 signals for the concurrent relink of BOTH directions
+	// through both servers (pinned by TestFig13TraceMessageBudget).
+	if m.Ours != 14 {
+		t.Errorf("ours = %d messages, want 14", m.Ours)
+	}
+	// SIP common: solicit flow through a relay B2BUA.
+	if m.SIPCommon < 8 || m.SIPCommon > 12 {
+		t.Errorf("SIP common = %d messages, want 8..12", m.SIPCommon)
+	}
+	// Glare costs roughly double: two aborted attempts plus the retry.
+	if m.SIPGlare <= m.SIPCommon {
+		t.Errorf("glare (%d) must cost more than common (%d)", m.SIPGlare, m.SIPCommon)
+	}
+	t.Log(m)
+}
+
+func TestGlareWindow(t *testing.T) {
+	res, err := GlareWindow(PaperC, PaperN, 400*time.Millisecond, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OursConflicts != 0 {
+		t.Fatalf("the compositional protocol must never conflict: %d failures", res.OursConflicts)
+	}
+	// SIP glares while the second op starts inside the first one's
+	// vulnerable phase; the window must be substantial (several n+c)
+	// but not unbounded.
+	if res.SIPWindow < 100*time.Millisecond || res.SIPWindow > 400*time.Millisecond {
+		t.Fatalf("SIP glare window = %v, expected a few hundred ms", res.SIPWindow)
+	}
+	t.Log(res)
+}
+
+func TestFig13Jitter(t *testing.T) {
+	// With per-signal latency uniform on [n-20ms, n+20ms], every run
+	// must still converge (the protocol tolerates variance) and the
+	// mean must sit near 2n+3c. The mean is slightly above the formula
+	// because the measurement takes a max over the two directions.
+	res, err := Fig13Jitter(PaperC, PaperN, 20*time.Millisecond, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.Expected-10*time.Millisecond, res.Expected+25*time.Millisecond
+	if res.Mean < lo || res.Mean > hi {
+		t.Fatalf("mean %v outside [%v, %v]: %s", res.Mean, lo, hi, res)
+	}
+	if res.Min < res.Expected-3*20*time.Millisecond || res.Max > res.Expected+3*20*time.Millisecond {
+		t.Fatalf("extremes outside the 2-hop jitter envelope: %s", res)
+	}
+	t.Log(res)
+}

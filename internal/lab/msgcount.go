@@ -1,0 +1,51 @@
+// Protocol overhead: signals on the wire per relink operation. The
+// paper argues idempotent/unilateral signaling is "faster and
+// require[s] less protocol state" (Section X-B); this experiment
+// counts the messages each design spends on the same operation.
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"ipmedia/internal/sip"
+)
+
+// MsgCounts is the message tally for one relink operation.
+type MsgCounts struct {
+	Ours      int // compositional protocol, concurrent relink (Fig 13)
+	SIPCommon int // SIP, uncontended (Fig 14's common case)
+	SIPGlare  int // SIP, glare + retry (Fig 14)
+}
+
+func (m MsgCounts) String() string {
+	return fmt.Sprintf("messages per relink: ours=%d, SIP common=%d, SIP glare=%d",
+		m.Ours, m.SIPCommon, m.SIPGlare)
+}
+
+// MessageCounts measures the wire-message budget of the same relink
+// under the three regimes.
+func MessageCounts(c, n time.Duration, seed int64) (MsgCounts, error) {
+	var out MsgCounts
+	_, trace, err := Fig13Traced(c, n)
+	if err != nil {
+		return out, err
+	}
+	out.Ours = len(trace)
+
+	f := newSIPFixture(c, n, sip.ServerOptions{}, sip.ServerOptions{})
+	f.pc.Relink()
+	if _, err := f.run(); err != nil {
+		return out, err
+	}
+	out.SIPCommon = f.net.Sent
+
+	g := newSIPFixture(c, n, sip.ServerOptions{}, sip.ServerOptions{RetryAfterGlare: true})
+	g.pbx.Relink()
+	g.pc.Relink()
+	if _, err := g.run(); err != nil {
+		return out, err
+	}
+	out.SIPGlare = g.net.Sent
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+
+	"ipmedia/internal/sig"
+)
+
+// TestFig13GoldenTrace pins the wire behavior of the concurrent relink
+// to the message-sequence chart of paper Figure 13:
+//
+//   - each new flowlink begins by sending, to each side, its most
+//     recent descriptor from the other side — toward the endpoints
+//     these are the noMedia hold descriptors;
+//   - the endpoints' answering noMedia selectors are absorbed by the
+//     servers (superseded descriptors);
+//   - the real descriptors propagate end to end and the answering
+//     selectors are forwarded along the whole path.
+func TestFig13GoldenTrace(t *testing.T) {
+	_, trace, err := Fig13Traced(PaperC, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, l := range trace {
+		lines = append(lines, l.From+">"+l.To+":"+l.Env.Sig.String())
+	}
+	joined := strings.Join(lines, "\n")
+
+	// The opening salvo: four concurrent describes at the same instant.
+	first4 := map[string]bool{}
+	for _, l := range trace[:4] {
+		if l.At != trace[0].At {
+			t.Fatalf("first four signals must be concurrent:\n%s", joined)
+		}
+		key := l.From + ">" + l.To + ":" + l.Env.Sig.Kind.String()
+		if l.Env.Sig.Kind != sig.KindDescribe {
+			t.Fatalf("relink must start with describes, got %s", key)
+		}
+		first4[key+":"+l.Env.Sig.Desc.ID.Origin] = true
+	}
+	for _, want := range []string{
+		"PBX>A:describe:PC", // PBX's cached noMedia from the right (Fig 13's describe(noMedia))
+		"PBX>PC:describe:A", // A's descriptor rightward
+		"PC>C:describe:PBX", // PC's cached noMedia from the right
+		"PC>PBX:describe:C", // C's descriptor leftward
+	} {
+		if !first4[want] {
+			t.Fatalf("missing opening describe %s in %v", want, first4)
+		}
+	}
+
+	// The superseded noMedia selectors are absorbed: no server ever
+	// forwards a noMedia selector onward.
+	for _, l := range trace {
+		if l.Env.Sig.Kind == sig.KindSelect && l.Env.Sig.Sel.NoMedia() {
+			if (l.From == "PBX" && l.To == "PC") || (l.From == "PC" && l.To == "PBX") {
+				t.Fatalf("noMedia selector leaked between servers:\n%s", joined)
+			}
+		}
+	}
+
+	// The real selector from A answering C's descriptor travels the
+	// whole path A -> PBX -> PC -> C, in order.
+	assertChain(t, trace, "C#1", []string{"A>PBX", "PBX>PC", "PC>C"})
+	// And symmetrically for C's selector answering A's descriptor.
+	assertChain(t, trace, "A#1", []string{"C>PC", "PC>PBX", "PBX>A"})
+
+	// No opens or closes: the relink operates entirely on established
+	// channels (describes and selects only).
+	for _, l := range trace {
+		switch l.Env.Sig.Kind {
+		case sig.KindOpen, sig.KindClose, sig.KindCloseAck, sig.KindOack:
+			t.Fatalf("unexpected %s during relink:\n%s", l.Env.Sig.Kind, joined)
+		}
+	}
+}
+
+// assertChain checks that a real selector answering the named
+// descriptor traverses the given hops in order.
+func assertChain(t *testing.T, trace []TraceLine, answers string, hops []string) {
+	t.Helper()
+	next := 0
+	for _, l := range trace {
+		if l.Env.Sig.Kind != sig.KindSelect || l.Env.Sig.Sel.NoMedia() {
+			continue
+		}
+		if l.Env.Sig.Sel.Answers.String() != answers {
+			continue
+		}
+		hop := l.From + ">" + l.To
+		if next < len(hops) && hop == hops[next] {
+			next++
+		}
+	}
+	if next != len(hops) {
+		t.Fatalf("selector answering %s completed only %d of %d hops %v", answers, next, len(hops), hops)
+	}
+}
+
+// TestFig13TraceMessageBudget: the relink costs exactly 14 signals —
+// 6 describes (4 opening + 2 forwards), 2 absorbed noMedia selectors,
+// and 2 real selectors traversing 3 hops each.
+func TestFig13TraceMessageBudget(t *testing.T) {
+	_, trace, err := Fig13Traced(PaperC, PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	describes, noMediaSels, realSels := 0, 0, 0
+	for _, l := range trace {
+		switch l.Env.Sig.Kind {
+		case sig.KindDescribe:
+			describes++
+		case sig.KindSelect:
+			if l.Env.Sig.Sel.NoMedia() {
+				noMediaSels++
+			} else {
+				realSels++
+			}
+		}
+	}
+	if describes != 6 || noMediaSels != 2 || realSels != 6 {
+		t.Fatalf("message budget: %d describes, %d noMedia selects, %d real selects (want 6/2/6); total %d",
+			describes, noMediaSels, realSels, len(trace))
+	}
+}

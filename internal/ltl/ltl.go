@@ -1,0 +1,143 @@
+// Package ltl expresses the paper's compositional path semantics
+// (Section V): for each of the six signaling-path types, a stability
+// or recurrence property in linear temporal logic over the path states
+// bothClosed and bothFlowing, and checkers that evaluate those
+// properties over lasso-shaped executions (a finite prefix followed by
+// a repeating cycle — the shape every run of a finite-state system
+// ultimately has).
+package ltl
+
+import (
+	"fmt"
+)
+
+// Obs is one observation of a signaling path's state.
+type Obs struct {
+	BothClosed  bool
+	BothFlowing bool
+}
+
+// PathProp enumerates the paper's four path specifications.
+type PathProp uint8
+
+const (
+	// StabClosed is ◇□ bothClosed: eventually the path reaches a state
+	// in which both end slots are closed, and remains there. It
+	// specifies paths with a closeslot at one end and a closeslot or
+	// holdslot at the other.
+	StabClosed PathProp = iota
+	// StabNotFlowing is ◇□ ¬bothFlowing: once the goal objects have
+	// done their work there is no media flow, though the path never
+	// stabilizes (the openslot keeps retrying). It specifies paths with
+	// a closeslot at one end and an openslot at the other.
+	StabNotFlowing
+	// RecFlowing is □◇ bothFlowing: the path always eventually returns
+	// to the bothFlowing state (perturbations such as mute changes are
+	// repaired). It specifies paths with an openslot at one end and an
+	// openslot or holdslot at the other.
+	RecFlowing
+	// ClosedOrFlowing is (◇□ bothClosed) ∨ (□◇ bothFlowing): a path
+	// with holdslots at both ends either stays closed or keeps flowing,
+	// depending on its state when formed.
+	ClosedOrFlowing
+)
+
+var propNames = [...]string{
+	"◇□bothClosed",
+	"◇□¬bothFlowing",
+	"□◇bothFlowing",
+	"(◇□bothClosed)∨(□◇bothFlowing)",
+}
+
+func (p PathProp) String() string {
+	if int(p) < len(propNames) {
+		return propNames[p]
+	}
+	return fmt.Sprintf("prop(%d)", uint8(p))
+}
+
+// SpecFor returns the specification for a path from the goal kinds at
+// its two ends ("openSlot", "closeSlot", "holdSlot"). Taking symmetry
+// into account there are six path types (paper Section V).
+func SpecFor(l, r string) (PathProp, error) {
+	// Normalize order: close < hold < open.
+	rank := map[string]int{"closeSlot": 0, "holdSlot": 1, "openSlot": 2}
+	rl, ok1 := rank[l]
+	rr, ok2 := rank[r]
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("ltl: no specification for path type %s/%s", l, r)
+	}
+	if rl > rr {
+		rl, rr = rr, rl
+	}
+	switch {
+	case rl == 0 && rr <= 1: // close/close, close/hold
+		return StabClosed, nil
+	case rl == 0: // close/open
+		return StabNotFlowing, nil
+	case rl == 1 && rr == 1: // hold/hold
+		return ClosedOrFlowing, nil
+	default: // open/open, open/hold
+		return RecFlowing, nil
+	}
+}
+
+// CheckLasso evaluates a property over a lasso execution: the states
+// of prefix followed by the states of cycle repeated forever. cycle
+// must be non-empty; a quiescent (terminated) run is represented by a
+// single-state cycle repeating its final state.
+func CheckLasso(p PathProp, prefix, cycle []Obs) error {
+	if len(cycle) == 0 {
+		return fmt.Errorf("ltl: empty cycle")
+	}
+	switch p {
+	case StabClosed:
+		// ◇□p holds iff every state of the cycle satisfies p.
+		for i, o := range cycle {
+			if !o.BothClosed {
+				return fmt.Errorf("ltl: %s violated: cycle state %d not bothClosed", p, i)
+			}
+		}
+		return nil
+	case StabNotFlowing:
+		for i, o := range cycle {
+			if o.BothFlowing {
+				return fmt.Errorf("ltl: %s violated: cycle state %d is bothFlowing", p, i)
+			}
+		}
+		return nil
+	case RecFlowing:
+		// □◇p holds iff some state of the cycle satisfies p.
+		for _, o := range cycle {
+			if o.BothFlowing {
+				return nil
+			}
+		}
+		return fmt.Errorf("ltl: %s violated: no bothFlowing state in the cycle", p)
+	case ClosedOrFlowing:
+		allClosed := true
+		for _, o := range cycle {
+			if o.BothFlowing {
+				return nil // □◇bothFlowing disjunct holds
+			}
+			if !o.BothClosed {
+				allClosed = false
+			}
+		}
+		if allClosed {
+			return nil // ◇□bothClosed disjunct holds
+		}
+		return fmt.Errorf("ltl: %s violated: cycle neither stays closed nor revisits flowing", p)
+	default:
+		return fmt.Errorf("ltl: unknown property %d", uint8(p))
+	}
+}
+
+// CheckQuiescent evaluates a property over a run that terminates: the
+// trace's final state repeats forever.
+func CheckQuiescent(p PathProp, trace []Obs) error {
+	if len(trace) == 0 {
+		return fmt.Errorf("ltl: empty trace")
+	}
+	return CheckLasso(p, trace[:len(trace)-1], trace[len(trace)-1:])
+}

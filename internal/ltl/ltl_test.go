@@ -1,0 +1,148 @@
+package ltl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var (
+	closed  = Obs{BothClosed: true}
+	flowing = Obs{BothFlowing: true}
+	limbo   = Obs{} // neither closed nor flowing (transient)
+)
+
+func TestSpecForAllSixPathTypes(t *testing.T) {
+	cases := []struct {
+		l, r string
+		want PathProp
+	}{
+		{"closeSlot", "closeSlot", StabClosed},
+		{"closeSlot", "holdSlot", StabClosed},
+		{"holdSlot", "closeSlot", StabClosed}, // symmetric
+		{"closeSlot", "openSlot", StabNotFlowing},
+		{"openSlot", "closeSlot", StabNotFlowing},
+		{"openSlot", "openSlot", RecFlowing},
+		{"openSlot", "holdSlot", RecFlowing},
+		{"holdSlot", "openSlot", RecFlowing},
+		{"holdSlot", "holdSlot", ClosedOrFlowing},
+	}
+	for _, c := range cases {
+		got, err := SpecFor(c.l, c.r)
+		if err != nil {
+			t.Errorf("SpecFor(%s,%s): %v", c.l, c.r, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("SpecFor(%s,%s) = %s, want %s", c.l, c.r, got, c.want)
+		}
+	}
+	if _, err := SpecFor("openSlot", "flowLink"); err == nil {
+		t.Error("flowlinks are path interiors, not ends; SpecFor must reject")
+	}
+}
+
+func TestStabClosed(t *testing.T) {
+	if err := CheckQuiescent(StabClosed, []Obs{flowing, limbo, closed}); err != nil {
+		t.Errorf("converging to closed must satisfy ◇□bothClosed: %v", err)
+	}
+	if err := CheckQuiescent(StabClosed, []Obs{closed, flowing}); err == nil {
+		t.Error("ending flowing must violate ◇□bothClosed")
+	}
+	if err := CheckLasso(StabClosed, nil, []Obs{closed, limbo}); err == nil {
+		t.Error("a cycle leaving closed must violate ◇□bothClosed")
+	}
+}
+
+func TestStabNotFlowing(t *testing.T) {
+	// The openslot-vs-closeslot retry loop: open, reject, open, ...
+	// never flowing.
+	if err := CheckLasso(StabNotFlowing, []Obs{flowing}, []Obs{limbo, closed, limbo}); err != nil {
+		t.Errorf("retry loop must satisfy ◇□¬bothFlowing: %v", err)
+	}
+	if err := CheckLasso(StabNotFlowing, nil, []Obs{limbo, flowing}); err == nil {
+		t.Error("flowing in the cycle must violate ◇□¬bothFlowing")
+	}
+	// Flowing in the prefix is fine: the property is only eventual.
+	if err := CheckLasso(StabNotFlowing, []Obs{flowing, flowing}, []Obs{closed}); err != nil {
+		t.Errorf("flowing only in the prefix must satisfy ◇□¬bothFlowing: %v", err)
+	}
+}
+
+func TestRecFlowing(t *testing.T) {
+	// Perturbation loop: flowing -> mute change -> flowing again.
+	if err := CheckLasso(RecFlowing, []Obs{limbo}, []Obs{flowing, limbo}); err != nil {
+		t.Errorf("recurring flowing must satisfy □◇bothFlowing: %v", err)
+	}
+	if err := CheckQuiescent(RecFlowing, []Obs{limbo, flowing}); err != nil {
+		t.Errorf("terminating in flowing must satisfy □◇bothFlowing: %v", err)
+	}
+	if err := CheckLasso(RecFlowing, []Obs{flowing}, []Obs{limbo, closed}); err == nil {
+		t.Error("a cycle without flowing must violate □◇bothFlowing")
+	}
+}
+
+func TestClosedOrFlowing(t *testing.T) {
+	if err := CheckQuiescent(ClosedOrFlowing, []Obs{limbo, closed}); err != nil {
+		t.Errorf("staying closed must satisfy the disjunction: %v", err)
+	}
+	if err := CheckLasso(ClosedOrFlowing, nil, []Obs{flowing, limbo}); err != nil {
+		t.Errorf("recurring flowing must satisfy the disjunction: %v", err)
+	}
+	if err := CheckLasso(ClosedOrFlowing, nil, []Obs{limbo}); err == nil {
+		t.Error("a cycle stuck in limbo must violate the disjunction")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if err := CheckQuiescent(StabClosed, nil); err == nil {
+		t.Error("empty trace must be rejected")
+	}
+	if err := CheckLasso(StabClosed, []Obs{closed}, nil); err == nil {
+		t.Error("empty cycle must be rejected")
+	}
+}
+
+// TestQuickDualityAndPrefixIrrelevance: properties depend only on the
+// cycle, never on the prefix; and a single-state cycle makes ◇□p and
+// □◇p coincide.
+func TestQuickLassoProperties(t *testing.T) {
+	mk := func(bits uint8) Obs {
+		switch bits % 3 {
+		case 0:
+			return closed
+		case 1:
+			return flowing
+		default:
+			return limbo
+		}
+	}
+	f := func(prefixBits, cycleBits []uint8, final uint8) bool {
+		var prefix, cycle []Obs
+		for _, b := range prefixBits {
+			prefix = append(prefix, mk(b))
+		}
+		for _, b := range cycleBits {
+			cycle = append(cycle, mk(b))
+		}
+		if len(cycle) == 0 {
+			cycle = []Obs{mk(final)}
+		}
+		for _, p := range []PathProp{StabClosed, StabNotFlowing, RecFlowing, ClosedOrFlowing} {
+			withPrefix := CheckLasso(p, prefix, cycle) == nil
+			without := CheckLasso(p, nil, cycle) == nil
+			if withPrefix != without {
+				return false // prefix must be irrelevant
+			}
+		}
+		single := []Obs{mk(final)}
+		stab := CheckLasso(StabClosed, nil, single) == nil
+		rec := CheckLasso(RecFlowing, nil, single) == nil
+		if stab != (mk(final).BothClosed) || rec != (mk(final).BothFlowing) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Liveness checking of the paper's Section V path specifications under
+// exact weak fairness of queue service.
+//
+// Every infinite run of a finite-state model eventually cycles, so a
+// property of the forms used by the paper is violated iff the graph
+// contains a reachable *fair* cycle of a particular shape:
+//
+//	¬(◇□p)            ⇔  ∃ fair cycle containing a ¬p state
+//	¬(□◇p)            ⇔  ∃ fair cycle entirely within ¬p states
+//	¬((◇□p) ∨ (□◇q))  ⇔  ∃ fair cycle within ¬q states containing a ¬p state
+//
+// Weak fairness of queue service: if a queue is nonempty continuously,
+// a delivery from it eventually occurs. A cycle is fair iff every
+// queue nonempty in all its states has a delivery edge on the cycle.
+//
+// Within one strongly connected component, a single cycle can be
+// routed through any finite set of required states and edges, and
+// through a state where a given queue is empty whenever one exists.
+// Therefore the existence test is exact at SCC granularity:
+//
+//	an SCC contains a fair cycle with the required visits iff
+//	  (a) it contains a cycle at all (more than one state, or a self-loop),
+//	  (b) it contains a state satisfying each visit requirement, and
+//	  (c) for every queue nonempty in ALL its states, it contains an
+//	      edge delivering from that queue.
+package mc
+
+import (
+	"fmt"
+
+	"ipmedia/internal/ltl"
+)
+
+// CheckProp verifies one of the paper's path properties over the
+// explored graph. It returns nil if the property holds on every fair
+// run, or a description of a bad fair cycle.
+func (g *Graph) CheckProp(p ltl.PathProp) error {
+	switch p {
+	case ltl.StabClosed:
+		return g.badFairCycle(
+			func(int) bool { return true },
+			func(i int) bool { return !g.obs[i].BothClosed },
+			"a fair cycle leaves bothClosed infinitely often")
+	case ltl.StabNotFlowing:
+		return g.badFairCycle(
+			func(int) bool { return true },
+			func(i int) bool { return g.obs[i].BothFlowing },
+			"a fair cycle reaches bothFlowing infinitely often")
+	case ltl.RecFlowing:
+		return g.badFairCycle(
+			func(i int) bool { return !g.obs[i].BothFlowing },
+			nil,
+			"a fair cycle avoids bothFlowing forever")
+	case ltl.ClosedOrFlowing:
+		return g.badFairCycle(
+			func(i int) bool { return !g.obs[i].BothFlowing },
+			func(i int) bool { return !g.obs[i].BothClosed },
+			"a fair cycle avoids bothFlowing forever without staying bothClosed")
+	default:
+		return fmt.Errorf("mc: unknown property %v", p)
+	}
+}
+
+// badFairCycle reports an error iff the subgraph induced by restrict
+// contains a fair cycle with at least one state satisfying visit
+// (visit nil: no requirement).
+func (g *Graph) badFairCycle(restrict func(int) bool, visit func(int) bool, what string) error {
+	n := len(g.obs)
+	in := make([]bool, n)
+	for i := 0; i < n; i++ {
+		in[i] = restrict(i)
+	}
+	comp, ncomp := g.sccs(in)
+	// Per-SCC aggregates.
+	type agg struct {
+		size      int
+		selfLoop  bool
+		constMask uint64 // queues nonempty in every state of the SCC
+		servedIn  uint64 // queues served by some intra-SCC edge
+		visitOK   bool
+	}
+	aggs := make([]agg, ncomp)
+	for i := range aggs {
+		aggs[i].constMask = ^uint64(0)
+	}
+	for v := 0; v < n; v++ {
+		if !in[v] {
+			continue
+		}
+		c := comp[v]
+		a := &aggs[c]
+		a.size++
+		a.constMask &= g.masks[v]
+		if visit == nil || visit(v) {
+			a.visitOK = true
+		}
+		for _, e := range g.adj[v] {
+			if !in[e.to] || comp[e.to] != c {
+				continue
+			}
+			if int(e.to) == v {
+				a.selfLoop = true
+			}
+			if e.queue >= 0 {
+				a.servedIn |= 1 << uint(e.queue)
+			}
+		}
+	}
+	for c := range aggs {
+		a := aggs[c]
+		if a.size == 0 {
+			continue
+		}
+		if a.size == 1 && !a.selfLoop {
+			continue // no cycle
+		}
+		if visit != nil && !a.visitOK {
+			continue
+		}
+		// Fairness: every constantly-nonempty queue must be served
+		// within the SCC; otherwise every cycle confined to it starves
+		// that queue and is unfair.
+		if a.constMask&^a.servedIn != 0 {
+			continue
+		}
+		// Locate a sample state for the report.
+		for v := 0; v < n; v++ {
+			if in[v] && comp[v] == int32(c) {
+				return fmt.Errorf("mc: %s (SCC of %d states, e.g. state %d reached by:\n%s)", what, a.size, v, g.trace(v))
+			}
+		}
+	}
+	return nil
+}
+
+// sccs computes strongly connected components of the subgraph induced
+// by in, using an iterative Tarjan. Returns the component index per
+// state (undefined outside the subgraph) and the component count.
+func (g *Graph) sccs(in []bool) ([]int32, int) {
+	n := len(g.obs)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int32
+	var next int32
+	var ncomp int
+
+	type frame struct {
+		v  int32
+		ei int
+	}
+	var callStack []frame
+	for root := 0; root < n; root++ {
+		if !in[root] || index[root] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: int32(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.adj[v]) {
+				e := g.adj[v][f.ei]
+				f.ei++
+				w := e.to
+				if !in[w] {
+					continue
+				}
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && low[w] < low[v] {
+					low[v] = low[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-order: pop.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(ncomp)
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				u := callStack[len(callStack)-1].v
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+			}
+		}
+	}
+	return comp, ncomp
+}

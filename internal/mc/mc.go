@@ -1,0 +1,252 @@
+// Package mc is an explicit-state model checker, the stdlib-only
+// substitute for the Spin verification of paper Section VIII-A. Where
+// the paper modeled its Java implementation in Promela, this checker
+// explores the actual Go goal and slot engines directly: a Model
+// supplies an initial state; each state enumerates its successors
+// (signal deliveries and nondeterministic internal moves); the checker
+// builds the full reachable graph, then checks safety (deadlocks,
+// final-state invariants, channel emptiness) and the paper's temporal
+// properties under exact weak fairness of queue service.
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ipmedia/internal/ltl"
+)
+
+// State is one global state of the model.
+type State interface {
+	// Key returns a canonical fingerprint; two states are identical iff
+	// their keys are equal.
+	Key() string
+	// Succs enumerates the successor states with their transition
+	// labels. An empty slice marks a terminal state.
+	Succs() []Succ
+	// Obs evaluates the path-state observation in this state.
+	Obs() ltl.Obs
+	// QueueMask returns a bitmask of the model's nonempty queues
+	// (bit i set iff queue i is nonempty). Used for weak fairness.
+	QueueMask() uint64
+	// Quiescent reports whether the state is a legitimate resting
+	// state: all queues empty and no internal moves pending.
+	Quiescent() bool
+	// Check validates state invariants in a quiescent state (e.g. the
+	// paper's "each slot is closed or flowing"); non-nil means a safety
+	// violation.
+	Check() error
+}
+
+// InvariantState is an optional State capability: Invariant is checked
+// in EVERY reachable state (not only quiescent ones). It carries the
+// inductive-lemma checks of paper Section VIII-B — properties such as
+// the flowlink's up-to-date soundness that must hold continuously.
+type InvariantState interface {
+	State
+	Invariant() error
+}
+
+// Succ is one labeled transition.
+type Succ struct {
+	State State
+	// Queue is the index of the queue whose head was delivered, or -1
+	// for internal (chaos/switch) moves, which are not fairness-bound.
+	Queue int
+	// Label describes the transition for counterexamples.
+	Label string
+}
+
+// Options tunes exploration.
+type Options struct {
+	// MaxStates aborts exploration beyond this many states (0: 30M).
+	MaxStates int
+	// HashCompaction stores 64-bit FNV-1a fingerprints instead of full
+	// state keys — the counterpart of the compression the paper's Spin
+	// runs relied on ("Even with partial order reduction, compression,
+	// and a few simplifying assumptions...", Section VIII-A). Memory
+	// per state drops to a few dozen bytes at the cost of a collision
+	// probability of about states²/2⁶⁵; the Result reports the bound.
+	HashCompaction bool
+}
+
+// Graph is the explored state graph.
+type Graph struct {
+	keys  map[string]int
+	sums  map[uint64]int // hash-compaction mode
+	obs   []ltl.Obs
+	masks []uint64
+	quies []bool
+	adj   [][]edge
+	// parent edge for counterexample reconstruction
+	parent []int
+	plabel []string
+
+	// KeyBytes is the total size of all state fingerprints, the bulk of
+	// the checker's memory use.
+	KeyBytes int64
+}
+
+type edge struct {
+	to    int32
+	queue int32
+}
+
+// Result summarizes one model-checking run, the data behind the
+// paper's Section VIII-A statistics.
+type Result struct {
+	States      int
+	Transitions int
+	Elapsed     time.Duration
+	MemBytes    uint64 // heap growth during exploration
+	Deadlocks   []string
+	SafetyErrs  []string
+	Truncated   bool
+	// CollisionBound is the approximate probability that hash
+	// compaction merged two distinct states (0 without compaction).
+	CollisionBound float64
+}
+
+// Explore builds the reachable state graph by breadth-first search and
+// performs the paper's safety checks along the way: no deadlocks or
+// other abnormal terminations, and every final state passes
+// State.Check (each slot closed or flowing, channels empty).
+func Explore(init State, opts Options) (*Graph, *Result) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 30_000_000
+	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+
+	g := &Graph{}
+	if opts.HashCompaction {
+		g.sums = map[uint64]int{}
+	} else {
+		g.keys = map[string]int{}
+	}
+	res := &Result{}
+	add := func(s State, parent int, label string) int {
+		id := len(g.obs)
+		g.obs = append(g.obs, s.Obs())
+		g.masks = append(g.masks, s.QueueMask())
+		g.quies = append(g.quies, s.Quiescent())
+		g.adj = append(g.adj, nil)
+		g.parent = append(g.parent, parent)
+		g.plabel = append(g.plabel, label)
+		return id
+	}
+	intern := func(s State, parent int, label string) (int, bool) {
+		k := s.Key()
+		if opts.HashCompaction {
+			h := fnv64(k)
+			if id, ok := g.sums[h]; ok {
+				return id, false
+			}
+			id := add(s, parent, label)
+			g.sums[h] = id
+			g.KeyBytes += 8
+			return id, true
+		}
+		if id, ok := g.keys[k]; ok {
+			return id, false
+		}
+		id := add(s, parent, label)
+		g.keys[k] = id
+		g.KeyBytes += int64(len(k))
+		return id, true
+	}
+
+	type item struct {
+		id int
+		s  State
+	}
+	id0, _ := intern(init, -1, "init")
+	queue := []item{{id0, init}}
+	for len(queue) > 0 {
+		if len(g.obs) > maxStates {
+			res.Truncated = true
+			break
+		}
+		it := queue[0]
+		queue = queue[1:]
+		if inv, ok := it.s.(InvariantState); ok {
+			if err := inv.Invariant(); err != nil && len(res.SafetyErrs) < 16 {
+				res.SafetyErrs = append(res.SafetyErrs, fmt.Sprintf("invariant: %v\n%s", err, g.trace(it.id)))
+			}
+		}
+		succs := it.s.Succs()
+		if len(succs) == 0 {
+			// Terminal: legitimate only if quiescent and invariant-clean.
+			if !it.s.Quiescent() {
+				res.Deadlocks = append(res.Deadlocks, g.trace(it.id))
+			} else if err := it.s.Check(); err != nil {
+				res.SafetyErrs = append(res.SafetyErrs, fmt.Sprintf("%v\n%s", err, g.trace(it.id)))
+			}
+			// Model a legitimate final state as stuttering.
+			g.adj[it.id] = append(g.adj[it.id], edge{to: int32(it.id), queue: -1})
+			res.Transitions++
+			continue
+		}
+		if it.s.Quiescent() {
+			// Quiescent but with internal moves still possible: the
+			// invariants must hold here too.
+			if err := it.s.Check(); err != nil {
+				res.SafetyErrs = append(res.SafetyErrs, fmt.Sprintf("%v\n%s", err, g.trace(it.id)))
+			}
+		}
+		for _, sc := range succs {
+			id, fresh := intern(sc.State, it.id, sc.Label)
+			g.adj[it.id] = append(g.adj[it.id], edge{to: int32(id), queue: int32(sc.Queue)})
+			res.Transitions++
+			if fresh {
+				queue = append(queue, item{id, sc.State})
+			}
+		}
+	}
+	res.States = len(g.obs)
+	if opts.HashCompaction {
+		n := float64(res.States)
+		res.CollisionBound = n * n / (2 * 18446744073709551616.0)
+	}
+	res.Elapsed = time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	if msAfter.HeapAlloc > msBefore.HeapAlloc {
+		res.MemBytes = msAfter.HeapAlloc - msBefore.HeapAlloc
+	}
+	return g, res
+}
+
+// trace reconstructs the labels along the BFS tree path to a state.
+func (g *Graph) trace(id int) string {
+	var labels []string
+	for id >= 0 && g.parent[id] != id {
+		labels = append(labels, g.plabel[id])
+		id = g.parent[id]
+		if len(labels) > 200 {
+			break
+		}
+	}
+	// reverse
+	s := ""
+	for i := len(labels) - 1; i >= 0; i-- {
+		s += "  " + labels[i] + "\n"
+	}
+	return s
+}
+
+// States returns the number of states in the graph.
+func (g *Graph) States() int { return len(g.obs) }
+
+// fnv64 is FNV-1a over the state key.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

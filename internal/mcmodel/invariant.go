@@ -1,0 +1,119 @@
+// Continuous invariants checked in every reachable state, and the
+// segment-lemma models of paper Section VIII-B ("toward complete
+// verification"): the paper proposes proving whole-path correctness
+// inductively from lemmas over path segments "no larger than two
+// tunnels and three boxes (in other words, a segment with no more than
+// one internal flowlink)", each lemma verifiable by model checking.
+//
+// Our segment lemma checks a flowlink against *purely chaotic*
+// environments at both ends — the ends never switch to a cooperative
+// goal — and asserts that the flowlink alone never breaks the
+// protocol: no violations, no unpaid obligations of its own, and the
+// up-to-date bookkeeping stays sound. Because the environments
+// over-approximate anything a neighboring segment can do, the lemma
+// composes across segments.
+package mcmodel
+
+import (
+	"fmt"
+
+	"ipmedia/internal/core"
+	"ipmedia/internal/slot"
+)
+
+// Invariant implements mc.InvariantState: properties that must hold in
+// every reachable state.
+func (s *pstate) Invariant() error {
+	if err := s.utdInvariant(); err != nil {
+		return err
+	}
+	return s.tunnelInvariant()
+}
+
+// utdInvariant is the soundness of the flowlink's up-to-date variables
+// (paper Section VII): utd(x) is true only if the other slot is
+// described and x has been sent the other slot's most recent
+// descriptor.
+func (s *pstate) utdInvariant() error {
+	for _, n := range s.nodes {
+		fl, ok := n.goal.(*core.FlowLink)
+		if !ok || n.phase != 1 {
+			continue
+		}
+		check := func(name string, utd bool, other string) error {
+			if !utd {
+				return nil
+			}
+			so := n.slots[other]
+			d, described := so.Desc()
+			if !described {
+				return fmt.Errorf("utd(%s) true but %s is not described", name, other)
+			}
+			h := n.slots[name].Hist()
+			if !h.HasDescSent || !h.DescSent.Equal(d) {
+				return fmt.Errorf("utd(%s) true but last descriptor sent (%v) differs from %s's current (%v)",
+					name, h.DescSent, other, d)
+			}
+			return nil
+		}
+		if err := check(fl.A, fl.UtdA, fl.B); err != nil {
+			return err
+		}
+		if err := check(fl.B, fl.UtdB, fl.A); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tunnelInvariant is a protocol-level pairing property: whenever both
+// queues of a tunnel are empty and both adjacent goal objects are past
+// their chaos phase, the two tunnel-end slots must be in one of the
+// compatible state pairs — (closed, closed), (flowing, flowing), or an
+// opening/opened pair — and neither may still owe a closeack (goals
+// acknowledge atomically, so an unpaid debt would mean a lost
+// obligation).
+func (s *pstate) tunnelInvariant() error {
+	for t := 0; t < len(s.nodes)-1; t++ {
+		if len(s.queues[2*t]) > 0 || len(s.queues[2*t+1]) > 0 {
+			continue
+		}
+		left, right := s.nodes[t], s.nodes[t+1]
+		if !left.settled() || !right.settled() {
+			continue
+		}
+		ls := left.slots[left.names[len(left.names)-1]]
+		rs := right.slots[right.names[0]]
+		if ls.OwesCloseAck() || rs.OwesCloseAck() {
+			return fmt.Errorf("tunnel %d drained but a closeack is still owed (%s/%s)", t, ls.State(), rs.State())
+		}
+		a, b := ls.State(), rs.State()
+		ok := (a == slot.Closed && b == slot.Closed) ||
+			(a == slot.Flowing && b == slot.Flowing) ||
+			(a == slot.Opening && b == slot.Opened) ||
+			(a == slot.Opened && b == slot.Opening)
+		if !ok {
+			return fmt.Errorf("tunnel %d drained into incompatible states %s/%s", t, a, b)
+		}
+	}
+	return nil
+}
+
+// settled reports whether a node's goal object is done with
+// nondeterministic behavior: it has switched to its real goal, or it
+// is a never-switching chaotic environment with its budget exhausted
+// and all protocol obligations (closeacks) discharged.
+func (n *node) settled() bool {
+	if n.phase == 1 {
+		return true
+	}
+	if !n.chaosEnd || n.budget != 0 {
+		return false
+	}
+	for _, name := range n.names {
+		if n.slots[name].OwesCloseAck() {
+			return false
+		}
+	}
+	return true
+}

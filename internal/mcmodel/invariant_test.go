@@ -1,0 +1,122 @@
+package mcmodel
+
+import (
+	"testing"
+
+	"ipmedia/internal/mc"
+)
+
+// TestContinuousInvariants re-verifies the default suite with the
+// per-state invariants active: utd soundness and drained-tunnel state
+// pairing must hold in every reachable state, not just final ones.
+// (Explore calls Invariant automatically because pstate implements
+// mc.InvariantState, so this is implicitly covered by every other
+// mcmodel test too; this test exists to document the property.)
+func TestContinuousInvariants(t *testing.T) {
+	for _, cfg := range Configs(1) {
+		v := Check(cfg, mc.Options{MaxStates: 5_000_000})
+		if v.Safety != nil {
+			t.Errorf("%s: %v", cfg.Name(), v.Safety)
+		}
+	}
+}
+
+// TestSegmentLemma verifies the inductive lemma of paper Section
+// VIII-B: a single flowlink segment checked against purely chaotic
+// environments at both ends. The environments never cooperate, so no
+// liveness can hold; the lemma is that the flowlink alone never breaks
+// the protocol — no violations, no deadlocks with unpaid flowlink
+// obligations, sound utd bookkeeping, and consistent drained tunnels —
+// against an over-approximation of anything a neighboring segment can
+// do. Because every interior box of a longer path sits in such a
+// segment, the lemma composes inductively over paths of any length.
+func TestSegmentLemma(t *testing.T) {
+	for _, budget := range []int{1, 2} {
+		cfg := Config{
+			Left: Open, Right: Open, // kinds irrelevant: ends never switch
+			Flowlinks: 1, ChaosBudget: budget, ChaosEnds: true,
+		}
+		g, res := mc.Explore(New(cfg), mc.Options{MaxStates: 10_000_000})
+		_ = g
+		if res.Truncated {
+			t.Fatalf("budget %d: truncated at %d states", budget, res.States)
+		}
+		if len(res.Deadlocks) > 0 {
+			t.Errorf("budget %d: %d deadlocks, first:\n%s", budget, len(res.Deadlocks), res.Deadlocks[0])
+		}
+		if len(res.SafetyErrs) > 0 {
+			t.Errorf("budget %d: %d violations, first:\n%s", budget, len(res.SafetyErrs), res.SafetyErrs[0])
+		}
+		if res.States < 100 {
+			t.Errorf("budget %d: suspiciously small segment space (%d states)", budget, res.States)
+		}
+		t.Logf("budget %d: %d states, %d transitions, %v", budget, res.States, res.Transitions, res.Elapsed)
+	}
+}
+
+// TestTwoFlowlinkPathVerifies goes beyond the paper's suite: "It may
+// not be feasible to model-check signaling paths with more than one
+// flowlink... checking a path with two flowlinks might take something
+// like 900 Gb of memory and 300 hours" (Section VIII-A). Our
+// protocol-level state encoding makes it routine: two-flowlink paths
+// verify in seconds, and three-flowlink paths in minutes (see
+// EXPERIMENTS.md).
+func TestTwoFlowlinkPathVerifies(t *testing.T) {
+	for _, combo := range [][2]GoalKind{{Open, Hold}, {Close, Close}, {Open, Open}} {
+		cfg := Config{Left: combo[0], Right: combo[1], Flowlinks: 2, ChaosBudget: 1}
+		v := Check(cfg, mc.Options{MaxStates: 10_000_000})
+		if !v.OK() {
+			t.Errorf("%s: safety=%v liveness=%v", cfg.Name(), v.Safety, v.Liveness)
+		}
+		if v.Result.States < 5000 {
+			t.Errorf("%s: suspiciously small space (%d states)", cfg.Name(), v.Result.States)
+		}
+	}
+}
+
+// TestThreeFlowlinkPathVerifies checks the longest path we verify
+// exhaustively: four tunnels, three flowlinks.
+func TestThreeFlowlinkPathVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-flowlink verification takes ~30s")
+	}
+	cfg := Config{Left: Open, Right: Hold, Flowlinks: 3, ChaosBudget: 1}
+	v := Check(cfg, mc.Options{MaxStates: 20_000_000})
+	if !v.OK() {
+		t.Fatalf("safety=%v liveness=%v", v.Safety, v.Liveness)
+	}
+	t.Logf("3-flowlink path: %d states, %d transitions, %v", v.Result.States, v.Result.Transitions, v.Result.Elapsed)
+}
+
+// TestSegmentLemmaTwoTunnelThreeBox matches the paper's exact proposed
+// lemma scope: "an arbitrary contiguous segment of a signaling path,
+// no larger than two tunnels and three boxes (in other words, a
+// segment with no more than one internal flowlink)".
+func TestSegmentLemmaScope(t *testing.T) {
+	cfg := Config{Left: Hold, Right: Hold, Flowlinks: 1, ChaosBudget: 2, ChaosEnds: true}
+	v := Check(cfg, mc.Options{MaxStates: 10_000_000})
+	// With chaotic ends only safety is meaningful; Check's liveness
+	// runs against the spec but chaotic ends make the property
+	// unsatisfiable in general — so call only the safety side here.
+	if v.Safety != nil {
+		t.Fatalf("segment lemma safety: %v", v.Safety)
+	}
+}
+
+// TestHashCompactionOnRealModel: hash compaction on an actual path
+// model keeps the verdicts and state counts identical while using a
+// fraction of the key memory.
+func TestHashCompactionOnRealModel(t *testing.T) {
+	cfg := Config{Left: Open, Right: Hold, Flowlinks: 1, ChaosBudget: 1}
+	full := Check(cfg, mc.Options{})
+	compact := Check(cfg, mc.Options{HashCompaction: true})
+	if !full.OK() || !compact.OK() {
+		t.Fatalf("verdicts: full=%v/%v compact=%v/%v", full.Safety, full.Liveness, compact.Safety, compact.Liveness)
+	}
+	if full.Result.States != compact.Result.States {
+		t.Fatalf("state counts differ: %d vs %d", full.Result.States, compact.Result.States)
+	}
+	if compact.Result.CollisionBound > 1e-6 {
+		t.Fatalf("collision bound too high: %g", compact.Result.CollisionBound)
+	}
+}

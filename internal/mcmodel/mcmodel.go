@@ -1,0 +1,537 @@
+// Package mcmodel builds the signaling-path models verified in paper
+// Section VIII-A: "six paths with no flowlinks and every possible
+// combination of closeslots, openslots, and holdslots at their ends,
+// and six paths similar to the first six paths but with one flowlink
+// each."
+//
+// As in the paper, every slot is controlled by a goal object with two
+// phases: in its initial phase the behavior of the slot is
+// nondeterministic (bounded by a chaos budget), and at some
+// nondeterministically chosen point the object switches permanently to
+// its real goal. Model checking therefore covers traces in which the
+// goal objects begin their real work in all possible initial states of
+// the slots and tunnels.
+//
+// Unlike the paper, which modeled the Java implementation in Promela,
+// these models execute the actual Go goal engines of internal/core:
+// there is no model/code gap.
+package mcmodel
+
+import (
+	"bytes"
+	"fmt"
+
+	"ipmedia/internal/core"
+	"ipmedia/internal/ltl"
+	"ipmedia/internal/mc"
+	"ipmedia/internal/path"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+)
+
+// GoalKind names a path-end goal.
+type GoalKind string
+
+// The three path-end goal kinds.
+const (
+	Open  GoalKind = "openSlot"
+	Close GoalKind = "closeSlot"
+	Hold  GoalKind = "holdSlot"
+)
+
+// Config describes one signaling-path model.
+type Config struct {
+	Left, Right GoalKind
+	Flowlinks   int
+	// ChaosBudget bounds the nondeterministic actions of each goal
+	// object's initial phase (default 2 for flowlink-free paths, 1 per
+	// goal when flowlinks are present, mirroring the paper's
+	// "few simplifying assumptions").
+	ChaosBudget int
+	// QueueCap bounds tunnel queues, like a Promela channel capacity.
+	QueueCap int
+	// ChaosEnds makes the two path-end goal objects purely chaotic
+	// environments that never switch to a cooperative goal — the
+	// segment-lemma configuration of Section VIII-B. Only safety and
+	// the continuous invariants are meaningful then.
+	ChaosEnds bool
+}
+
+// Name renders the model name used in reports.
+func (c Config) Name() string {
+	return fmt.Sprintf("%s--%dfl--%s", short(c.Left), c.Flowlinks, short(c.Right))
+}
+
+func short(k GoalKind) string {
+	switch k {
+	case Open:
+		return "open"
+	case Close:
+		return "close"
+	default:
+		return "hold"
+	}
+}
+
+// Spec returns the temporal property this path type must satisfy.
+func (c Config) Spec() ltl.PathProp {
+	p, err := ltl.SpecFor(string(c.Left), string(c.Right))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChaosBudget == 0 {
+		if c.Flowlinks > 0 {
+			c.ChaosBudget = 1
+		} else {
+			c.ChaosBudget = 2
+		}
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 8
+	}
+	return c
+}
+
+// node is one box on the path: an end node with a single slot and a
+// single-slot goal, or a middle node with two flowlinked slots.
+type node struct {
+	idx      int
+	names    []string // slot names, left to right
+	slots    map[string]*slot.Slot
+	prof     core.Profile
+	kind     GoalKind // end nodes only
+	goal     core.Goal
+	phase    int // 0: chaos; 1: goal attached
+	budget   int
+	chaosEnd bool // never switches: a pure environment (segment lemma)
+}
+
+func (n *node) Slot(name string) *slot.Slot { return n.slots[name] }
+
+func (n *node) clone() *node {
+	c := &node{
+		idx: n.idx, names: n.names, kind: n.kind,
+		phase: n.phase, budget: n.budget, chaosEnd: n.chaosEnd,
+		slots: make(map[string]*slot.Slot, len(n.slots)),
+	}
+	for k, s := range n.slots {
+		c.slots[k] = s.Clone()
+	}
+	c.prof = n.prof.Clone()
+	if n.goal != nil {
+		c.goal = n.goal.Clone()
+		// Single-slot goals must share the node's (possibly mutated)
+		// profile object; re-bind it.
+		switch g := c.goal.(type) {
+		case *core.OpenSlot:
+			g.P = c.prof
+		case *core.HoldSlot:
+			g.P = c.prof
+		}
+	}
+	return c
+}
+
+// pstate is one global state of the path model.
+type pstate struct {
+	cfg    Config
+	nodes  []*node
+	queues [][]sig.Signal
+	// poisoned records a protocol violation encountered while
+	// constructing this state; it becomes a terminal non-quiescent
+	// state, reported with its trace.
+	poisoned string
+}
+
+// New builds the initial state of a path model: all slots closed, all
+// queues empty, all goal objects in their chaos phase.
+func New(cfg Config) mc.State {
+	cfg = cfg.withDefaults()
+	st := &pstate{cfg: cfg}
+	nNodes := cfg.Flowlinks + 2
+	for i := 0; i < nNodes; i++ {
+		n := &node{idx: i, slots: map[string]*slot.Slot{}, budget: cfg.ChaosBudget}
+		switch {
+		case i == 0:
+			n.kind = cfg.Left
+			n.names = []string{"L"}
+			n.prof = core.NewEndpointProfile("L", "hL", 1, []sig.Codec{sig.G711}, []sig.Codec{sig.G711})
+			n.chaosEnd = cfg.ChaosEnds
+		case i == nNodes-1:
+			n.kind = cfg.Right
+			n.names = []string{"R"}
+			n.prof = core.NewEndpointProfile("R", "hR", 2, []sig.Codec{sig.G711}, []sig.Codec{sig.G711})
+			n.chaosEnd = cfg.ChaosEnds
+		default:
+			a, b := fmt.Sprintf("m%da", i), fmt.Sprintf("m%db", i)
+			n.names = []string{a, b}
+			n.prof = core.ServerProfile{Name: fmt.Sprintf("m%d", i)}
+		}
+		// Tunnel t connects node t's right slot (initiator) to node
+		// t+1's left slot.
+		for j, name := range n.names {
+			initiator := j == len(n.names)-1 && i < nNodes-1
+			n.slots[name] = slot.New(name, initiator)
+		}
+		st.nodes = append(st.nodes, n)
+	}
+	st.queues = make([][]sig.Signal, 2*(nNodes-1))
+	return st
+}
+
+func (s *pstate) clone() *pstate {
+	c := &pstate{cfg: s.cfg, poisoned: s.poisoned}
+	c.nodes = make([]*node, len(s.nodes))
+	for i, n := range s.nodes {
+		c.nodes[i] = n.clone()
+	}
+	c.queues = make([][]sig.Signal, len(s.queues))
+	for i, q := range s.queues {
+		c.queues[i] = append([]sig.Signal(nil), q...)
+	}
+	return c
+}
+
+// Queue topology: tunnel t has queue 2t carrying signals rightward
+// (from node t to node t+1) and queue 2t+1 carrying leftward.
+
+// queueFor returns the queue index for a signal sent by node idx on
+// slot name.
+func (s *pstate) queueFor(idx int, name string) int {
+	n := s.nodes[idx]
+	if idx < len(s.nodes)-1 && name == n.names[len(n.names)-1] {
+		return 2 * idx // rightward on tunnel idx
+	}
+	return 2*(idx-1) + 1 // leftward on tunnel idx-1
+}
+
+// dest returns the node index and slot name receiving from queue q.
+func (s *pstate) dest(q int) (int, string) {
+	t := q / 2
+	if q%2 == 0 {
+		n := s.nodes[t+1]
+		return t + 1, n.names[0]
+	}
+	n := s.nodes[t]
+	return t, n.names[len(n.names)-1]
+}
+
+// enqueue pushes goal actions onto the right queues; it reports a cap
+// overflow.
+func (s *pstate) enqueue(idx int, acts []core.Action) error {
+	for _, a := range acts {
+		q := s.queueFor(idx, a.Slot)
+		if len(s.queues[q]) >= s.cfg.QueueCap {
+			return fmt.Errorf("queue %d overflow", q)
+		}
+		s.queues[q] = append(s.queues[q], a.Sig)
+	}
+	return nil
+}
+
+// Key implements mc.State.
+func (s *pstate) Key() string {
+	var b bytes.Buffer
+	if s.poisoned != "" {
+		b.WriteString("!POISON:")
+		b.WriteString(s.poisoned)
+	}
+	for _, n := range s.nodes {
+		b.WriteByte(byte('0' + n.phase))
+		b.WriteByte(byte('0' + n.budget))
+		n.prof.Encode(&b)
+		if n.goal != nil {
+			n.goal.Encode(&b)
+		}
+		for _, name := range n.names {
+			n.slots[name].Encode(&b)
+		}
+		b.WriteByte('|')
+	}
+	for _, q := range s.queues {
+		for _, g := range q {
+			sig.EncodeSignal(&b, g)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Obs implements mc.State: the path-state observation over the two end
+// slots.
+func (s *pstate) Obs() ltl.Obs {
+	l := s.nodes[0].slots["L"]
+	r := s.nodes[len(s.nodes)-1].slots["R"]
+	return path.Observe(l, r)
+}
+
+// QueueMask implements mc.State.
+func (s *pstate) QueueMask() uint64 {
+	var m uint64
+	for i, q := range s.queues {
+		if len(q) > 0 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Quiescent implements mc.State: every queue empty and every goal
+// object in its second phase.
+func (s *pstate) Quiescent() bool {
+	if s.poisoned != "" {
+		return false
+	}
+	if s.QueueMask() != 0 {
+		return false
+	}
+	for _, n := range s.nodes {
+		if !n.settled() {
+			return false
+		}
+	}
+	return true
+}
+
+// Check implements mc.State: the paper's final-state invariant — each
+// slot is closed or flowing — plus closeack debts paid and mute
+// consistency in bothFlowing states. With chaotic environments
+// (segment lemma) the ends may legitimately stop mid-handshake, so
+// only the flowlink's own obligations are checked.
+func (s *pstate) Check() error {
+	if s.cfg.ChaosEnds {
+		for _, n := range s.nodes {
+			if n.chaosEnd {
+				continue
+			}
+			for _, name := range n.names {
+				if n.slots[name].OwesCloseAck() {
+					return fmt.Errorf("final state: flowlink slot %s owes a closeack", name)
+				}
+			}
+		}
+		return nil
+	}
+	for _, n := range s.nodes {
+		for _, name := range n.names {
+			sl := n.slots[name]
+			if st := sl.State(); st != slot.Closed && st != slot.Flowing {
+				return fmt.Errorf("final state: slot %s is %s", name, st)
+			}
+			if sl.OwesCloseAck() {
+				return fmt.Errorf("final state: slot %s owes a closeack", name)
+			}
+		}
+	}
+	l := s.nodes[0].slots["L"]
+	r := s.nodes[len(s.nodes)-1].slots["R"]
+	if s.Obs().BothFlowing && !path.EnabledConsistent(l, r) {
+		return fmt.Errorf("final state: bothFlowing but mute-inconsistent")
+	}
+	return nil
+}
+
+// Succs implements mc.State.
+func (s *pstate) Succs() []mc.Succ {
+	if s.poisoned != "" {
+		return nil
+	}
+	var out []mc.Succ
+	// Deliveries: one per nonempty queue.
+	for q := range s.queues {
+		if len(s.queues[q]) == 0 {
+			continue
+		}
+		c := s.clone()
+		g := c.queues[q][0]
+		c.queues[q] = c.queues[q][1:]
+		idx, slotName := c.dest(q)
+		label := fmt.Sprintf("deliver q%d %s to %s", q, g, slotName)
+		c.deliver(idx, slotName, g, label)
+		out = append(out, mc.Succ{State: c, Queue: q, Label: label})
+	}
+	// Internal moves of chaos-phase goal objects.
+	for i, n := range s.nodes {
+		if n.phase != 0 {
+			continue
+		}
+		acts := s.chaosActions(i)
+		// Protocol obligations (closeacks) are mandatory, budget-free,
+		// and taken immediately: nothing else can legally be sent on a
+		// slot that owes one, so the ack commutes with every other move
+		// and taking it first is a sound partial-order reduction.
+		obliged := false
+		for _, ca := range acts {
+			if ca.free {
+				obliged = true
+				c := s.clone()
+				c.applyChaos(i, ca)
+				out = append(out, mc.Succ{State: c, Queue: -1, Label: "chaos " + ca.String()})
+			}
+		}
+		if obliged {
+			continue
+		}
+		// The permanent switch to the real goal (chaotic environments
+		// never switch).
+		if !n.chaosEnd {
+			c := s.clone()
+			label := fmt.Sprintf("switch node %d to %s", i, c.nodes[i].kindName())
+			c.switchNode(i, label)
+			out = append(out, mc.Succ{State: c, Queue: -1, Label: label})
+		}
+		// Chaos actions, budget permitting.
+		if n.budget > 0 {
+			for _, ca := range acts {
+				c := s.clone()
+				c.nodes[i].budget--
+				c.applyChaos(i, ca)
+				out = append(out, mc.Succ{State: c, Queue: -1, Label: "chaos " + ca.String()})
+			}
+		}
+	}
+	return out
+}
+
+func (n *node) kindName() string {
+	if n.kind != "" {
+		return string(n.kind)
+	}
+	return "flowLink"
+}
+
+// deliver applies one signal to a node's slot and its goal object.
+func (s *pstate) deliver(idx int, slotName string, g sig.Signal, label string) {
+	n := s.nodes[idx]
+	ev, err := n.slots[slotName].Receive(g)
+	if err != nil {
+		s.poisoned = fmt.Sprintf("%s: %v", label, err)
+		return
+	}
+	if n.phase == 0 || n.goal == nil {
+		return // chaos consumes silently; the switch's Attach catches up
+	}
+	acts, err := n.goal.OnEvent(n, slotName, ev, g)
+	if err != nil {
+		s.poisoned = fmt.Sprintf("%s: %v", label, err)
+		return
+	}
+	if err := s.enqueue(idx, acts); err != nil {
+		s.poisoned = fmt.Sprintf("%s: %v", label, err)
+	}
+}
+
+// switchNode moves a node permanently to its second phase and attaches
+// its real goal object.
+func (s *pstate) switchNode(idx int, label string) {
+	n := s.nodes[idx]
+	n.phase = 1
+	n.budget = 0
+	if len(n.names) == 2 {
+		n.goal = core.NewFlowLink(n.names[0], n.names[1])
+	} else {
+		switch n.kind {
+		case Open:
+			n.goal = core.NewOpenSlot(n.names[0], sig.Audio, n.prof)
+		case Close:
+			n.goal = core.NewCloseSlot(n.names[0])
+		case Hold:
+			n.goal = core.NewHoldSlot(n.names[0], n.prof)
+		}
+	}
+	acts, err := n.goal.Attach(n)
+	if err != nil {
+		s.poisoned = fmt.Sprintf("%s: %v", label, err)
+		return
+	}
+	if err := s.enqueue(idx, acts); err != nil {
+		s.poisoned = fmt.Sprintf("%s: %v", label, err)
+	}
+}
+
+// chaosAction is one nondeterministic phase-1 behavior. Free actions
+// are protocol obligations (acknowledging a close): they cost no
+// budget and remain available after the budget is exhausted, because
+// even a nondeterministic environment must be protocol-conformant.
+type chaosAction struct {
+	slot string
+	sig  sig.Signal
+	mute string // "", "in", "out": toggle this profile flag first
+	free bool
+}
+
+func (a chaosAction) String() string {
+	if a.mute != "" {
+		return fmt.Sprintf("%s on %s (toggle mute%s)", a.sig, a.slot, a.mute)
+	}
+	return fmt.Sprintf("%s on %s", a.sig, a.slot)
+}
+
+// chaosActions enumerates the protocol-legal signals node i could emit
+// in its initial phase, covering all initial slot and tunnel states.
+func (s *pstate) chaosActions(idx int) []chaosAction {
+	n := s.nodes[idx]
+	var out []chaosAction
+	for _, name := range n.names {
+		sl := n.slots[name]
+		d, hasDesc := sl.Desc()
+		switch sl.State() {
+		case slot.Closed:
+			if !sl.OwesCloseAck() {
+				out = append(out, chaosAction{slot: name, sig: sig.Open(sig.Audio, n.prof.Describe())})
+			}
+		case slot.Opened:
+			out = append(out, chaosAction{slot: name, sig: sig.Oack(n.prof.Describe())})
+			out = append(out, chaosAction{slot: name, sig: sig.Close()})
+		case slot.Opening:
+			out = append(out, chaosAction{slot: name, sig: sig.Close()})
+		case slot.Flowing:
+			out = append(out, chaosAction{slot: name, sig: sig.Close()})
+			out = append(out, chaosAction{slot: name, sig: sig.Describe(n.prof.Describe())})
+			if ep, ok := n.prof.(*core.EndpointProfile); ok {
+				// Toggle muteIn to cover descriptor changes.
+				ep2 := ep.Clone().(*core.EndpointProfile)
+				ep2.SetMuteIn(!ep2.MuteIn)
+				out = append(out, chaosAction{slot: name, sig: sig.Describe(ep2.Describe()), mute: "in"})
+			}
+			if hasDesc {
+				out = append(out, chaosAction{slot: name, sig: sig.Select(n.prof.Answer(d))})
+			}
+		}
+		if sl.OwesCloseAck() {
+			out = append(out, chaosAction{slot: name, sig: sig.CloseAck(), free: true})
+		}
+	}
+	return out
+}
+
+// applyChaos performs one chaos action on a cloned state.
+func (s *pstate) applyChaos(idx int, a chaosAction) {
+	n := s.nodes[idx]
+	if a.mute != "" {
+		if ep, ok := n.prof.(*core.EndpointProfile); ok {
+			switch a.mute {
+			case "in":
+				ep.SetMuteIn(!ep.MuteIn)
+			case "out":
+				ep.SetMuteOut(!ep.MuteOut)
+			}
+			// Regenerate the signal from the mutated profile so the
+			// descriptor ID comes from this state's own pool.
+			if a.sig.Kind == sig.KindDescribe {
+				a.sig = sig.Describe(ep.Describe())
+			}
+		}
+	}
+	if err := n.slots[a.slot].Send(a.sig); err != nil {
+		s.poisoned = fmt.Sprintf("chaos %s: %v", a, err)
+		return
+	}
+	if err := s.enqueue(idx, []core.Action{{Slot: a.slot, Sig: a.sig}}); err != nil {
+		s.poisoned = fmt.Sprintf("chaos %s: %v", a, err)
+	}
+}

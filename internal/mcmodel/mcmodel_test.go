@@ -1,0 +1,111 @@
+package mcmodel
+
+import (
+	"strings"
+	"testing"
+
+	"ipmedia/internal/ltl"
+	"ipmedia/internal/mc"
+)
+
+// TestSuiteDefaults verifies all twelve path models of paper Section
+// VIII-A at the default chaos budgets: safety (no deadlocks, final
+// states closed-or-flowing with empty channels) and the Section V
+// temporal specification of each path type.
+func TestSuiteDefaults(t *testing.T) {
+	for _, v := range Suite(mc.Options{MaxStates: 5_000_000}) {
+		v := v
+		t.Run(v.Config.Name(), func(t *testing.T) {
+			if v.Safety != nil {
+				t.Errorf("safety: %v", v.Safety)
+			}
+			if v.Liveness != nil {
+				t.Errorf("liveness (%s): %v", v.Prop, v.Liveness)
+			}
+			if v.Result.States < 100 {
+				t.Errorf("suspiciously small state space: %d", v.Result.States)
+			}
+		})
+	}
+}
+
+// TestFlowlinkBudget2 runs the deepest nondeterminism we use for the
+// paper's flowlink-cost comparison on one representative model. The
+// full budget-2 sweep lives in cmd/pathcheck and the benchmarks.
+func TestFlowlinkBudget2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("budget-2 flowlink model is slow")
+	}
+	cfg := Config{Left: Open, Right: Hold, Flowlinks: 1, ChaosBudget: 2}
+	v := Check(cfg, mc.Options{MaxStates: 20_000_000})
+	if !v.OK() {
+		t.Fatalf("safety=%v liveness=%v", v.Safety, v.Liveness)
+	}
+	if v.Result.States < 10_000 {
+		t.Errorf("budget-2 flowlink space too small: %d states", v.Result.States)
+	}
+}
+
+// TestSpecsMatchPaper pins the property assigned to each path type to
+// Section V's table.
+func TestSpecsMatchPaper(t *testing.T) {
+	want := map[[2]GoalKind]ltl.PathProp{
+		{Close, Close}: ltl.StabClosed,
+		{Close, Hold}:  ltl.StabClosed,
+		{Close, Open}:  ltl.StabNotFlowing,
+		{Hold, Hold}:   ltl.ClosedOrFlowing,
+		{Open, Hold}:   ltl.RecFlowing,
+		{Open, Open}:   ltl.RecFlowing,
+	}
+	for combo, prop := range want {
+		cfg := Config{Left: combo[0], Right: combo[1]}
+		if got := cfg.Spec(); got != prop {
+			t.Errorf("%v: spec = %s, want %s", combo, got, prop)
+		}
+	}
+}
+
+// TestFlowlinkBlowup reproduces the shape of the paper's Section
+// VIII-A observation: adding a flowlink to a path model multiplies the
+// verification cost by orders of magnitude (paper: x300 memory, x1000
+// time on their Spin models).
+func TestFlowlinkBlowup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("state-space comparison is slow")
+	}
+	base := Check(Config{Left: Open, Right: Hold, Flowlinks: 0, ChaosBudget: 2}, mc.Options{})
+	link := Check(Config{Left: Open, Right: Hold, Flowlinks: 1, ChaosBudget: 2}, mc.Options{})
+	if !base.OK() || !link.OK() {
+		t.Fatalf("models must verify: base=%v/%v link=%v/%v", base.Safety, base.Liveness, link.Safety, link.Liveness)
+	}
+	ratio := float64(link.Result.States) / float64(base.Result.States)
+	if ratio < 10 {
+		t.Errorf("flowlink state blow-up only x%.1f; expected orders of magnitude", ratio)
+	}
+	t.Logf("states: %d -> %d (x%.0f), transitions %d -> %d, time %v -> %v",
+		base.Result.States, link.Result.States, ratio,
+		base.Result.Transitions, link.Result.Transitions,
+		base.Result.Elapsed, link.Result.Elapsed)
+}
+
+// TestPoisonedStatesSurfaceAsDeadlocks: a model variant that violates
+// the protocol must be reported, not silently explored. We simulate by
+// overflowing a tiny queue cap.
+func TestQueueOverflowReported(t *testing.T) {
+	cfg := Config{Left: Open, Right: Open, Flowlinks: 0, ChaosBudget: 2, QueueCap: 1}
+	v := Check(cfg, mc.Options{MaxStates: 2_000_000})
+	if v.Safety == nil {
+		t.Fatal("queue cap 1 must overflow and be reported as a safety violation")
+	}
+	if !strings.Contains(v.Safety.Error(), "deadlock") {
+		t.Logf("reported as: %v", v.Safety)
+	}
+}
+
+// TestModelNames pins the report naming.
+func TestModelNames(t *testing.T) {
+	cfg := Config{Left: Open, Right: Hold, Flowlinks: 1}
+	if cfg.Name() != "open--1fl--hold" {
+		t.Errorf("name = %q", cfg.Name())
+	}
+}

@@ -1,0 +1,78 @@
+// The verification suite of paper Section VIII-A: twelve signaling
+// paths — six without flowlinks covering every end-goal combination,
+// and six with one flowlink each — checked for safety and for their
+// Section V temporal specification.
+package mcmodel
+
+import (
+	"fmt"
+
+	"ipmedia/internal/ltl"
+	"ipmedia/internal/mc"
+)
+
+// Combos are the six end-goal combinations, up to symmetry.
+var Combos = [][2]GoalKind{
+	{Close, Close},
+	{Close, Hold},
+	{Close, Open},
+	{Hold, Hold},
+	{Open, Hold},
+	{Open, Open},
+}
+
+// Configs returns the six path models with the given number of
+// flowlinks.
+func Configs(flowlinks int) []Config {
+	out := make([]Config, 0, len(Combos))
+	for _, c := range Combos {
+		out = append(out, Config{Left: c[0], Right: c[1], Flowlinks: flowlinks})
+	}
+	return out
+}
+
+// Verdict is the outcome of checking one path model.
+type Verdict struct {
+	Config   Config
+	Prop     ltl.PathProp
+	Result   *mc.Result
+	Safety   error
+	Liveness error
+}
+
+// OK reports whether both checks passed.
+func (v Verdict) OK() bool { return v.Safety == nil && v.Liveness == nil }
+
+// Check explores one path model and verifies it: first the safety
+// check (no deadlocks or abnormal terminations; final states have
+// every slot closed or flowing and all channels empty), then the
+// temporal specification of Section V.
+func Check(cfg Config, opts mc.Options) Verdict {
+	cfg = cfg.withDefaults()
+	v := Verdict{Config: cfg, Prop: cfg.Spec()}
+	g, res := mc.Explore(New(cfg), opts)
+	v.Result = res
+	switch {
+	case res.Truncated:
+		v.Safety = fmt.Errorf("state space truncated at %d states", res.States)
+	case len(res.Deadlocks) > 0:
+		v.Safety = fmt.Errorf("%d deadlocks, first:\n%s", len(res.Deadlocks), res.Deadlocks[0])
+	case len(res.SafetyErrs) > 0:
+		v.Safety = fmt.Errorf("%d final-state violations, first:\n%s", len(res.SafetyErrs), res.SafetyErrs[0])
+	}
+	if v.Safety == nil {
+		v.Liveness = g.CheckProp(v.Prop)
+	}
+	return v
+}
+
+// Suite runs all twelve models of the paper (flowlinks = 0 and 1).
+func Suite(opts mc.Options) []Verdict {
+	var out []Verdict
+	for _, fl := range []int{0, 1} {
+		for _, cfg := range Configs(fl) {
+			out = append(out, Check(cfg, opts))
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+// Package media simulates the media plane: RTP-like packets traveling
+// directly between media endpoints, separately from the signaling
+// channels (paper Figure 1). The paper's own implementation could not
+// be tested with live IP media (Section VIII-C); this simulated plane
+// goes further, letting integration tests observe that packets
+// actually flow exactly when the path semantics say they should, and
+// measure clipping — media packets lost because they arrive before the
+// receiver is set up (Section VI-A).
+package media
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ipmedia/internal/sig"
+)
+
+// AddrPort identifies a media endpoint's receiving socket.
+type AddrPort struct {
+	Addr string
+	Port int
+}
+
+// IsZero reports an unset address.
+func (a AddrPort) IsZero() bool { return a.Addr == "" && a.Port == 0 }
+
+func (a AddrPort) String() string { return fmt.Sprintf("%s:%d", a.Addr, a.Port) }
+
+// Packet is one simulated media packet.
+type Packet struct {
+	From  AddrPort
+	To    AddrPort
+	Codec sig.Codec
+	Seq   uint64
+}
+
+// Stats counts packet dispositions at one agent.
+type Stats struct {
+	Sent       uint64 // packets transmitted by this agent
+	Accepted   uint64 // packets received and consumed
+	Clipped    uint64 // packets received while open but before the matching selector
+	Unexpected uint64 // packets received while not open to the sender (discarded)
+}
+
+// Agent is the media half of one endpoint (or one leg of a media
+// resource): the current transmission target and reception
+// expectation, updated by the endpoint's signaling code, plus packet
+// counters. All methods are safe for concurrent use; signaling updates
+// come from the box goroutine while the Plane delivers packets from
+// test goroutines.
+type Agent struct {
+	name   string
+	origin AddrPort
+
+	mu        sync.Mutex
+	sendTo    AddrPort  // zero when not transmitting
+	sendCodec sig.Codec //
+	expFrom   AddrPort  // zero when no selector received
+	expCodec  sig.Codec
+	listening bool // flowing with a descriptor out: packets may arrive early
+	seq       uint64
+	stats     Stats
+}
+
+// NewAgent creates an agent receiving at origin.
+func NewAgent(name string, origin AddrPort) *Agent {
+	return &Agent{name: name, origin: origin}
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// Origin returns the agent's receiving address.
+func (a *Agent) Origin() AddrPort { return a.origin }
+
+// SetSending declares the agent's current transmission target; a zero
+// AddrPort stops transmission. The endpoint calls this when it has
+// sent a selector with a real codec ("an endpoint can send media as
+// soon as it has sent a selector with a real codec", paper VI-B).
+func (a *Agent) SetSending(to AddrPort, codec sig.Codec) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sendTo, a.sendCodec = to, codec
+}
+
+// SetExpecting declares where the agent expects media from, per the
+// most recent selector received; listening reports whether the
+// endpoint has an open channel at all (clipping window).
+func (a *Agent) SetExpecting(from AddrPort, codec sig.Codec, listening bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.expFrom, a.expCodec, a.listening = from, codec, listening
+}
+
+// Sending returns the current transmission target, if any.
+func (a *Agent) Sending() (AddrPort, sig.Codec, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sendTo, a.sendCodec, !a.sendTo.IsZero()
+}
+
+// Stats returns a snapshot of the agent's packet counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// emit produces the agent's next outgoing packet, if transmitting.
+func (a *Agent) emit() (Packet, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sendTo.IsZero() {
+		return Packet{}, false
+	}
+	a.seq++
+	a.stats.Sent++
+	return Packet{From: a.origin, To: a.sendTo, Codec: a.sendCodec, Seq: a.seq}, true
+}
+
+// deliver classifies an incoming packet.
+func (a *Agent) deliver(p Packet) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case !a.expFrom.IsZero() && p.From == a.expFrom && p.Codec == a.expCodec:
+		a.stats.Accepted++
+	case !a.expFrom.IsZero() && p.From == a.expFrom:
+		// Right sender, wrong codec: a codec-reconfiguration window,
+		// counted with clipping.
+		a.stats.Clipped++
+	case a.expFrom.IsZero() && a.listening:
+		// Open but the matching selector has not arrived: clipped per
+		// the paper's relaxed synchronization (Section VI-B, footnote 5).
+		a.stats.Clipped++
+	default:
+		// From a sender we are not open to — e.g. telephone B of paper
+		// Figure 2, "transmitting to an endpoint that will throw away
+		// the packets".
+		a.stats.Unexpected++
+	}
+}
+
+// Flow is one observed media flow in the plane.
+type Flow struct {
+	From, To string // agent names
+	Codec    sig.Codec
+}
+
+func (f Flow) String() string { return fmt.Sprintf("%s->%s(%s)", f.From, f.To, f.Codec) }
+
+// Plane is the simulated media network: a registry of agents by
+// receiving address, with synchronous packet delivery on Tick.
+type Plane struct {
+	mu     sync.Mutex
+	agents map[AddrPort]*Agent
+	lost   uint64
+}
+
+// NewPlane creates an empty media plane.
+func NewPlane() *Plane {
+	return &Plane{agents: map[AddrPort]*Agent{}}
+}
+
+// Register adds an agent to the plane. Registering a second agent at
+// the same address replaces the first.
+func (p *Plane) Register(a *Agent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.agents[a.Origin()] = a
+}
+
+// Agent creates and registers a new agent in one step.
+func (p *Plane) Agent(name string, origin AddrPort) *Agent {
+	a := NewAgent(name, origin)
+	p.Register(a)
+	return a
+}
+
+// Tick simulates n packet periods: every transmitting agent emits one
+// packet per period, delivered synchronously to the agent at the
+// destination address (or counted as lost).
+func (p *Plane) Tick(n int) {
+	p.mu.Lock()
+	agents := make([]*Agent, 0, len(p.agents))
+	for _, a := range p.agents {
+		agents = append(agents, a)
+	}
+	p.mu.Unlock()
+	sort.Slice(agents, func(i, j int) bool { return agents[i].name < agents[j].name })
+	for i := 0; i < n; i++ {
+		for _, a := range agents {
+			pkt, ok := a.emit()
+			if !ok {
+				continue
+			}
+			p.mu.Lock()
+			dst := p.agents[pkt.To]
+			if dst == nil {
+				p.lost++
+			}
+			p.mu.Unlock()
+			if dst != nil {
+				dst.deliver(pkt)
+			}
+		}
+	}
+}
+
+// Lost returns the count of packets sent to unregistered addresses.
+func (p *Plane) Lost() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lost
+}
+
+// Flows returns the current flow graph: one entry per transmitting
+// agent, named by source and destination agent (destination "?" if no
+// agent is registered at the target address). Sorted for stable test
+// assertions.
+func (p *Plane) Flows() []Flow {
+	p.mu.Lock()
+	agents := make([]*Agent, 0, len(p.agents))
+	for _, a := range p.agents {
+		agents = append(agents, a)
+	}
+	byAddr := make(map[AddrPort]string, len(agents))
+	for _, a := range agents {
+		byAddr[a.Origin()] = a.name
+	}
+	p.mu.Unlock()
+	var flows []Flow
+	for _, a := range agents {
+		to, codec, ok := a.Sending()
+		if !ok {
+			continue
+		}
+		dst, found := byAddr[to]
+		if !found {
+			dst = "?"
+		}
+		flows = append(flows, Flow{From: a.name, To: dst, Codec: codec})
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].From != flows[j].From {
+			return flows[i].From < flows[j].From
+		}
+		return flows[i].To < flows[j].To
+	})
+	return flows
+}
+
+// HasFlow reports whether a flow from one named agent to another is
+// currently active.
+func (p *Plane) HasFlow(from, to string) bool {
+	for _, f := range p.Flows() {
+		if f.From == from && f.To == to {
+			return true
+		}
+	}
+	return false
+}

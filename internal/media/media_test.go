@@ -1,0 +1,156 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipmedia/internal/sig"
+)
+
+func ap(addr string, port int) AddrPort { return AddrPort{Addr: addr, Port: port} }
+
+func TestFlowAndDelivery(t *testing.T) {
+	p := NewPlane()
+	a := p.Agent("A", ap("10.0.0.1", 5004))
+	b := p.Agent("B", ap("10.0.0.2", 5004))
+
+	// Nothing flows initially.
+	if len(p.Flows()) != 0 {
+		t.Fatal("no flows expected initially")
+	}
+	p.Tick(10)
+	if s := b.Stats(); s.Accepted+s.Clipped+s.Unexpected != 0 {
+		t.Fatal("no packets expected initially")
+	}
+
+	// A transmits to B; B expects A.
+	a.SetSending(b.Origin(), sig.G711)
+	b.SetExpecting(a.Origin(), sig.G711, true)
+	p.Tick(10)
+	if s := a.Stats(); s.Sent != 10 {
+		t.Fatalf("A sent %d, want 10", s.Sent)
+	}
+	if s := b.Stats(); s.Accepted != 10 {
+		t.Fatalf("B accepted %d, want 10", s.Accepted)
+	}
+	if !p.HasFlow("A", "B") || p.HasFlow("B", "A") {
+		t.Fatalf("flow graph wrong: %v", p.Flows())
+	}
+}
+
+func TestClippingWindow(t *testing.T) {
+	p := NewPlane()
+	a := p.Agent("A", ap("h1", 1))
+	b := p.Agent("B", ap("h2", 2))
+	a.SetSending(b.Origin(), sig.G711)
+	// B is open (listening) but has not received the selector yet.
+	b.SetExpecting(AddrPort{}, "", true)
+	p.Tick(3)
+	if s := b.Stats(); s.Clipped != 3 || s.Accepted != 0 {
+		t.Fatalf("want 3 clipped, got %+v", s)
+	}
+	// Selector arrives; subsequent packets are accepted.
+	b.SetExpecting(a.Origin(), sig.G711, true)
+	p.Tick(5)
+	if s := b.Stats(); s.Accepted != 5 {
+		t.Fatalf("want 5 accepted after selector, got %+v", s)
+	}
+}
+
+func TestUnexpectedPackets(t *testing.T) {
+	// The Figure 2 pathology: B left transmitting to an endpoint that
+	// throws the packets away because it has been told to communicate
+	// with someone else.
+	p := NewPlane()
+	a := p.Agent("A", ap("h1", 1))
+	b := p.Agent("B", ap("h2", 2))
+	c := p.Agent("C", ap("h3", 3))
+	b.SetSending(a.Origin(), sig.G711)
+	// A is communicating with C, not listening for B.
+	a.SetExpecting(c.Origin(), sig.G711, false)
+	p.Tick(4)
+	if s := a.Stats(); s.Unexpected != 4 {
+		t.Fatalf("want 4 unexpected at A, got %+v", s)
+	}
+	_ = c
+}
+
+func TestWrongCodecClipped(t *testing.T) {
+	p := NewPlane()
+	a := p.Agent("A", ap("h1", 1))
+	b := p.Agent("B", ap("h2", 2))
+	a.SetSending(b.Origin(), sig.G726)
+	b.SetExpecting(a.Origin(), sig.G711, true) // expects a different codec
+	p.Tick(2)
+	if s := b.Stats(); s.Accepted != 0 || s.Clipped != 2 {
+		t.Fatalf("codec mismatch must not be accepted: %+v", s)
+	}
+}
+
+func TestLostPackets(t *testing.T) {
+	p := NewPlane()
+	a := p.Agent("A", ap("h1", 1))
+	a.SetSending(ap("nowhere", 9), sig.G711)
+	p.Tick(7)
+	if p.Lost() != 7 {
+		t.Fatalf("lost = %d, want 7", p.Lost())
+	}
+	if !p.HasFlow("A", "?") {
+		t.Fatalf("flow to unknown destination must appear as ?: %v", p.Flows())
+	}
+}
+
+func TestFlowsSortedAndStable(t *testing.T) {
+	p := NewPlane()
+	a := p.Agent("A", ap("h1", 1))
+	b := p.Agent("B", ap("h2", 2))
+	c := p.Agent("C", ap("h3", 3))
+	a.SetSending(b.Origin(), sig.G711)
+	b.SetSending(c.Origin(), sig.G711)
+	c.SetSending(a.Origin(), sig.G711)
+	f1 := p.Flows()
+	f2 := p.Flows()
+	if len(f1) != 3 {
+		t.Fatalf("want 3 flows, got %v", f1)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("flow order unstable")
+		}
+	}
+	if f1[0].From != "A" || f1[1].From != "B" || f1[2].From != "C" {
+		t.Fatalf("flows not sorted: %v", f1)
+	}
+}
+
+func TestQuickConservation(t *testing.T) {
+	// Property: every emitted packet is accounted for exactly once:
+	// accepted + clipped + unexpected at receivers + lost == sent.
+	f := func(na, nb, nc uint8, aSends, bSends, cSends bool) bool {
+		p := NewPlane()
+		agents := []*Agent{
+			p.Agent("A", ap("h1", 1)),
+			p.Agent("B", ap("h2", 2)),
+			p.Agent("C", ap("h3", 3)),
+		}
+		targets := []AddrPort{agents[1].Origin(), agents[2].Origin(), ap("void", 0)}
+		sends := []bool{aSends, bSends, cSends}
+		for i, a := range agents {
+			if sends[i] {
+				a.SetSending(targets[i], sig.G711)
+			}
+			a.SetExpecting(agents[(i+1)%3].Origin(), sig.G711, i%2 == 0)
+		}
+		p.Tick(int(na%50) + int(nb%50) + int(nc%50))
+		var sent, recv uint64
+		for _, a := range agents {
+			s := a.Stats()
+			sent += s.Sent
+			recv += s.Accepted + s.Clipped + s.Unexpected
+		}
+		return sent == recv+p.Lost()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// A media plane carried over real UDP datagrams on the local host:
+// the production-shaped counterpart of the in-memory Plane. Media is
+// high-bandwidth and loss-tolerant, so "it is common to use RTP for
+// media streams, because limited packet loss is preferable to delay"
+// (paper Section I); this carrier plays the RTP role with a minimal
+// binary header (source address, codec, sequence number).
+package media
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"ipmedia/internal/sig"
+)
+
+// Registry is the media-plane interface endpoints program against:
+// both the in-memory Plane and the UDPPlane implement it.
+type Registry interface {
+	// Agent creates and registers an agent receiving at origin.
+	Agent(name string, origin AddrPort) *Agent
+}
+
+var (
+	_ Registry = (*Plane)(nil)
+	_ Registry = (*UDPPlane)(nil)
+)
+
+// UDPPlane registers agents on real UDP sockets. Agent origins must
+// use IP addresses (e.g. 127.0.0.1); packets are sent as datagrams and
+// classified by the receiving agent exactly as on the in-memory plane.
+type UDPPlane struct {
+	mu     sync.Mutex
+	agents map[AddrPort]*Agent
+	conns  []*net.UDPConn
+	errs   []error
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewUDPPlane creates an empty UDP media plane.
+func NewUDPPlane() *UDPPlane {
+	return &UDPPlane{agents: map[AddrPort]*Agent{}}
+}
+
+// Errs returns socket errors recorded during operation.
+func (p *UDPPlane) Errs() []error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]error(nil), p.errs...)
+}
+
+func (p *UDPPlane) fail(err error) {
+	p.mu.Lock()
+	p.errs = append(p.errs, err)
+	p.mu.Unlock()
+}
+
+// Agent implements Registry: it binds origin's UDP socket and starts a
+// reader that classifies incoming datagrams.
+func (p *UDPPlane) Agent(name string, origin AddrPort) *Agent {
+	a := NewAgent(name, origin)
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(origin.Addr), Port: origin.Port})
+	if err != nil {
+		p.fail(fmt.Errorf("media: bind %s: %w", origin, err))
+		return a
+	}
+	p.mu.Lock()
+	p.agents[origin] = a
+	p.conns = append(p.conns, conn)
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		buf := make([]byte, 2048)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			pkt, err := unmarshalPacket(buf[:n])
+			if err != nil {
+				continue
+			}
+			pkt.To = origin
+			a.deliver(pkt)
+		}
+	}()
+	return a
+}
+
+// Tick simulates n packet periods: every transmitting agent emits one
+// datagram per period. Delivery is asynchronous; use AwaitStats-style
+// polling in tests.
+func (p *UDPPlane) Tick(n int) {
+	p.mu.Lock()
+	agents := make([]*Agent, 0, len(p.agents))
+	for _, a := range p.agents {
+		agents = append(agents, a)
+	}
+	p.mu.Unlock()
+	sort.Slice(agents, func(i, j int) bool { return agents[i].name < agents[j].name })
+	for i := 0; i < n; i++ {
+		for _, a := range agents {
+			pkt, ok := a.emit()
+			if !ok {
+				continue
+			}
+			dst := &net.UDPAddr{IP: net.ParseIP(pkt.To.Addr), Port: pkt.To.Port}
+			conn, err := net.DialUDP("udp", nil, dst)
+			if err != nil {
+				p.fail(err)
+				continue
+			}
+			if _, err := conn.Write(marshalPacket(pkt)); err != nil {
+				p.fail(err)
+			}
+			conn.Close()
+		}
+	}
+}
+
+// Flows mirrors Plane.Flows over the registered agents.
+func (p *UDPPlane) Flows() []Flow {
+	p.mu.Lock()
+	agents := make([]*Agent, 0, len(p.agents))
+	byAddr := make(map[AddrPort]string, len(p.agents))
+	for _, a := range p.agents {
+		agents = append(agents, a)
+		byAddr[a.Origin()] = a.name
+	}
+	p.mu.Unlock()
+	var flows []Flow
+	for _, a := range agents {
+		to, codec, ok := a.Sending()
+		if !ok {
+			continue
+		}
+		dst, found := byAddr[to]
+		if !found {
+			dst = "?"
+		}
+		flows = append(flows, Flow{From: a.name, To: dst, Codec: codec})
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].From != flows[j].From {
+			return flows[i].From < flows[j].From
+		}
+		return flows[i].To < flows[j].To
+	})
+	return flows
+}
+
+// HasFlow mirrors Plane.HasFlow.
+func (p *UDPPlane) HasFlow(from, to string) bool {
+	for _, f := range p.Flows() {
+		if f.From == from && f.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Close shuts all sockets down and waits for the readers.
+func (p *UDPPlane) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := p.conns
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+// Datagram format:
+//
+//	u16 addrLen | addr | u16 port | u16 codecLen | codec | u64 seq
+func marshalPacket(pkt Packet) []byte {
+	addr, codec := []byte(pkt.From.Addr), []byte(pkt.Codec)
+	out := make([]byte, 0, 2+len(addr)+2+2+len(codec)+8)
+	var u16 [2]byte
+	var u64 [8]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(addr)))
+	out = append(out, u16[:]...)
+	out = append(out, addr...)
+	binary.BigEndian.PutUint16(u16[:], uint16(pkt.From.Port))
+	out = append(out, u16[:]...)
+	binary.BigEndian.PutUint16(u16[:], uint16(len(codec)))
+	out = append(out, u16[:]...)
+	out = append(out, codec...)
+	binary.BigEndian.PutUint64(u64[:], pkt.Seq)
+	out = append(out, u64[:]...)
+	return out
+}
+
+func unmarshalPacket(b []byte) (Packet, error) {
+	var pkt Packet
+	if len(b) < 2 {
+		return pkt, fmt.Errorf("media: short datagram")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n+4 {
+		return pkt, fmt.Errorf("media: truncated address")
+	}
+	pkt.From.Addr = string(b[:n])
+	b = b[n:]
+	pkt.From.Port = int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	n = int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n+8 {
+		return pkt, fmt.Errorf("media: truncated codec")
+	}
+	pkt.Codec = sig.Codec(b[:n])
+	b = b[n:]
+	pkt.Seq = binary.BigEndian.Uint64(b)
+	return pkt, nil
+}

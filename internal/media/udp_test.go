@@ -1,0 +1,85 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ipmedia/internal/sig"
+)
+
+func TestUDPPacketRoundTrip(t *testing.T) {
+	f := func(addr string, port uint16, codec string, seq uint64) bool {
+		in := Packet{From: AddrPort{Addr: addr, Port: int(port)}, Codec: sig.Codec(codec), Seq: seq}
+		out, err := unmarshalPacket(marshalPacket(in))
+		if err != nil {
+			return false
+		}
+		out.To = AddrPort{}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUDPPacketRejectsCorrupt(t *testing.T) {
+	for _, b := range [][]byte{nil, {0}, {0, 9, 'x'}, {0, 1, 'a', 0, 0, 0, 9}} {
+		if _, err := unmarshalPacket(b); err == nil {
+			t.Errorf("corrupt datagram %v decoded", b)
+		}
+	}
+}
+
+func TestUDPPlaneDelivery(t *testing.T) {
+	p := NewUDPPlane()
+	defer p.Close()
+	a := p.Agent("A", AddrPort{Addr: "127.0.0.1", Port: 39711})
+	b := p.Agent("B", AddrPort{Addr: "127.0.0.1", Port: 39713})
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Skipf("cannot bind UDP sockets: %v", errs[0])
+	}
+	a.SetSending(b.Origin(), sig.G711)
+	b.SetExpecting(a.Origin(), sig.G711, true)
+	if !p.HasFlow("A", "B") {
+		t.Fatalf("flows: %v", p.Flows())
+	}
+	p.Tick(10)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.Stats().Accepted == 10 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := b.Stats(); s.Accepted != 10 {
+		t.Fatalf("B accepted %d of 10 datagrams: %+v", s.Accepted, s)
+	}
+	if s := a.Stats(); s.Sent != 10 {
+		t.Fatalf("A sent %d: %+v", s.Sent, s)
+	}
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Fatalf("plane errors: %v", errs)
+	}
+}
+
+func TestUDPPlaneStrangerDiscarded(t *testing.T) {
+	p := NewUDPPlane()
+	defer p.Close()
+	a := p.Agent("A", AddrPort{Addr: "127.0.0.1", Port: 39721})
+	b := p.Agent("B", AddrPort{Addr: "127.0.0.1", Port: 39723})
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Skipf("cannot bind UDP sockets: %v", errs[0])
+	}
+	a.SetSending(b.Origin(), sig.G711)
+	// B is not open to anyone.
+	p.Tick(5)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.Stats().Unexpected == 5 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("B stats: %+v, want 5 unexpected", b.Stats())
+}

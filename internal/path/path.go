@@ -1,0 +1,225 @@
+// Package path implements the descriptive model's signaling paths
+// (paper Section III-A) and the compositional path semantics of
+// Section V: a signaling path is a maximal chain of tunnels and
+// flowlinks meeting at slots; each path corresponds to an actual or
+// potential media channel between the path endpoints, and correctness
+// is specified per path type by the temporal formulas evaluated in
+// package ltl.
+package path
+
+import (
+	"fmt"
+	"sort"
+
+	"ipmedia/internal/ltl"
+	"ipmedia/internal/slot"
+)
+
+// SlotRef identifies a slot globally.
+type SlotRef struct {
+	Box  string
+	Slot string
+}
+
+func (r SlotRef) String() string { return r.Box + "/" + r.Slot }
+
+// Topology is a snapshot of the graph of boxes, tunnels, and flowlinks
+// from which signaling paths are computed.
+type Topology struct {
+	tunnels map[SlotRef]SlotRef
+	links   map[SlotRef]SlotRef
+	goals   map[SlotRef]string // goal kind controlling each slot
+}
+
+// NewTopology creates an empty topology.
+func NewTopology() *Topology {
+	return &Topology{
+		tunnels: map[SlotRef]SlotRef{},
+		links:   map[SlotRef]SlotRef{},
+		goals:   map[SlotRef]string{},
+	}
+}
+
+// Tunnel records a tunnel between two slots (in different boxes).
+func (t *Topology) Tunnel(a, b SlotRef) {
+	t.tunnels[a], t.tunnels[b] = b, a
+}
+
+// Link records a flowlink joining two slots within one box.
+func (t *Topology) Link(a, b SlotRef) {
+	t.links[a], t.links[b] = b, a
+}
+
+// SetGoal records the kind of the goal object controlling a slot
+// ("openSlot", "closeSlot", "holdSlot", ...).
+func (t *Topology) SetGoal(r SlotRef, kind string) { t.goals[r] = kind }
+
+// Goal returns the recorded goal kind for a slot.
+func (t *Topology) Goal(r SlotRef) string { return t.goals[r] }
+
+// Path is one signaling path: the slots along it, from one path end to
+// the other. Slots[0] and Slots[len-1] are the path endpoints;
+// interior slots come in flowlinked pairs.
+type Path struct {
+	Slots []SlotRef
+}
+
+// Ends returns the two endpoint slots.
+func (p Path) Ends() (SlotRef, SlotRef) {
+	return p.Slots[0], p.Slots[len(p.Slots)-1]
+}
+
+// Hops returns the number of tunnels in the path.
+func (p Path) Hops() int { return len(p.Slots) / 2 }
+
+// Flowlinks returns the number of flowlinks in the path.
+func (p Path) Flowlinks() int { return (len(p.Slots) - 2) / 2 }
+
+func (p Path) String() string {
+	s := ""
+	for i, r := range p.Slots {
+		if i > 0 {
+			if i%2 == 1 {
+				s += " ~ " // tunnel
+			} else {
+				s += " = " // flowlink
+			}
+		}
+		s += r.String()
+	}
+	return s
+}
+
+// Paths computes all maximal signaling paths in the topology. Cyclic
+// configurations are reported as an error: "cyclic signaling paths are
+// not useful for controlling media channels... we assume that the
+// configuration process prevents cycles" (paper Section III-A).
+func (t *Topology) Paths() ([]Path, error) {
+	// Path endpoints are slots with a tunnel but no flowlink.
+	var endpoints []SlotRef
+	for s := range t.tunnels {
+		if _, linked := t.links[s]; !linked {
+			endpoints = append(endpoints, s)
+		}
+	}
+	sort.Slice(endpoints, func(i, j int) bool {
+		return endpoints[i].String() < endpoints[j].String()
+	})
+	seen := map[SlotRef]bool{}
+	var paths []Path
+	for _, e := range endpoints {
+		if seen[e] {
+			continue
+		}
+		p := Path{Slots: []SlotRef{e}}
+		seen[e] = true
+		cur := e
+		guard := 0
+		for {
+			if guard++; guard > 10000 {
+				return nil, fmt.Errorf("path: runaway walk from %s", e)
+			}
+			peer, ok := t.tunnels[cur]
+			if !ok {
+				return nil, fmt.Errorf("path: slot %s has no tunnel", cur)
+			}
+			if seen[peer] {
+				return nil, fmt.Errorf("path: cycle detected at %s", peer)
+			}
+			p.Slots = append(p.Slots, peer)
+			seen[peer] = true
+			next, linked := t.links[peer]
+			if !linked {
+				break // far path end
+			}
+			if seen[next] {
+				return nil, fmt.Errorf("path: cycle detected at %s", next)
+			}
+			p.Slots = append(p.Slots, next)
+			seen[next] = true
+			cur = next
+		}
+		paths = append(paths, p)
+	}
+	// Detect pure cycles (no endpoints at all).
+	for s := range t.links {
+		if !seen[s] {
+			if _, hasTunnel := t.tunnels[s]; hasTunnel {
+				return nil, fmt.Errorf("path: cyclic signaling path through %s", s)
+			}
+		}
+	}
+	return paths, nil
+}
+
+// Spec returns the temporal specification for a path, from the goal
+// kinds recorded for its two end slots (paper Section V).
+func (t *Topology) Spec(p Path) (ltl.PathProp, error) {
+	l, r := p.Ends()
+	return ltl.SpecFor(t.goals[l], t.goals[r])
+}
+
+// BothClosed evaluates the bothClosed path state over the two end
+// slots (paper Section V): Lclosed ∧ Rclosed, in user-interface terms
+// (the protocol state closing reads as closed).
+func BothClosed(l, r *slot.Slot) bool {
+	return l.IsClosed() && r.IsClosed()
+}
+
+// BothFlowing evaluates the bothFlowing path state using the
+// history-variable definition the paper uses in model checking
+// (Section VIII-A): both ends flowing, each end has most recently
+// received the descriptor most recently sent by the other, and each
+// end has most recently received a selector answering its own most
+// recent descriptor.
+func BothFlowing(l, r *slot.Slot) bool {
+	if l.State() != slot.Flowing || r.State() != slot.Flowing {
+		return false
+	}
+	ld, lok := l.Desc()
+	rd, rok := r.Desc()
+	if !lok || !rok {
+		return false
+	}
+	lh, rh := l.Hist(), r.Hist()
+	return ld.Equal(rh.DescSent) && rd.Equal(lh.DescSent) &&
+		lh.HasSelRcvd && lh.SelRcvd.Answers == lh.DescSent.ID &&
+		rh.HasSelRcvd && rh.SelRcvd.Answers == rh.DescSent.ID &&
+		l.Medium() == r.Medium()
+}
+
+// Observe builds the ltl observation for a pair of path-end slots.
+func Observe(l, r *slot.Slot) ltl.Obs {
+	return ltl.Obs{BothClosed: BothClosed(l, r), BothFlowing: BothFlowing(l, r)}
+}
+
+// EnabledConsistent checks the Section V mute consistency at a
+// bothFlowing state: Lenabled = ¬LmuteIn ∧ ¬RmuteOut and symmetrically
+// — expressed through the slots' enabled history bits and the noMedia
+// content of the descriptors and selectors exchanged.
+func EnabledConsistent(l, r *slot.Slot) bool {
+	lh, rh := l.Hist(), r.Hist()
+	// l.Enabled: l has sent a real selector — possible only if the
+	// descriptor it answers (r's) offered media, and required if it did
+	// and l was willing.
+	if l.Enabled() {
+		if d, ok := l.Desc(); !ok || d.NoMedia() {
+			return false
+		}
+	}
+	if r.Enabled() {
+		if d, ok := r.Desc(); !ok || d.NoMedia() {
+			return false
+		}
+	}
+	// A noMedia descriptor must be answered by a noMedia selector.
+	if lh.HasDescSent && lh.DescSent.NoMedia() && rh.HasSelSent && !rh.SelSent.NoMedia() &&
+		rh.SelSent.Answers == lh.DescSent.ID {
+		return false
+	}
+	if rh.HasDescSent && rh.DescSent.NoMedia() && lh.HasSelSent && !lh.SelSent.NoMedia() &&
+		lh.SelSent.Answers == rh.DescSent.ID {
+		return false
+	}
+	return true
+}

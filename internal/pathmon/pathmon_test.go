@@ -1,0 +1,113 @@
+package pathmon
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/core"
+	"ipmedia/internal/ltl"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/transport"
+)
+
+func await(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestMonitorSnapshot builds a live three-box path, watches it come
+// up, and checks the monitor's path shape, classification, and
+// observation before and after the channel is established.
+func TestMonitorSnapshot(t *testing.T) {
+	net := transport.NewMemNetwork()
+	prof := func(name string, port int) *core.EndpointProfile {
+		return core.NewEndpointProfile(name, "h"+name, port, []sig.Codec{sig.G711}, []sig.Codec{sig.G711})
+	}
+	l := box.NewRunner(box.New("L", prof("L", 1)), net)
+	r := box.NewRunner(box.New("R", prof("R", 2)), net)
+	mid := box.NewRunner(box.New("M", core.ServerProfile{Name: "M"}), net)
+	defer l.Stop()
+	defer r.Stop()
+	defer mid.Stop()
+	if err := l.Listen("L", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Listen("R", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Connect("cl", "L"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Connect("cr", "R"); err != nil {
+		t.Fatal(err)
+	}
+	mid.Do(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewFlowLink(box.TunnelSlot("cl", 0), box.TunnelSlot("cr", 0)))
+	})
+
+	m := New()
+	m.AddBox(l)
+	m.AddBox(r)
+	m.AddBox(mid)
+	m.Tunnel("M", box.TunnelSlot("cl", 0), "L", box.TunnelSlot("in0", 0))
+	m.Tunnel("M", box.TunnelSlot("cr", 0), "R", box.TunnelSlot("in0", 0))
+
+	// Before anything opens: one path, bothClosed, unspecified ends
+	// (the slots have no goals yet at the devices).
+	reports, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("want 1 path, got %v", reports)
+	}
+	if !reports[0].Obs.BothClosed {
+		t.Fatalf("fresh path must observe bothClosed: %v", reports[0])
+	}
+
+	// Bring it up: open at L, hold at R.
+	await(t, "L's channel", func() bool {
+		ok := false
+		l.Do(func(ctx *box.Ctx) { ok = ctx.Box().HasChannel("in0") })
+		return ok
+	})
+	l.Do(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewOpenSlot(box.TunnelSlot("in0", 0), sig.Audio, l.Box().Profile()))
+	})
+	await(t, "path flowing", func() bool {
+		reports, err := m.Snapshot()
+		if err != nil {
+			return false
+		}
+		rep, ok := Find(reports, "L", "R")
+		return ok && rep.Obs.BothFlowing
+	})
+	reports, err = m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := Find(reports, "L", "R")
+	if !ok {
+		t.Fatalf("no L..R path: %v", reports)
+	}
+	if rep.Path.Flowlinks() != 1 || rep.Path.Hops() != 2 {
+		t.Fatalf("path shape: %v", rep.Path)
+	}
+	if !rep.Specified || rep.Spec != ltl.RecFlowing {
+		t.Fatalf("spec = %v (specified=%v), want □◇bothFlowing", rep.Spec, rep.Specified)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+	if _, found := Find(reports, "L", "nobody"); found {
+		t.Fatal("Find must miss unknown boxes")
+	}
+}

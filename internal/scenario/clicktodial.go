@@ -1,0 +1,144 @@
+// The Click-to-Dial box program of paper Figure 6, transcribed
+// state-for-state: oneCall, twoCalls, busyTone, ringback, connected,
+// and terminate, with the timer, availability, and teardown branches.
+package scenario
+
+import (
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/core"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/transport"
+)
+
+// Click-to-Dial slot names, matching the paper's 1a, 2a, and Ta.
+const (
+	ctd1a = "1.t0"
+	ctd2a = "2.t0"
+	ctdTa = "T.t0"
+)
+
+// ClickToDialConfig parameterizes the box: the configured address of
+// user 1's IP telephone, the clicked address from the web site, the
+// tone resource, and how long to ring user 1 before giving up.
+type ClickToDialConfig struct {
+	User1Addr string
+	User2Addr string
+	ToneAddr  string
+	Timeout   time.Duration
+}
+
+// NewClickToDial starts a Click-to-Dial box: the program takes its
+// initial transition as soon as the box starts (the user has clicked).
+// The returned done channel closes when the program terminates.
+func NewClickToDial(net transport.Network, cfg ClickToDialConfig) (*box.Runner, <-chan struct{}, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = time.Hour
+	}
+	b := box.New("CTD", core.ServerProfile{Name: "CTD"})
+	r := box.NewRunner(b, net)
+	done := make(chan struct{})
+
+	flowing := func(s string) box.Guard {
+		return func(ctx *box.Ctx) bool { return ctx.IsFlowing(s) }
+	}
+	meta := func(ch string, k sig.MetaKind) box.Guard {
+		return func(ctx *box.Ctx) bool { return ctx.OnMeta(ch, k) }
+	}
+	torn := func(ch string) box.Guard { return meta(ch, sig.MetaTeardown) }
+
+	prog := &box.Program{
+		Initial: "oneCall",
+		States: []*box.State{
+			{
+				// Ring user 1's own telephone first.
+				Name:   "oneCall",
+				Annots: []box.Annot{box.OpenSlotAnn(ctd1a, sig.Audio)},
+				OnEnter: func(ctx *box.Ctx) {
+					ctx.Dial("1", cfg.User1Addr)
+					ctx.SetTimer("giveup", cfg.Timeout)
+				},
+				Trans: []box.Trans{
+					{When: flowing(ctd1a), To: "twoCalls", Do: func(ctx *box.Ctx) {
+						ctx.CancelTimer("giveup")
+						ctx.Dial("2", cfg.User2Addr)
+					}},
+					{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("giveup") }, To: "terminate",
+						Do: func(ctx *box.Ctx) { ctx.Teardown("1") }},
+					{When: torn("1"), To: "terminate"},
+				},
+			},
+			{
+				// User 1 answered; try the clicked address, waiting for
+				// the availability meta-signal.
+				Name: "twoCalls",
+				Annots: []box.Annot{
+					box.OpenSlotAnn(ctd1a, sig.Audio), // same annotation: same goal object
+					box.OpenSlotAnn(ctd2a, sig.Audio),
+				},
+				Trans: []box.Trans{
+					{When: meta("2", sig.MetaUnavailable), To: "busyTone", Do: func(ctx *box.Ctx) {
+						ctx.Teardown("2")
+						ctx.Dial("T", cfg.ToneAddr)
+					}},
+					{When: meta("2", sig.MetaAvailable), To: "ringback", Do: func(ctx *box.Ctx) {
+						ctx.Dial("T", cfg.ToneAddr)
+					}},
+					{When: torn("1"), To: "terminate", Do: func(ctx *box.Ctx) { ctx.Teardown("2") }},
+				},
+			},
+			{
+				// The clicked device is unavailable: play busy tone to
+				// user 1 until user 1 abandons the call.
+				Name:   "busyTone",
+				Annots: []box.Annot{box.FlowLinkAnn(ctd1a, ctdTa)},
+				Trans: []box.Trans{
+					{When: torn("1"), To: "terminate", Do: func(ctx *box.Ctx) { ctx.Teardown("T") }},
+				},
+			},
+			{
+				// Ringing the clicked device: user 1 hears ringback from
+				// the tone resource while the openslot keeps working on
+				// channel 2.
+				Name: "ringback",
+				Annots: []box.Annot{
+					box.FlowLinkAnn(ctd1a, ctdTa),
+					box.OpenSlotAnn(ctd2a, sig.Audio), // still the same goal object
+				},
+				Trans: []box.Trans{
+					{When: flowing(ctd2a), To: "connected", Do: func(ctx *box.Ctx) {
+						ctx.Teardown("T")
+					}},
+					{When: torn("1"), To: "terminate", Do: func(ctx *box.Ctx) {
+						ctx.Teardown("2")
+						ctx.Teardown("T")
+					}},
+					{When: torn("2"), To: "terminate", Do: func(ctx *box.Ctx) { ctx.Teardown("T") }},
+				},
+			},
+			{
+				// Both parties up: flowlink reconfigures addresses, ports,
+				// and codecs so user 1 and user 2 talk directly.
+				Name:   "connected",
+				Annots: []box.Annot{box.FlowLinkAnn(ctd1a, ctd2a)},
+				Trans: []box.Trans{
+					{When: torn("1"), To: "terminate", Do: func(ctx *box.Ctx) { ctx.Teardown("2") }},
+					{When: torn("2"), To: "terminate", Do: func(ctx *box.Ctx) { ctx.Teardown("1") }},
+				},
+			},
+			{
+				Name: "terminate",
+				OnEnter: func(ctx *box.Ctx) {
+					select {
+					case <-done:
+					default:
+						close(done)
+					}
+				},
+			},
+		},
+	}
+	r.SetProgram(prog)
+	return r, done, nil
+}

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia/internal/endpoint"
+	"ipmedia/internal/media"
+	"ipmedia/internal/transport"
+)
+
+type ctdFixture struct {
+	t     *testing.T
+	net   *transport.MemNetwork
+	plane *media.Plane
+	p1    *endpoint.Device
+	p2    *endpoint.Device
+	stops []func()
+}
+
+func newCTDFixture(t *testing.T, p2Unavailable bool) *ctdFixture {
+	f := &ctdFixture{t: t, net: transport.NewMemNetwork(), plane: media.NewPlane()}
+	var err error
+	f.p1, err = endpoint.NewDevice(endpoint.Config{Name: "P1", Net: f.net, Plane: f.plane, MediaPort: 5004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stops = append(f.stops, f.p1.Stop)
+	f.p2, err = endpoint.NewDevice(endpoint.Config{Name: "P2", Net: f.net, Plane: f.plane, MediaPort: 5006, Unavailable: p2Unavailable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stops = append(f.stops, f.p2.Stop)
+	tone, err := endpoint.NewToneGenerator("tone", f.net, f.plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stops = append(f.stops, tone.Stop)
+	return f
+}
+
+func (f *ctdFixture) cleanup() {
+	for _, s := range f.stops {
+		s()
+	}
+}
+
+func (f *ctdFixture) eventually(what string, pred func() bool) {
+	f.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.t.Fatalf("timeout waiting for %s (flows %v)", what, f.plane.Flows())
+}
+
+// TestClickToDialHappyPath follows Figure 6's main path: user 1
+// answers, hears ringback while user 2's phone rings, then the two
+// parties talk directly.
+func TestClickToDialHappyPath(t *testing.T) {
+	f := newCTDFixture(t, false)
+	defer f.cleanup()
+	ctd, done, err := NewClickToDial(f.net, ClickToDialConfig{
+		User1Addr: "P1", User2Addr: "P2", ToneAddr: "tone",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctd.Stop()
+
+	f.eventually("P1 ringing", func() bool { return len(f.p1.Ringing()) == 1 })
+	f.p1.Answer(f.p1.Ringing()[0])
+
+	// Ringback: the tone resource plays to P1 while P2 rings.
+	f.eventually("ringback tone to P1", func() bool { return f.plane.HasFlow("tone", "P1") })
+	f.eventually("P2 ringing", func() bool { return len(f.p2.Ringing()) == 1 })
+	f.p2.Answer(f.p2.Ringing()[0])
+
+	// Connected: direct media both ways, tone gone.
+	f.eventually("P1<->P2 media", func() bool {
+		return f.plane.HasFlow("P1", "P2") && f.plane.HasFlow("P2", "P1") && !f.plane.HasFlow("tone", "P1")
+	})
+	f.plane.Tick(10)
+	if s := f.p2.Agent().Stats(); s.Accepted == 0 {
+		t.Fatalf("no packets accepted at P2: %+v", s)
+	}
+
+	// User 2 hangs up; the box tears everything down and terminates.
+	f.p2.HangUp("in0")
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("program did not terminate after hangup")
+	}
+	for _, e := range ctd.Errs() {
+		t.Errorf("ctd error: %v", e)
+	}
+}
+
+// TestClickToDialBusy follows the unavailable branch: user 1 hears
+// busy tone, then abandons.
+func TestClickToDialBusy(t *testing.T) {
+	f := newCTDFixture(t, true)
+	defer f.cleanup()
+	ctd, done, err := NewClickToDial(f.net, ClickToDialConfig{
+		User1Addr: "P1", User2Addr: "P2", ToneAddr: "tone",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctd.Stop()
+
+	f.eventually("P1 ringing", func() bool { return len(f.p1.Ringing()) == 1 })
+	f.p1.Answer(f.p1.Ringing()[0])
+	f.eventually("busy tone to P1", func() bool { return f.plane.HasFlow("tone", "P1") })
+	if f.plane.HasFlow("P2", "P1") || f.plane.HasFlow("P1", "P2") {
+		t.Fatal("no media may involve the unavailable P2")
+	}
+	f.p1.HangUp("in0")
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("program did not terminate after abandon")
+	}
+	for _, e := range ctd.Errs() {
+		t.Errorf("ctd error: %v", e)
+	}
+}
+
+// TestClickToDialTimeout follows the timer branch: user 1 never
+// answers; the box destroys channel 1 and terminates.
+func TestClickToDialTimeout(t *testing.T) {
+	f := newCTDFixture(t, false)
+	defer f.cleanup()
+	ctd, done, err := NewClickToDial(f.net, ClickToDialConfig{
+		User1Addr: "P1", User2Addr: "P2", ToneAddr: "tone",
+		Timeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctd.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("program did not time out")
+	}
+	if len(f.plane.Flows()) != 0 {
+		t.Fatalf("no media expected after timeout, got %v", f.plane.Flows())
+	}
+	for _, e := range ctd.Errs() {
+		t.Errorf("ctd error: %v", e)
+	}
+}

@@ -1,0 +1,87 @@
+// The conference server of paper Figure 7: an application server that,
+// for each user device, flowlinks the user's tunnel to a tunnel leading
+// to the conference bridge (the media resource that performs the
+// mixing). "Full muting separates one user from the conference
+// entirely. The conference server can accomplish this by temporarily
+// replacing a flowlink by two holdslots" — implemented verbatim by
+// MuteUser/UnmuteUser.
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/core"
+	"ipmedia/internal/transport"
+)
+
+// ConferenceServer joins user devices to a bridge.
+type ConferenceServer struct {
+	r      *box.Runner
+	bridge string
+
+	mu    sync.Mutex
+	users int
+}
+
+// NewConferenceServer starts a conference server listening at addr,
+// using the named bridge resource.
+func NewConferenceServer(net transport.Network, addr, bridge string) (*ConferenceServer, error) {
+	cs := &ConferenceServer{bridge: bridge}
+	b := box.New("CONF", core.ServerProfile{Name: "CONF"})
+	cs.r = box.NewRunner(b, net)
+	// Each accepted user channel userN gets a dedicated leg brN to the
+	// bridge and a flowlink between them.
+	if err := cs.r.Listen(addr, func(n int) string { return fmt.Sprintf("user%d", n) }); err != nil {
+		cs.r.Stop()
+		return nil, err
+	}
+	return cs, nil
+}
+
+// Runner exposes the server's box runner.
+func (cs *ConferenceServer) Runner() *box.Runner { return cs.r }
+
+// Stop shuts the server down.
+func (cs *ConferenceServer) Stop() { cs.r.Stop() }
+
+// AwaitUser waits for the nth user channel and links it to the bridge.
+func (cs *ConferenceServer) AwaitUser(n int) error {
+	name := fmt.Sprintf("user%d", n)
+	if !cs.r.AwaitChannel(name, 5e9) {
+		return fmt.Errorf("scenario: user channel %s never arrived", name)
+	}
+	leg := fmt.Sprintf("br%d", n)
+	cs.r.Do(func(ctx *box.Ctx) {
+		if !ctx.Box().HasChannel(leg) {
+			ctx.Dial(leg, cs.bridge)
+		}
+		ctx.SetGoal(core.NewFlowLink(box.TunnelSlot(name, 0), box.TunnelSlot(leg, 0)))
+	})
+	cs.mu.Lock()
+	if n+1 > cs.users {
+		cs.users = n + 1
+	}
+	cs.mu.Unlock()
+	return nil
+}
+
+// MuteUser fully separates user n from the conference by replacing the
+// flowlink with two holdslots (paper Section IV-B).
+func (cs *ConferenceServer) MuteUser(n int) {
+	cs.r.Do(func(ctx *box.Ctx) {
+		prof := ctx.Box().Profile()
+		ctx.SetGoal(core.NewHoldSlot(box.TunnelSlot(fmt.Sprintf("user%d", n), 0), prof))
+		ctx.SetGoal(core.NewHoldSlot(box.TunnelSlot(fmt.Sprintf("br%d", n), 0), prof))
+	})
+}
+
+// UnmuteUser restores the flowlink, and with it the user's media.
+func (cs *ConferenceServer) UnmuteUser(n int) {
+	cs.r.Do(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewFlowLink(
+			box.TunnelSlot(fmt.Sprintf("user%d", n), 0),
+			box.TunnelSlot(fmt.Sprintf("br%d", n), 0)))
+	})
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ipmedia/internal/endpoint"
+	"ipmedia/internal/media"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/transport"
+)
+
+// TestConferenceServerFigure7 builds the exact signaling graph of
+// paper Figure 7 — devices connect to the conference SERVER, which
+// flowlinks each user tunnel to a tunnel leading to the bridge — and
+// exercises full muting by flowlink-to-holdslots replacement.
+func TestConferenceServerFigure7(t *testing.T) {
+	net := transport.NewMemNetwork()
+	plane := media.NewPlane()
+	var stops []func()
+	defer func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}()
+
+	bridge, err := endpoint.NewBridge("bridge", net, plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops = append(stops, bridge.Stop)
+
+	cs, err := NewConferenceServer(net, "conf", "bridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops = append(stops, cs.Stop)
+
+	eventually := func(what string, pred func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if pred() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s (flows %v)", what, plane.Flows())
+	}
+
+	var devs []*endpoint.Device
+	for i := 0; i < 3; i++ {
+		d, err := endpoint.NewDevice(endpoint.Config{
+			Name: fmt.Sprintf("U%d", i), Net: net, Plane: plane, MediaPort: 5004 + 2*i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops = append(stops, d.Stop)
+		devs = append(devs, d)
+		// The user calls the conference server, not the bridge.
+		if err := d.Call("conf", "conf", sig.Audio); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.AwaitUser(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Media: each user to its bridge leg and back, spliced through the
+	// server's flowlinks.
+	allUp := func() bool {
+		for i, d := range devs {
+			leg := fmt.Sprintf("bridge/in%d", i)
+			if !plane.HasFlow(d.Name(), leg) || !plane.HasFlow(leg, d.Name()) {
+				return false
+			}
+		}
+		return true
+	}
+	eventually("full conference media via the server", allUp)
+
+	// Full muting: replace U1's flowlink with two holdslots. U1's media
+	// stops in BOTH directions; the others are untouched.
+	cs.MuteUser(1)
+	eventually("U1 fully muted", func() bool {
+		return !plane.HasFlow("U1", "bridge/in1") && !plane.HasFlow("bridge/in1", "U1") &&
+			plane.HasFlow("U0", "bridge/in0") && plane.HasFlow("U2", "bridge/in2")
+	})
+
+	// Unmute: the flowlink returns and so does the media — the
+	// recurrence property in service form.
+	cs.UnmuteUser(1)
+	eventually("U1 restored", allUp)
+
+	for _, e := range cs.Runner().Errs() {
+		t.Errorf("conference server error: %v", e)
+	}
+}

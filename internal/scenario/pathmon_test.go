@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"testing"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/ltl"
+	"ipmedia/internal/pathmon"
+)
+
+// prepaidMonitor wires a runtime path monitor over the prepaid-card
+// fixture's topology.
+func prepaidMonitor(p *Prepaid) *pathmon.Monitor {
+	m := pathmon.New()
+	m.AddBox(p.PBX)
+	m.AddBox(p.PC)
+	m.AddBox(p.A.Runner())
+	m.AddBox(p.B.Runner())
+	m.AddBox(p.C.Runner())
+	m.AddBox(p.V.Runner())
+	m.Tunnel("PBX", pbxA, "A", box.TunnelSlot("in0", 0))
+	m.Tunnel("PBX", pbxB, "B", box.TunnelSlot("in0", 0))
+	m.Tunnel("PBX", pbxPC, "PC", pcPBX)
+	m.Tunnel("PC", pcC, "C", box.TunnelSlot("in0", 0))
+	m.Tunnel("PC", pcV, "V", box.TunnelSlot("in0", 0))
+	return m
+}
+
+// TestRuntimePathVerification snapshots the live prepaid system at
+// each story point and checks that the signaling paths, their Section
+// V specifications, and their observations are exactly as the paper's
+// Figure 3 describes — runtime verification mirroring the model
+// checker's exhaustive verdicts.
+func TestRuntimePathVerification(t *testing.T) {
+	p, err := NewPrepaid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	m := prepaidMonitor(p)
+
+	// Snapshot 1: PBX onC, PC linked. The A path runs A ~ PBX = PBX ~
+	// PC = PC ~ C: two flowlinks, openslot at both ends, bothFlowing.
+	reports, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, ok := pathmon.Find(reports, "A", "C")
+	if !ok {
+		t.Fatalf("no A..C path in %v", reports)
+	}
+	if ac.Path.Flowlinks() != 2 || ac.Path.Hops() != 3 {
+		t.Fatalf("A..C path shape wrong: %v", ac.Path)
+	}
+	if !ac.Specified || ac.Spec != ltl.RecFlowing {
+		t.Fatalf("A..C spec = %v (specified=%v), want □◇bothFlowing", ac.Spec, ac.Specified)
+	}
+	if !ac.Obs.BothFlowing {
+		t.Fatalf("A..C must be bothFlowing in snapshot 1: %v", ac)
+	}
+	// B's path ends at the PBX's holdslot: hold/hold, currently flowing
+	// (muted).
+	bp, ok := pathmon.Find(reports, "B", "PBX")
+	if !ok {
+		t.Fatalf("no B..PBX path in %v", reports)
+	}
+	if !bp.Specified || bp.Spec != ltl.ClosedOrFlowing {
+		t.Fatalf("B path spec = %v, want the hold/hold disjunction", bp.Spec)
+	}
+	if !bp.Obs.BothFlowing {
+		t.Fatalf("B path must be flowing (held): %v", bp)
+	}
+
+	// Funds exhausted (snapshot 2): now C's path goes to V and A's path
+	// ends at PC's holdslot.
+	p.FundsExhausted()
+	if err := p.await("C<->V media", func() bool {
+		return p.Plane.HasFlow("C", "V") && p.Plane.HasFlow("V", "C")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reports, err = m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, ok := pathmon.Find(reports, "C", "V")
+	if !ok {
+		t.Fatalf("no C..V path in %v", reports)
+	}
+	if cv.Path.Flowlinks() != 1 || !cv.Obs.BothFlowing {
+		t.Fatalf("C..V path wrong: %v", cv)
+	}
+	if _, found := pathmon.Find(reports, "A", "C"); found {
+		t.Fatal("A..C path must no longer exist in snapshot 2")
+	}
+	apc, ok := pathmon.Find(reports, "A", "PC")
+	if !ok {
+		t.Fatalf("A's path must now end at PC's holdslot: %v", reports)
+	}
+	if apc.Spec != ltl.RecFlowing || !apc.Obs.BothFlowing {
+		// openSlot at A, holdSlot at PC: flowing but muted.
+		t.Fatalf("A..PC path wrong: %v", apc)
+	}
+}

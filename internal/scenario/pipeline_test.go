@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/endpoint"
+	"ipmedia/internal/media"
+	"ipmedia/internal/transport"
+)
+
+// TestFeaturePipeline composes two independently written feature boxes
+// in a DFC-style pipeline:
+//
+//	caller -> screening -> voicemail -> subscriber
+//	                              \-> recorder
+//
+// Neither box knows about the other; composition works because each is
+// transparent (a flowlink) once its own decision is made. This is the
+// modularity the paper's whole design exists to enable.
+func TestFeaturePipeline(t *testing.T) {
+	net := transport.NewMemNetwork()
+	plane := media.NewPlane()
+	var stops []func()
+	defer func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}()
+
+	mkDev := func(name string, port int, auto bool) *endpoint.Device {
+		d, err := endpoint.NewDevice(endpoint.Config{Name: name, Net: net, Plane: plane, MediaPort: port, AutoAccept: auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops = append(stops, d.Stop)
+		return d
+	}
+	friend := mkDev("friend", 5004, false)
+	spammer := mkDev("spammer", 5006, false)
+	callee := mkDev("callee", 5008, false)
+	recorder := mkDev("vmrec", 5010, true)
+	recorder.SetMute(false, true)
+
+	vm, vmDone, err := NewVoicemail(net, VoicemailConfig{
+		Addr: "vmbox", SubscriberAddr: "callee", RecorderAddr: "vmrec",
+		NoAnswer: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops = append(stops, vm.Stop)
+
+	eventually := func(what string, pred func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if pred() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s (flows %v)", what, plane.Flows())
+	}
+
+	// Case 1: the spammer is screened out; nothing reaches the callee
+	// or the voicemail box.
+	scr1, scrDone1, err := NewScreen(net, ScreenConfig{Addr: "screen1", Next: "vmbox", Blocked: []string{"spammer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops = append(stops, scr1.Stop)
+	if err := spammer.Call("c", "screen1", "audio"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case how := <-scrDone1:
+		if how != "screened" {
+			t.Fatalf("screen decided %q, want screened", how)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("screen made no decision")
+	}
+	eventually("spammer's channel torn down", func() bool {
+		has := true
+		spammer.Runner().Do(func(ctx *box.Ctx) { has = ctx.Box().HasChannel("c") })
+		return !has
+	})
+	if len(callee.Ringing()) != 0 {
+		t.Fatal("a screened call must never ring the subscriber")
+	}
+
+	// Case 2: the friend is admitted, the subscriber does not answer,
+	// and the message is recorded — through BOTH feature boxes (a
+	// signaling path with two flowlinks once the voicemail box diverts).
+	scr2, scrDone2, err := NewScreen(net, ScreenConfig{Addr: "screen2", Next: "vmbox", Blocked: []string{"spammer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops = append(stops, scr2.Stop)
+	if err := friend.Call("c", "screen2", "audio"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case how := <-scrDone2:
+		if how != "admitted" {
+			t.Fatalf("screen decided %q, want admitted", how)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("screen made no decision")
+	}
+	eventually("callee rings through the pipeline", func() bool { return len(callee.Ringing()) == 1 })
+	// No answer...
+	eventually("friend's audio diverted to the recorder", func() bool {
+		return plane.HasFlow("friend", "vmrec")
+	})
+	plane.Tick(10)
+	if s := recorder.Agent().Stats(); s.Accepted == 0 {
+		t.Fatalf("recorder accepted nothing: %+v", s)
+	}
+	friend.HangUp("c")
+	select {
+	case how := <-vmDone:
+		if how != "recorded" {
+			t.Fatalf("voicemail ended %q, want recorded", how)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("voicemail did not terminate")
+	}
+	for _, e := range append(scr2.Errs(), vm.Errs()...) {
+		t.Errorf("pipeline error: %v", e)
+	}
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia/internal/endpoint"
+	"ipmedia/internal/media"
+	"ipmedia/internal/transport"
+)
+
+type vmFixture struct {
+	t        *testing.T
+	net      *transport.MemNetwork
+	plane    *media.Plane
+	caller   *endpoint.Device
+	callee   *endpoint.Device
+	recorder *endpoint.Device
+	stops    []func()
+}
+
+func newVMFixture(t *testing.T, noAnswer time.Duration) (*vmFixture, <-chan string) {
+	f := &vmFixture{t: t, net: transport.NewMemNetwork(), plane: media.NewPlane()}
+	var err error
+	f.caller, err = endpoint.NewDevice(endpoint.Config{Name: "caller", Net: f.net, Plane: f.plane, MediaPort: 5004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stops = append(f.stops, f.caller.Stop)
+	f.callee, err = endpoint.NewDevice(endpoint.Config{Name: "callee", Net: f.net, Plane: f.plane, MediaPort: 5006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stops = append(f.stops, f.callee.Stop)
+	f.recorder, err = endpoint.NewDevice(endpoint.Config{Name: "vmrec", Net: f.net, Plane: f.plane, MediaPort: 5008, AutoAccept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.recorder.SetMute(false, true) // recorders listen; they do not talk
+	f.stops = append(f.stops, f.recorder.Stop)
+	vm, done, err := NewVoicemail(f.net, VoicemailConfig{
+		Addr: "vmbox", SubscriberAddr: "callee", RecorderAddr: "vmrec", NoAnswer: noAnswer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stops = append(f.stops, vm.Stop)
+	f.stops = append(f.stops, func() {
+		for _, e := range vm.Errs() {
+			t.Errorf("vm error: %v", e)
+		}
+	})
+	return f, done
+}
+
+func (f *vmFixture) cleanup() {
+	for i := len(f.stops) - 1; i >= 0; i-- {
+		f.stops[i]()
+	}
+}
+
+func (f *vmFixture) eventually(what string, pred func() bool) {
+	f.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.t.Fatalf("timeout waiting for %s (flows %v)", what, f.plane.Flows())
+}
+
+// TestVoicemailAnswered: the subscriber answers in time; the feature
+// box is transparent and the recorder never hears anything.
+func TestVoicemailAnswered(t *testing.T) {
+	f, done := newVMFixture(t, time.Hour)
+	defer f.cleanup()
+	if err := f.caller.Call("c", "vmbox", "audio"); err != nil {
+		t.Fatal(err)
+	}
+	f.eventually("callee ringing", func() bool { return len(f.callee.Ringing()) == 1 })
+	f.callee.Answer(f.callee.Ringing()[0])
+	f.eventually("caller<->callee media", func() bool {
+		return f.plane.HasFlow("caller", "callee") && f.plane.HasFlow("callee", "caller")
+	})
+	if f.plane.HasFlow("caller", "vmrec") {
+		t.Fatal("recorder must not receive an answered call")
+	}
+	f.caller.HangUp("c")
+	select {
+	case how := <-done:
+		if how != "connected" {
+			t.Fatalf("feature ended as %q, want connected", how)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("feature did not terminate")
+	}
+}
+
+// TestVoicemailRecords: the subscriber does not answer; the caller's
+// media is diverted to the recorder, which accepts the packets, and
+// the subscriber's phone stops ringing.
+func TestVoicemailRecords(t *testing.T) {
+	f, done := newVMFixture(t, 50*time.Millisecond)
+	defer f.cleanup()
+	if err := f.caller.Call("c", "vmbox", "audio"); err != nil {
+		t.Fatal(err)
+	}
+	f.eventually("callee ringing", func() bool { return len(f.callee.Ringing()) == 1 })
+	// Nobody answers...
+	f.eventually("caller diverted to recorder", func() bool {
+		return f.plane.HasFlow("caller", "vmrec")
+	})
+	f.eventually("callee stopped ringing", func() bool { return len(f.callee.Ringing()) == 0 })
+	f.plane.Tick(15)
+	if s := f.recorder.Agent().Stats(); s.Accepted == 0 {
+		t.Fatalf("recorder accepted nothing: %+v", s)
+	}
+	// Recorders do not talk back.
+	if f.plane.HasFlow("vmrec", "caller") {
+		t.Fatal("recorder must not send media")
+	}
+	f.caller.HangUp("c")
+	select {
+	case how := <-done:
+		if how != "recorded" {
+			t.Fatalf("feature ended as %q, want recorded", how)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("feature did not terminate")
+	}
+}
+
+// TestVoicemailCallerAbandons: the caller gives up while ringing; both
+// legs are torn down.
+func TestVoicemailCallerAbandons(t *testing.T) {
+	f, done := newVMFixture(t, time.Hour)
+	defer f.cleanup()
+	if err := f.caller.Call("c", "vmbox", "audio"); err != nil {
+		t.Fatal(err)
+	}
+	f.eventually("callee ringing", func() bool { return len(f.callee.Ringing()) == 1 })
+	f.caller.HangUp("c")
+	select {
+	case how := <-done:
+		if how != "abandoned" {
+			t.Fatalf("feature ended as %q, want abandoned", how)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("feature did not terminate")
+	}
+	f.eventually("callee stopped ringing", func() bool { return len(f.callee.Ringing()) == 0 })
+}

@@ -1,0 +1,315 @@
+// Wire encoding for envelopes. Signaling channels between physical
+// components run over TCP (paper Section I); this file defines the
+// framed binary format used by the TCP transport. The same
+// deterministic encoding doubles as the state fingerprint of in-flight
+// signals inside the model checker.
+package sig
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Frame format: every envelope is framed as
+//
+//	uint32 length | payload
+//
+// and the payload is a tag-structured binary encoding with
+// length-prefixed strings. All integers are big-endian.
+
+const (
+	// MaxFrame bounds the size of a single envelope on the wire. Media
+	// control signals are tiny; anything near this limit indicates a
+	// corrupted stream.
+	MaxFrame = 64 << 10
+
+	tagSignal byte = 1
+	tagMeta   byte = 2
+)
+
+var (
+	// ErrFrameTooLarge reports an incoming frame exceeding MaxFrame.
+	ErrFrameTooLarge = errors.New("sig: frame exceeds maximum size")
+	// ErrCorrupt reports an undecodable payload.
+	ErrCorrupt = errors.New("sig: corrupt envelope encoding")
+)
+
+func putString(b *bytes.Buffer, s string) {
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(s)))
+	b.Write(n[:])
+	b.WriteString(s)
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", ErrCorrupt
+	}
+	l := int(binary.BigEndian.Uint16(n[:]))
+	buf := make([]byte, l)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", ErrCorrupt
+	}
+	return string(buf), nil
+}
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], v)
+	b.Write(n[:])
+}
+
+func getU32(r *bytes.Reader) (uint32, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return 0, ErrCorrupt
+	}
+	return binary.BigEndian.Uint32(n[:]), nil
+}
+
+// EncodeDescriptor appends a deterministic encoding of d to b.
+func EncodeDescriptor(b *bytes.Buffer, d Descriptor) {
+	putString(b, d.ID.Origin)
+	putU32(b, d.ID.Seq)
+	putString(b, d.Addr)
+	putU32(b, uint32(d.Port))
+	putU32(b, uint32(len(d.Codecs)))
+	for _, c := range d.Codecs {
+		putString(b, string(c))
+	}
+}
+
+func decodeDescriptor(r *bytes.Reader) (Descriptor, error) {
+	var d Descriptor
+	var err error
+	if d.ID.Origin, err = getString(r); err != nil {
+		return d, err
+	}
+	if d.ID.Seq, err = getU32(r); err != nil {
+		return d, err
+	}
+	if d.Addr, err = getString(r); err != nil {
+		return d, err
+	}
+	port, err := getU32(r)
+	if err != nil {
+		return d, err
+	}
+	d.Port = int(port)
+	n, err := getU32(r)
+	if err != nil {
+		return d, err
+	}
+	if n > 64 {
+		return d, ErrCorrupt
+	}
+	if n > 0 {
+		d.Codecs = make([]Codec, n)
+		for i := range d.Codecs {
+			s, err := getString(r)
+			if err != nil {
+				return d, err
+			}
+			d.Codecs[i] = Codec(s)
+		}
+	}
+	return d, nil
+}
+
+// EncodeSelector appends a deterministic encoding of s to b.
+func EncodeSelector(b *bytes.Buffer, s Selector) {
+	putString(b, s.Answers.Origin)
+	putU32(b, s.Answers.Seq)
+	putString(b, s.Addr)
+	putU32(b, uint32(s.Port))
+	putString(b, string(s.Codec))
+}
+
+func decodeSelector(r *bytes.Reader) (Selector, error) {
+	var s Selector
+	var err error
+	if s.Answers.Origin, err = getString(r); err != nil {
+		return s, err
+	}
+	if s.Answers.Seq, err = getU32(r); err != nil {
+		return s, err
+	}
+	if s.Addr, err = getString(r); err != nil {
+		return s, err
+	}
+	port, err := getU32(r)
+	if err != nil {
+		return s, err
+	}
+	s.Port = int(port)
+	codec, err := getString(r)
+	if err != nil {
+		return s, err
+	}
+	s.Codec = Codec(codec)
+	return s, nil
+}
+
+// EncodeSignal appends a deterministic encoding of g to b.
+func EncodeSignal(b *bytes.Buffer, g Signal) {
+	b.WriteByte(byte(g.Kind))
+	switch g.Kind {
+	case KindOpen:
+		putString(b, string(g.Medium))
+		EncodeDescriptor(b, g.Desc)
+	case KindOack, KindDescribe:
+		EncodeDescriptor(b, g.Desc)
+	case KindSelect:
+		EncodeSelector(b, g.Sel)
+	}
+}
+
+func decodeSignal(r *bytes.Reader) (Signal, error) {
+	var g Signal
+	k, err := r.ReadByte()
+	if err != nil {
+		return g, ErrCorrupt
+	}
+	g.Kind = Kind(k)
+	switch g.Kind {
+	case KindOpen:
+		m, err := getString(r)
+		if err != nil {
+			return g, err
+		}
+		g.Medium = Medium(m)
+		if g.Desc, err = decodeDescriptor(r); err != nil {
+			return g, err
+		}
+	case KindOack, KindDescribe:
+		if g.Desc, err = decodeDescriptor(r); err != nil {
+			return g, err
+		}
+	case KindSelect:
+		if g.Sel, err = decodeSelector(r); err != nil {
+			return g, err
+		}
+	case KindClose, KindCloseAck:
+	default:
+		return g, fmt.Errorf("%w: unknown signal kind %d", ErrCorrupt, k)
+	}
+	return g, nil
+}
+
+// Marshal encodes the envelope payload (without the length frame).
+func (e Envelope) Marshal() []byte {
+	var b bytes.Buffer
+	if e.IsMeta() {
+		b.WriteByte(tagMeta)
+		b.WriteByte(byte(e.Meta.Kind))
+		putString(&b, e.Meta.App)
+		keys := make([]string, 0, len(e.Meta.Attrs))
+		for k := range e.Meta.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		putU32(&b, uint32(len(keys)))
+		for _, k := range keys {
+			putString(&b, k)
+			putString(&b, e.Meta.Attrs[k])
+		}
+		return b.Bytes()
+	}
+	b.WriteByte(tagSignal)
+	putU32(&b, uint32(e.Tunnel))
+	EncodeSignal(&b, e.Sig)
+	return b.Bytes()
+}
+
+// UnmarshalEnvelope decodes an envelope payload produced by Marshal.
+func UnmarshalEnvelope(p []byte) (Envelope, error) {
+	r := bytes.NewReader(p)
+	tag, err := r.ReadByte()
+	if err != nil {
+		return Envelope{}, ErrCorrupt
+	}
+	switch tag {
+	case tagSignal:
+		var e Envelope
+		t, err := getU32(r)
+		if err != nil {
+			return e, err
+		}
+		e.Tunnel = int(t)
+		if e.Sig, err = decodeSignal(r); err != nil {
+			return e, err
+		}
+		return e, nil
+	case tagMeta:
+		m := &Meta{}
+		k, err := r.ReadByte()
+		if err != nil {
+			return Envelope{}, ErrCorrupt
+		}
+		m.Kind = MetaKind(k)
+		if m.App, err = getString(r); err != nil {
+			return Envelope{}, err
+		}
+		n, err := getU32(r)
+		if err != nil {
+			return Envelope{}, err
+		}
+		if n > 1024 {
+			return Envelope{}, ErrCorrupt
+		}
+		if n > 0 {
+			m.Attrs = make(map[string]string, n)
+			for i := uint32(0); i < n; i++ {
+				key, err := getString(r)
+				if err != nil {
+					return Envelope{}, err
+				}
+				val, err := getString(r)
+				if err != nil {
+					return Envelope{}, err
+				}
+				m.Attrs[key] = val
+			}
+		}
+		return Envelope{Meta: m}, nil
+	default:
+		return Envelope{}, fmt.Errorf("%w: unknown envelope tag %d", ErrCorrupt, tag)
+	}
+}
+
+// WriteFrame writes a length-framed envelope to w.
+func WriteFrame(w io.Writer, e Envelope) error {
+	p := e.Marshal()
+	if len(p) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(p)
+	return err
+}
+
+// ReadFrame reads one length-framed envelope from r.
+func ReadFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return Envelope{}, err
+	}
+	return UnmarshalEnvelope(p)
+}

@@ -1,0 +1,314 @@
+// The SIP application server of Figure 14: a back-to-back user agent
+// sitting between its endpoint side and the rest of the signaling
+// path. To create media flow between its two sides it must first
+// solicit a fresh offer with an offerless invite (answers are
+// relative, so cached descriptions cannot be re-used), then carry the
+// offer to the far side in a second transaction, and finally
+// distribute the answer — sequentially, because negotiation imposes an
+// order. When two servers attempt this concurrently their invites
+// collide (glare); both transactions fail and a randomized backoff
+// precedes the retry.
+package sip
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ServerOptions toggle the SIP behaviors the paper's comparison
+// isolates — each option removes one of the three delay sources of
+// Section IX-B.
+type ServerOptions struct {
+	// ReuseCachedSDP skips offer solicitation and uses a cached session
+	// description (ablation of delay source 1: ours re-uses cached
+	// unilateral descriptors; SIP must not re-use offers or answers).
+	ReuseCachedSDP bool
+	// ParallelDescribe sends both directions concurrently instead of
+	// sequencing answer after offer (ablation of delay source 3;
+	// requires ReuseCachedSDP).
+	ParallelDescribe bool
+	// RetryAfterGlare makes this server retry its whole operation after
+	// the randomized backoff; the non-retrying server abandons (the
+	// paper's PC retries, the PBX's concurrent attempt is redundant).
+	RetryAfterGlare bool
+	// Backoff samples the glare retry delay d; the paper gives it an
+	// expected value of 3 seconds.
+	Backoff func(r *rand.Rand) time.Duration
+}
+
+// DefaultBackoff is uniform on [2.1s, 3.9s], expected value 3 s.
+func DefaultBackoff(r *rand.Rand) time.Duration {
+	return 2100*time.Millisecond + time.Duration(r.Int63n(int64(1800*time.Millisecond)))
+}
+
+// serverState is the active-operation state machine.
+type serverState uint8
+
+const (
+	idle serverState = iota
+	soliciting
+	inviting
+	awaitAnswerPar // parallel-describe variant: waiting for both answers
+)
+
+// Server is a SIP application server with an endpoint side and a far
+// side (which may be another server).
+type Server struct {
+	name string
+	net  *Net
+	opts ServerOptions
+	rng  *rand.Rand
+
+	endSide string // the endpoint this server serves
+	farSide string // next hop toward the other end of the path
+
+	state     serverState
+	cachedEnd *SDP // cached SDP of our endpoint side (sent toward the far side)
+	cachedFar *SDP // cached SDP of the far endpoint (sent toward our endpoint)
+	pending   *SDP // offer in flight toward farSide
+	parLeft   int  // outstanding answers in the parallel variant
+
+	// Passive forwarding state: a B2BUA relaying someone else's
+	// transaction between its two sides.
+	relayFrom string
+
+	op int // current operation tag
+	// aborted records operations whose solicited offer may still be in
+	// flight; the offer is answered with a dummy ack when it lands so
+	// the endpoint's transaction is not left open.
+	aborted    map[string]bool
+	GlaresSeen int
+	Retries    int
+	DoneAt     time.Duration
+	done       bool
+	// OnDone, if set, runs when an operation completes (at the server,
+	// inside the simulation).
+	OnDone func()
+}
+
+// NewServer creates a server between endSide and farSide.
+func NewServer(net *Net, name, endSide, farSide string, opts ServerOptions, seed int64) *Server {
+	if opts.Backoff == nil {
+		opts.Backoff = DefaultBackoff
+	}
+	s := &Server{
+		name: name, net: net, opts: opts,
+		endSide: endSide, farSide: farSide,
+		rng:     rand.New(rand.NewSource(seed)),
+		aborted: map[string]bool{},
+	}
+	net.Add(s)
+	return s
+}
+
+// Name implements Entity.
+func (s *Server) Name() string { return s.name }
+
+// CacheEnd primes the cached SDP of the server's own endpoint side
+// (recorded during earlier signaling, before the measured operation).
+func (s *Server) CacheEnd(sdp SDP) { s.cachedEnd = &sdp }
+
+// CacheFar primes the cached SDP of the far endpoint, needed by the
+// parallel-describe ablation.
+func (s *Server) CacheFar(sdp SDP) { s.cachedFar = &sdp }
+
+// Relink starts the measured operation: create media flow between the
+// server's two sides, like a newly attached flowlink.
+func (s *Server) Relink() {
+	s.op++
+	s.net.Exec(s.name, s.start)
+}
+
+// Op returns the tag of the server's current (or last) operation.
+func (s *Server) Op() string { return s.TagOf(s.op) }
+
+// TagOf renders the owner-scoped tag of the server's nth operation.
+func (s *Server) TagOf(n int) string { return fmt.Sprintf("%s#%d", s.name, n) }
+
+func (s *Server) start() {
+	s.done = false
+	if s.opts.ReuseCachedSDP && s.cachedEnd != nil {
+		if s.opts.ParallelDescribe && s.cachedFar != nil {
+			// Both sides invited concurrently with cached SDPs — the
+			// transactional analogue of the paper's idempotent,
+			// unilateral design.
+			s.state = awaitAnswerPar
+			s.parLeft = 2
+			toFar, toEnd := *s.cachedEnd, *s.cachedFar
+			s.net.Send(s.farSide, Msg{Kind: Invite, From: s.name, Op: s.Op(), Offer: &toFar})
+			s.net.Send(s.endSide, Msg{Kind: Invite, From: s.name, Op: s.Op(), Offer: &toEnd})
+			return
+		}
+		// Sequential but without solicitation.
+		s.state = inviting
+		offer := *s.cachedEnd
+		s.pending = &offer
+		s.net.Send(s.farSide, Msg{Kind: Invite, From: s.name, Op: s.Op(), Offer: &offer})
+		return
+	}
+	// Full RFC 3725 flow: solicit a fresh offer from the endpoint side.
+	s.state = soliciting
+	s.net.Send(s.endSide, Msg{Kind: Invite, From: s.name, Op: s.Op()})
+}
+
+// Recv implements Entity.
+func (s *Server) Recv(m Msg) {
+	if s.state != idle && m.Kind == Invite && m.From == s.farSide {
+		// Glare: a foreign invite while our own transaction is active.
+		// Both transactions fail (paper Section IX-B). If our own
+		// invite was already out (inviting), the endpoint's solicited
+		// transaction is open and needs a dummy answer; if we were
+		// still soliciting, the offer is in flight and is dummied when
+		// it lands.
+		s.GlaresSeen++
+		s.net.Send(m.From, Msg{Kind: Glare, From: s.name})
+		s.abortAndMaybeRetry(s.state == inviting)
+		return
+	}
+	switch m.Kind {
+	case OK:
+		s.onOK(m)
+	case Glare:
+		switch {
+		case s.state != idle && m.From == s.endSide:
+			// Our offerless solicit collided with traffic at our own
+			// endpoint: no transaction was opened there.
+			s.GlaresSeen++
+			s.abortAndMaybeRetry(false)
+		case s.state != idle:
+			// Our far-side invite was rejected remotely; if we already
+			// detected the glare locally we have aborted, otherwise the
+			// solicited endpoint transaction is open.
+			s.abortAndMaybeRetry(s.state == inviting)
+		case s.relayFrom != "":
+			// A relayed transaction failed downstream.
+			to := s.other(m.From)
+			m.From = s.name
+			s.net.Send(to, m)
+			s.relayFrom = ""
+		}
+	case Invite:
+		s.relay(m)
+	case Ack:
+		if s.relayFrom != "" {
+			to := s.other(m.From)
+			m.From = s.name
+			s.net.Send(to, m)
+			s.relayFrom = ""
+		}
+	}
+}
+
+func (s *Server) other(from string) string {
+	if from == s.endSide {
+		return s.farSide
+	}
+	return s.endSide
+}
+
+// relay forwards someone else's transaction through this (idle) B2BUA.
+func (s *Server) relay(m Msg) {
+	if s.state != idle {
+		// Covered by the glare branch for farSide invites; an invite
+		// from our own endpoint cannot occur in these scenarios.
+		return
+	}
+	s.relayFrom = m.From
+	to := s.other(m.From)
+	m.From = s.name
+	s.net.Send(to, m)
+}
+
+func (s *Server) onOK(m Msg) {
+	// An offer landing for an operation we aborted: close the
+	// endpoint's transaction with a dummy answer.
+	if m.Offer != nil && s.aborted[m.Op] {
+		delete(s.aborted, m.Op)
+		dummy := SDP{Owner: s.name}
+		s.net.Send(m.From, Msg{Kind: Ack, From: s.name, Op: m.Op, Answer: &dummy, Dummy: true})
+		return
+	}
+	// Traffic for someone else's operation while we are active: relay.
+	if s.state != idle && m.Op != s.Op() && s.relayFrom != "" {
+		to := s.other(m.From)
+		m.From = s.name
+		s.net.Send(to, m)
+		return
+	}
+	switch s.state {
+	case soliciting:
+		if m.Offer == nil {
+			s.net.fail("sip: server %s expected a solicited offer", s.name)
+			return
+		}
+		// Carry the fresh offer to the far side.
+		s.state = inviting
+		s.pending = m.Offer
+		offer := *m.Offer
+		s.net.Send(s.farSide, Msg{Kind: Invite, From: s.name, Op: s.Op(), Offer: &offer})
+	case inviting:
+		if m.Answer == nil {
+			s.net.fail("sip: server %s expected an answer", s.name)
+			return
+		}
+		// Distribute the answer: complete the endpoint transaction with
+		// the answer, and the far transaction with a plain ack.
+		s.net.Send(s.endSide, Msg{Kind: Ack, From: s.name, Op: s.Op(), Answer: m.Answer})
+		s.net.Send(s.farSide, Msg{Kind: Ack, From: s.name, Op: s.Op()})
+		s.finish()
+	case awaitAnswerPar:
+		s.net.Send(m.From, Msg{Kind: Ack, From: s.name, Op: s.Op()})
+		s.parLeft--
+		if s.parLeft == 0 {
+			s.finish()
+		}
+	case idle:
+		if s.relayFrom != "" {
+			to := s.other(m.From)
+			m.From = s.name
+			s.net.Send(to, m)
+		}
+	}
+}
+
+func (s *Server) finish() {
+	s.state = idle
+	s.pending = nil
+	if !s.done {
+		s.done = true
+		s.DoneAt = s.net.Sim.Now()
+	}
+	if s.OnDone != nil {
+		s.OnDone()
+	}
+}
+
+// abortAndMaybeRetry implements the glare recovery of Figure 14: close
+// the solicited endpoint transaction with a dummy answer (if it is
+// open — endpointTxOpen), then either retry the whole operation after
+// the randomized delay or abandon. A solicited offer still in flight
+// is recorded so it can be dummied when it lands.
+func (s *Server) abortAndMaybeRetry(endpointTxOpen bool) {
+	wasSoliciting := s.state == soliciting
+	s.state = idle
+	s.pending = nil
+	if !s.opts.ReuseCachedSDP {
+		if endpointTxOpen {
+			dummy := SDP{Owner: s.name}
+			s.net.Send(s.endSide, Msg{Kind: Ack, From: s.name, Op: s.Op(), Answer: &dummy, Dummy: true})
+		} else if wasSoliciting {
+			s.aborted[s.Op()] = true
+		}
+	}
+	if s.opts.RetryAfterGlare {
+		d := s.opts.Backoff(s.rng)
+		s.Retries++
+		s.net.Sim.After(d, func() {
+			s.net.Exec(s.name, func() {
+				s.op++ // the retry is a fresh operation
+				s.start()
+			})
+		})
+	}
+}

@@ -1,0 +1,256 @@
+// Package sip is the baseline for the paper's protocol comparison
+// (Section IX-B): a miniature implementation of SIP's media-control
+// *semantics* — transactional invite/success/ack signaling, relative
+// offer/answer codec negotiation, at most one invite transaction per
+// signaling path (media bundling), glare failure with randomized
+// backoff, and RFC 3725-style third-party call control in which a
+// mid-path server solicits a fresh offer with an offerless invite.
+//
+// It runs on the same virtual-clock cost model (compute c, network n)
+// as the compositional protocol, so Figure 14's latency analysis can
+// be measured head to head against Figure 13's.
+package sip
+
+import (
+	"fmt"
+	"time"
+
+	"ipmedia/internal/des"
+	"ipmedia/internal/sig"
+)
+
+// Kind enumerates the SIP-semantic messages.
+type Kind uint8
+
+// The message kinds: Invite opens or modifies media (offerless =
+// solicit), OK answers it, Ack completes the three-way transaction,
+// Glare is the 491-style failure when two invite transactions collide.
+const (
+	Invite Kind = iota
+	OK
+	Ack
+	Glare
+)
+
+var kindNames = [...]string{"invite", "ok", "ack", "glare"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// SDP is a session description: the owner endpoint and its codec set.
+// In SIP an answer is relative to an offer (a subset of its codecs),
+// unlike the paper's unilateral descriptors.
+type SDP struct {
+	Owner  string
+	Addr   string
+	Port   int
+	Codecs []sig.Codec
+}
+
+// Msg is one signaling message.
+type Msg struct {
+	Kind   Kind
+	From   string
+	Op     string // operation tag (owner-scoped), separating concurrent and serialized operations
+	Offer  *SDP   // Invite: nil means offerless (solicitation); OK: solicited offer
+	Answer *SDP   // OK: answer; Ack: answer for a solicited offer
+	Dummy  bool   // Ack closing an aborted transaction
+}
+
+// Entity is one SIP-speaking box.
+type Entity interface {
+	Name() string
+	Recv(m Msg)
+}
+
+// Net hosts SIP entities on a virtual clock with the (c, n) cost
+// model of paper Section VIII-C.
+type Net struct {
+	Sim *des.Sim
+	C   time.Duration
+	N   time.Duration
+
+	hosts map[string]*host
+	errs  []error
+	// Sent counts every message put on the wire, for the protocol
+	// overhead comparison.
+	Sent int
+	// Trace, if set, observes every message put on the wire.
+	Trace func(from, to string, m Msg, at time.Duration)
+	// arrival is the network-arrival instant of the message currently
+	// being handled, before the receiver's compute cost. An endpoint
+	// that learns the answer from an ack can start accepting media at
+	// that instant (the information is on the wire; the compute cost
+	// models signaling work, matching the paper's 10n+11c+d accounting).
+	arrival time.Duration
+}
+
+type host struct {
+	e      Entity
+	freeAt time.Duration
+}
+
+// NewNet creates a SIP network on sim.
+func NewNet(sim *des.Sim, c, n time.Duration) *Net {
+	return &Net{Sim: sim, C: c, N: n, hosts: map[string]*host{}}
+}
+
+// Add hosts an entity.
+func (nt *Net) Add(e Entity) { nt.hosts[e.Name()] = &host{e: e} }
+
+// Errs returns protocol errors recorded during the run.
+func (nt *Net) Errs() []error { return nt.errs }
+
+func (nt *Net) fail(format string, args ...any) {
+	nt.errs = append(nt.errs, fmt.Errorf(format, args...))
+}
+
+// Send delivers m to the named entity after network latency; the
+// receiving entity pays compute cost c before handling it, queuing if
+// busy. Call only from inside a handler or scheduled closure.
+func (nt *Net) Send(to string, m Msg) {
+	h, ok := nt.hosts[to]
+	if !ok {
+		nt.fail("sip: no entity %q", to)
+		return
+	}
+	nt.Sent++
+	if nt.Trace != nil {
+		nt.Trace(m.From, to, m, nt.Sim.Now())
+	}
+	arrive := nt.Sim.Now() + nt.N
+	nt.Sim.At(arrive, func() {
+		at := nt.Sim.Now()
+		start := h.freeAt
+		if at > start {
+			start = at
+		}
+		finish := start + nt.C
+		h.freeAt = finish
+		nt.Sim.At(finish, func() {
+			nt.arrival = at
+			h.e.Recv(m)
+		})
+	})
+}
+
+// Exec runs f inside the named entity at the current time plus compute
+// cost (the analogue of a local stimulus).
+func (nt *Net) Exec(name string, f func()) {
+	h, ok := nt.hosts[name]
+	if !ok {
+		nt.fail("sip: no entity %q", name)
+		return
+	}
+	start := h.freeAt
+	if nt.Sim.Now() > start {
+		start = nt.Sim.Now()
+	}
+	finish := start + nt.C
+	h.freeAt = finish
+	nt.Sim.At(finish, f)
+}
+
+// Endpoint is a SIP user agent: it answers invites, enforcing SIP's
+// rule that invite transactions on a signaling path cannot overlap.
+type Endpoint struct {
+	name string
+	net  *Net
+	sdp  SDP
+
+	inTx    bool
+	peer    *SDP
+	ReadyAt time.Duration // when this endpoint could first transmit to the new peer
+	ready   bool
+	readyOp map[string]time.Duration // readiness per tagged operation
+	Glares  int
+}
+
+// NewEndpoint creates an endpoint with its own session description.
+func NewEndpoint(net *Net, name string, sdp SDP) *Endpoint {
+	e := &Endpoint{name: name, net: net, sdp: sdp, readyOp: map[string]time.Duration{}}
+	net.Add(e)
+	return e
+}
+
+// Name implements Entity.
+func (e *Endpoint) Name() string { return e.name }
+
+// ResetMeasurement clears the readiness clock before an experiment.
+func (e *Endpoint) ResetMeasurement() { e.ready = false; e.ReadyAt = 0 }
+
+// Ready reports whether and when the endpoint became able to transmit.
+func (e *Endpoint) Ready() (time.Duration, bool) { return e.ReadyAt, e.ready }
+
+func (e *Endpoint) markReady(op string, at time.Duration) {
+	if !e.ready {
+		e.ready = true
+		e.ReadyAt = at
+	}
+	if _, ok := e.readyOp[op]; !ok {
+		e.readyOp[op] = at
+	}
+}
+
+// ReadyFor reports whether and when the endpoint became ready within
+// the tagged operation.
+func (e *Endpoint) ReadyFor(op string) (time.Duration, bool) {
+	t, ok := e.readyOp[op]
+	return t, ok
+}
+
+// Recv implements Entity.
+func (e *Endpoint) Recv(m Msg) {
+	switch m.Kind {
+	case Invite:
+		if e.inTx {
+			// "Such an invite transaction cannot overlap with any other
+			// invite transaction on the same signaling path."
+			e.Glares++
+			e.net.Send(m.From, Msg{Kind: Glare, From: e.name})
+			return
+		}
+		e.inTx = true
+		if m.Offer == nil {
+			// Offerless invite: answer with a fresh offer (RFC 3725).
+			offer := e.sdp
+			e.net.Send(m.From, Msg{Kind: OK, From: e.name, Op: m.Op, Offer: &offer})
+			return
+		}
+		// Offer/answer: answer with the subset of the offer we support.
+		e.peer = m.Offer
+		ans := e.answer(*m.Offer)
+		e.net.Send(m.From, Msg{Kind: OK, From: e.name, Op: m.Op, Answer: &ans})
+		// "An endpoint can send media as soon as" the answer is out.
+		e.markReady(m.Op, e.net.Sim.Now())
+	case Ack:
+		e.inTx = false
+		if m.Answer != nil && !m.Dummy {
+			// The answer to our solicited offer: we now know the peer
+			// from the moment the ack arrived.
+			e.peer = m.Answer
+			e.markReady(m.Op, e.net.arrival)
+		}
+	case Glare, OK:
+		// Endpoints in these experiments never initiate, so nothing to
+		// do; a stray message is a protocol error.
+		e.net.fail("sip: endpoint %s got unexpected %s", e.name, m.Kind)
+	}
+}
+
+// answer computes the relative answer to an offer: the intersection of
+// codec sets, in the offer's preference order.
+func (e *Endpoint) answer(offer SDP) SDP {
+	ans := SDP{Owner: e.name, Addr: e.sdp.Addr, Port: e.sdp.Port}
+	for _, c := range offer.Codecs {
+		for _, own := range e.sdp.Codecs {
+			if c == own {
+				ans.Codecs = append(ans.Codecs, c)
+				break
+			}
+		}
+	}
+	return ans
+}
+
+// Peer returns the current remote SDP.
+func (e *Endpoint) Peer() *SDP { return e.peer }

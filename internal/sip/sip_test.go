@@ -1,0 +1,184 @@
+package sip
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ipmedia/internal/des"
+	"ipmedia/internal/sig"
+)
+
+const (
+	c = 20 * time.Millisecond
+	n = 34 * time.Millisecond
+)
+
+func fixture(pbxOpts, pcOpts ServerOptions) (*des.Sim, *Net, *Endpoint, *Endpoint, *Server, *Server) {
+	sim := des.NewSim()
+	net := NewNet(sim, c, n)
+	sdpA := SDP{Owner: "A", Addr: "hA", Port: 1, Codecs: []sig.Codec{sig.G711, sig.G726}}
+	sdpC := SDP{Owner: "C", Addr: "hC", Port: 2, Codecs: []sig.Codec{sig.G726, sig.G729}}
+	a := NewEndpoint(net, "A", sdpA)
+	cc := NewEndpoint(net, "C", sdpC)
+	pbx := NewServer(net, "PBX", "A", "PC", pbxOpts, 1)
+	pc := NewServer(net, "PC", "C", "PBX", pcOpts, 2)
+	pbx.CacheEnd(sdpA)
+	pbx.CacheFar(sdpC)
+	pc.CacheEnd(sdpC)
+	pc.CacheFar(sdpA)
+	return sim, net, a, cc, pbx, pc
+}
+
+func TestCommonCaseCompletesWithNegotiatedCodec(t *testing.T) {
+	sim, net, a, cc, _, pc := fixture(ServerOptions{}, ServerOptions{})
+	pc.Relink()
+	if !sim.Run(100000) {
+		t.Fatal("did not quiesce")
+	}
+	if len(net.Errs()) > 0 {
+		t.Fatal(net.Errs()[0])
+	}
+	// Negotiation: A's answer must be the intersection of C's offer
+	// (G726, G729) with A's set (G711, G726) = {G726}.
+	if p := cc.Peer(); p == nil || len(p.Codecs) != 1 || p.Codecs[0] != sig.G726 {
+		t.Fatalf("C's negotiated peer = %+v", cc.Peer())
+	}
+	if p := a.Peer(); p == nil || p.Owner != "C" {
+		t.Fatalf("A's peer = %+v", a.Peer())
+	}
+	aAt, ok1 := a.Ready()
+	cAt, ok2 := cc.Ready()
+	if !ok1 || !ok2 {
+		t.Fatal("both endpoints must become ready")
+	}
+	// Paper Section IX-B: the common case costs 7n+7c end to end.
+	if cAt != 7*n+7*c {
+		t.Errorf("C ready at %v, want %v", cAt, 7*n+7*c)
+	}
+	if aAt != 4*n+5*c {
+		t.Errorf("A ready at %v, want %v", aAt, 4*n+5*c)
+	}
+}
+
+func TestGlareBothFailThenRetry(t *testing.T) {
+	d := 3 * time.Second
+	fixed := func(*rand.Rand) time.Duration { return d }
+	sim, net, a, cc, pbx, pc := fixture(
+		ServerOptions{Backoff: fixed},
+		ServerOptions{RetryAfterGlare: true, Backoff: fixed})
+	pbx.Relink()
+	pc.Relink()
+	if !sim.Run(100000) {
+		t.Fatal("did not quiesce")
+	}
+	if len(net.Errs()) > 0 {
+		t.Fatal(net.Errs()[0])
+	}
+	if pbx.GlaresSeen != 1 || pc.GlaresSeen != 1 {
+		t.Fatalf("both servers must detect the glare: pbx=%d pc=%d", pbx.GlaresSeen, pc.GlaresSeen)
+	}
+	if pc.Retries != 1 {
+		t.Fatalf("PC must retry once, did %d", pc.Retries)
+	}
+	cAt, ok := cc.Ready()
+	if !ok {
+		t.Fatal("C must become ready after the retry")
+	}
+	if want := 10*n + 11*c + d; cAt != want {
+		t.Errorf("C ready at %v, want 10n+11c+d = %v", cAt, want)
+	}
+	if _, ok := a.Ready(); !ok {
+		t.Fatal("A must become ready after the retry")
+	}
+}
+
+func TestAbandoningServerStaysSilent(t *testing.T) {
+	d := time.Second
+	fixed := func(*rand.Rand) time.Duration { return d }
+	sim, net, _, _, pbx, pc := fixture(
+		ServerOptions{Backoff: fixed},
+		ServerOptions{RetryAfterGlare: true, Backoff: fixed})
+	pbx.Relink()
+	pc.Relink()
+	sim.Run(100000)
+	if len(net.Errs()) > 0 {
+		t.Fatal(net.Errs()[0])
+	}
+	if pbx.Retries != 0 {
+		t.Fatal("the non-retrying server must abandon")
+	}
+	if !pc.done {
+		t.Fatal("the retrying server must complete")
+	}
+}
+
+func TestEndpointGlareOnOverlappingInvites(t *testing.T) {
+	sim := des.NewSim()
+	net := NewNet(sim, c, n)
+	e := NewEndpoint(net, "E", SDP{Owner: "E", Codecs: []sig.Codec{sig.G711}})
+	probe := &probeEntity{name: "P"}
+	net.Add(probe)
+	sim.At(0, func() {
+		net.Send("E", Msg{Kind: Invite, From: "P", Op: "P#1"})
+	})
+	sim.At(time.Millisecond, func() {
+		net.Send("E", Msg{Kind: Invite, From: "P", Op: "P#2"})
+	})
+	sim.Run(100000)
+	if e.Glares != 1 {
+		t.Fatalf("overlapping invites must glare once, got %d", e.Glares)
+	}
+}
+
+type probeEntity struct {
+	name string
+	got  []Msg
+}
+
+func (p *probeEntity) Name() string { return p.name }
+func (p *probeEntity) Recv(m Msg)   { p.got = append(p.got, m) }
+
+func TestParallelCachedVariantMatchesCompositionalLatency(t *testing.T) {
+	sim, net, a, cc, _, pc := fixture(ServerOptions{},
+		ServerOptions{ReuseCachedSDP: true, ParallelDescribe: true})
+	pc.Relink()
+	sim.Run(100000)
+	if len(net.Errs()) > 0 {
+		t.Fatal(net.Errs()[0])
+	}
+	aAt, _ := a.Ready()
+	cAt, _ := cc.Ready()
+	m := aAt
+	if cAt > m {
+		m = cAt
+	}
+	if want := 2*n + 3*c; m != want {
+		t.Errorf("parallel cached variant = %v, want the compositional 2n+3c = %v", m, want)
+	}
+}
+
+func TestAnswerIsRelativeSubset(t *testing.T) {
+	e := &Endpoint{name: "E", sdp: SDP{Codecs: []sig.Codec{sig.G711, sig.G729}}}
+	ans := e.answer(SDP{Codecs: []sig.Codec{sig.G729, sig.G726, sig.G711}})
+	if len(ans.Codecs) != 2 || ans.Codecs[0] != sig.G729 || ans.Codecs[1] != sig.G711 {
+		t.Fatalf("answer = %v; must be the offer-ordered intersection", ans.Codecs)
+	}
+}
+
+func TestDefaultBackoffExpectation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var sum time.Duration
+	const k = 20000
+	for i := 0; i < k; i++ {
+		d := DefaultBackoff(r)
+		if d < 2100*time.Millisecond || d >= 3900*time.Millisecond {
+			t.Fatalf("backoff %v out of range", d)
+		}
+		sum += d
+	}
+	mean := sum / k
+	if mean < 2900*time.Millisecond || mean > 3100*time.Millisecond {
+		t.Fatalf("mean backoff %v, want ~3s (paper's expected d)", mean)
+	}
+}

@@ -1,0 +1,116 @@
+// TCP transport: signaling channels over real sockets, using the
+// framed binary encoding of package sig. Signaling is low-bandwidth
+// but demands reliability, which is why the paper assumes TCP for
+// inter-component channels (Section I).
+package transport
+
+import (
+	"net"
+	"sync"
+
+	"ipmedia/internal/sig"
+)
+
+// tcpPort adapts a net.Conn to the Port interface. Outgoing envelopes
+// are queued (unbounded) and written by a dedicated goroutine so Send
+// never blocks on the socket; incoming frames are decoded by a reader
+// goroutine.
+type tcpPort struct {
+	conn net.Conn
+	out  *queue // envelopes awaiting write to the socket
+	in   *queue // envelopes decoded from the socket
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// NewTCPPort wraps an established connection as a signaling-channel
+// port.
+func NewTCPPort(conn net.Conn) Port {
+	p := &tcpPort{conn: conn, out: newQueue(), in: newQueue()}
+	p.wg.Add(2)
+	go p.writer()
+	go p.reader()
+	return p
+}
+
+func (p *tcpPort) writer() {
+	defer p.wg.Done()
+	for e := range p.out.out {
+		if err := sig.WriteFrame(p.conn, e); err != nil {
+			p.Close()
+			return
+		}
+	}
+	// Queue closed: half-close the write side if possible so the peer's
+	// reader sees EOF after the last frame.
+	if tc, ok := p.conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+}
+
+func (p *tcpPort) reader() {
+	defer p.wg.Done()
+	for {
+		e, err := sig.ReadFrame(p.conn)
+		if err != nil {
+			p.in.close()
+			return
+		}
+		if p.in.push(e) != nil {
+			return
+		}
+	}
+}
+
+func (p *tcpPort) Send(e sig.Envelope) error { return p.out.push(e) }
+
+func (p *tcpPort) Recv() <-chan sig.Envelope { return p.in.out }
+
+func (p *tcpPort) Close() error {
+	p.once.Do(func() {
+		p.out.close()
+		p.in.close()
+		p.conn.Close()
+	})
+	return nil
+}
+
+func (p *tcpPort) Peer() string { return p.conn.RemoteAddr().String() }
+
+// TCPNetwork implements Network over the operating system's TCP stack.
+type TCPNetwork struct{}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+// Listen implements Network. Use addr ":0" to bind an ephemeral port
+// and read it back from Addr.
+func (TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Network.
+func (TCPNetwork) Dial(addr string) (Port, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPPort(conn), nil
+}
+
+func (l *tcpListener) Accept() (Port, error) {
+	conn, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPPort(conn), nil
+}
+
+func (l *tcpListener) Close() error { return l.l.Close() }
+
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }

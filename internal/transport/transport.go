@@ -1,0 +1,235 @@
+// Package transport provides signaling channels between boxes: two-way,
+// FIFO, and reliable (paper Section III-A). A typical signaling channel
+// between two physical components is implemented by TCP; a typical
+// signaling channel within a physical component is implemented by two
+// software queues. Both implementations are provided here behind the
+// same Port interface, together with a Network abstraction that lets
+// box runtimes dial and listen uniformly.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ipmedia/internal/sig"
+)
+
+// ErrClosed reports use of a closed port, listener, or network.
+var ErrClosed = errors.New("transport: closed")
+
+// Port is one end of a signaling channel. Sends never block
+// indefinitely: the channel queues are unbounded, preserving the FIFO
+// reliable abstraction boxes are written against.
+type Port interface {
+	// Send queues an envelope for the far end.
+	Send(e sig.Envelope) error
+	// Recv returns the stream of envelopes from the far end. The
+	// channel is closed when the port closes.
+	Recv() <-chan sig.Envelope
+	// Close tears the signaling channel down. It is idempotent.
+	Close() error
+	// Peer describes the far end for diagnostics.
+	Peer() string
+}
+
+// Listener accepts incoming signaling channels.
+type Listener interface {
+	// Accept blocks until a new channel arrives or the listener closes.
+	Accept() (Port, error)
+	// Close stops accepting. It is idempotent.
+	Close() error
+	// Addr returns the listening address.
+	Addr() string
+}
+
+// Network abstracts channel establishment so the same box runtime runs
+// over in-memory queues or TCP.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Port, error)
+}
+
+// queue is an unbounded FIFO feeding a receive channel.
+type queue struct {
+	mu     sync.Mutex
+	items  []sig.Envelope
+	notify chan struct{}
+	out    chan sig.Envelope
+	closed bool
+	done   chan struct{}
+}
+
+func newQueue() *queue {
+	q := &queue{
+		notify: make(chan struct{}, 1),
+		out:    make(chan sig.Envelope),
+		done:   make(chan struct{}),
+	}
+	go q.pump()
+	return q
+}
+
+func (q *queue) push(e sig.Envelope) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.items = append(q.items, e)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (q *queue) pump() {
+	defer close(q.out)
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 {
+			closed := q.closed
+			q.mu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case <-q.notify:
+			case <-q.done:
+			}
+			q.mu.Lock()
+		}
+		e := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		select {
+		case q.out <- e:
+		case <-q.done:
+			// Receiver gone; drain silently until close.
+		}
+	}
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.done)
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// memPort is one end of an in-memory signaling channel.
+type memPort struct {
+	peerName string
+	sendTo   *queue // far end's receive queue
+	recvFrom *queue // our receive queue
+	closeFar func()
+	once     sync.Once
+}
+
+// Pipe creates an in-memory signaling channel and returns its two
+// ports. aName and bName label the ends for diagnostics.
+func Pipe(aName, bName string) (Port, Port) {
+	qa, qb := newQueue(), newQueue()
+	a := &memPort{peerName: bName, sendTo: qb, recvFrom: qa}
+	b := &memPort{peerName: aName, sendTo: qa, recvFrom: qb}
+	a.closeFar = func() { qb.close() }
+	b.closeFar = func() { qa.close() }
+	return a, b
+}
+
+func (p *memPort) Send(e sig.Envelope) error { return p.sendTo.push(e) }
+
+func (p *memPort) Recv() <-chan sig.Envelope { return p.recvFrom.out }
+
+func (p *memPort) Close() error {
+	p.once.Do(func() {
+		p.recvFrom.close()
+		p.closeFar()
+	})
+	return nil
+}
+
+func (p *memPort) Peer() string { return p.peerName }
+
+// MemNetwork is an in-process Network: addresses are plain strings in a
+// shared registry.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMemNetwork creates an empty in-process network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: map[string]*memListener{}}
+}
+
+type memListener struct {
+	addr   string
+	net    *MemNetwork
+	accept chan Port
+	once   sync.Once
+	done   chan struct{}
+}
+
+// Listen implements Network.
+func (n *MemNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	l := &memListener{addr: addr, net: n, accept: make(chan Port, 16), done: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *MemNetwork) Dial(addr string) (Port, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	near, far := Pipe(addr, "dialer")
+	select {
+	case l.accept <- far:
+		return near, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Accept() (Port, error) {
+	select {
+	case p, ok := <-l.accept:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return p, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }

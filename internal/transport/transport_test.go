@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ipmedia/internal/sig"
+)
+
+func env(tunnel int, seq uint32) sig.Envelope {
+	return sig.Envelope{Tunnel: tunnel, Sig: sig.Describe(sig.Descriptor{
+		ID: sig.DescID{Origin: "t", Seq: seq}, Addr: "a", Port: 1, Codecs: []sig.Codec{sig.G711},
+	})}
+}
+
+func recvOne(t *testing.T, p Port) sig.Envelope {
+	t.Helper()
+	select {
+	case e, ok := <-p.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return e
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for envelope")
+		return sig.Envelope{}
+	}
+}
+
+func testPortPair(t *testing.T, a, b Port) {
+	t.Helper()
+	// FIFO in both directions, interleaved.
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send(env(0, uint32(i))); err != nil {
+				t.Errorf("a.Send: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := b.Send(env(1, uint32(i))); err != nil {
+				t.Errorf("b.Send: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		e := recvOne(t, b)
+		if e.Sig.Desc.ID.Seq != uint32(i) {
+			t.Fatalf("b received seq %d, want %d (FIFO violated)", e.Sig.Desc.ID.Seq, i)
+		}
+		e = recvOne(t, a)
+		if e.Sig.Desc.ID.Seq != uint32(i) {
+			t.Fatalf("a received seq %d, want %d (FIFO violated)", e.Sig.Desc.ID.Seq, i)
+		}
+	}
+	wg.Wait()
+
+	// Close propagates to the peer's Recv.
+	a.Close()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-b.Recv():
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("b.Recv not closed after a.Close")
+		}
+	}
+}
+
+func TestMemPipeFIFO(t *testing.T) {
+	a, b := Pipe("a", "b")
+	testPortPair(t, a, b)
+}
+
+func TestTCPPortFIFO(t *testing.T) {
+	var tn TCPNetwork
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var b Port
+	var acceptErr error
+	done := make(chan struct{})
+	go func() {
+		b, acceptErr = l.Accept()
+		close(done)
+	}()
+	a, err := tn.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if acceptErr != nil {
+		t.Fatal(acceptErr)
+	}
+	testPortPair(t, a, b)
+}
+
+func TestMemNetworkDialListen(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("pbx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Addr() != "pbx" {
+		t.Fatalf("addr = %q", l.Addr())
+	}
+	go func() {
+		p, err := n.Dial("pbx")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		p.Send(env(0, 42))
+	}()
+	p, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := recvOne(t, p); e.Sig.Desc.ID.Seq != 42 {
+		t.Fatalf("got seq %d", e.Sig.Desc.ID.Seq)
+	}
+}
+
+func TestMemNetworkDialUnknown(t *testing.T) {
+	n := NewMemNetwork()
+	if _, err := n.Dial("nobody"); err == nil {
+		t.Fatal("dial to unknown address must fail")
+	}
+}
+
+func TestMemNetworkDuplicateListen(t *testing.T) {
+	n := NewMemNetwork()
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); err == nil {
+		t.Fatal("duplicate listen must fail")
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewMemNetwork()
+	l, _ := n.Listen("x")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("accept error = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept did not unblock")
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatalf("relisten after close: %v", err)
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, b := Pipe("a", "b")
+	a.Close()
+	if err := a.Send(env(0, 1)); err == nil {
+		t.Fatal("send after close must fail")
+	}
+	_ = b
+}
+
+func TestUnboundedSendNeverBlocks(t *testing.T) {
+	// A box must be able to queue arbitrarily many signals without a
+	// reader; this is what makes the FIFO-reliable abstraction safe
+	// against two boxes sending to each other simultaneously.
+	a, _ := Pipe("a", "b")
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			a.Send(env(0, uint32(i)))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sends blocked without a reader")
+	}
+}
+
+func TestTCPRoundTripAllSignalKinds(t *testing.T) {
+	var tn TCPNetwork
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		p, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for e := range p.Recv() {
+			p.Send(e) // echo
+		}
+	}()
+	a, err := tn.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sig.Descriptor{ID: sig.DescID{Origin: "x", Seq: 1}, Addr: "h", Port: 9, Codecs: []sig.Codec{sig.G711}}
+	msgs := []sig.Envelope{
+		{Tunnel: 0, Sig: sig.Open(sig.Audio, d)},
+		{Tunnel: 1, Sig: sig.Oack(d)},
+		{Tunnel: 2, Sig: sig.Close()},
+		{Tunnel: 3, Sig: sig.CloseAck()},
+		{Tunnel: 4, Sig: sig.Describe(d)},
+		{Tunnel: 5, Sig: sig.Select(sig.Selector{Answers: d.ID, Addr: "h2", Port: 10, Codec: sig.G711})},
+		{Meta: &sig.Meta{Kind: sig.MetaApp, App: "paid"}},
+	}
+	for _, m := range msgs {
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got := recvOne(t, a)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("echo %d: got %v want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Integration tests of the public API, including a full scenario over
+// real TCP sockets.
+package ipmedia_test
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia"
+)
+
+func eventually(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestPublicAPICall exercises the facade: devices, media plane, mute,
+// hangup.
+func TestPublicAPICall(t *testing.T) {
+	net := ipmedia.NewMemNetwork()
+	plane := ipmedia.NewMediaPlane()
+	a, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "a", Net: net, Plane: plane, MediaPort: 5004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "b", Net: net, Plane: plane, MediaPort: 5006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	if err := a.Call("c", "b", ipmedia.Audio); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "ringing", func() bool { return len(b.Ringing()) == 1 })
+	b.Answer(b.Ringing()[0])
+	eventually(t, "media", func() bool { return plane.HasFlow("a", "b") && plane.HasFlow("b", "a") })
+	a.SetMute(false, true)
+	eventually(t, "muted", func() bool { return !plane.HasFlow("a", "b") && plane.HasFlow("b", "a") })
+	a.HangUp("c")
+	eventually(t, "silence", func() bool { return len(plane.Flows()) == 0 })
+}
+
+// TestServerProgramOverTCP runs a three-box flowlink scenario entirely
+// over loopback TCP: two devices and a middle server box with a
+// program, exchanging the framed wire format on real sockets.
+func TestServerProgramOverTCP(t *testing.T) {
+	var net ipmedia.TCPNetwork
+	plane := ipmedia.NewMediaPlane()
+
+	// Reserve three ephemeral addresses.
+	addr := func() string {
+		l, err := net.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := l.Addr()
+		l.Close()
+		return a
+	}
+	aAddr, bAddr := addr(), addr()
+
+	a, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "a", Addr: aAddr, Net: net, Plane: plane, MediaPort: 5004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := ipmedia.NewDevice(ipmedia.DeviceConfig{Name: "b", Addr: bAddr, Net: net, Plane: plane, MediaPort: 5006, AutoAccept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	mid := ipmedia.NewRunner(ipmedia.NewBox("mid", ipmedia.ServerProfile{Name: "mid"}), net)
+	defer mid.Stop()
+	if err := mid.Connect("a", aAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Connect("b", bAddr); err != nil {
+		t.Fatal(err)
+	}
+	mid.SetProgram(&ipmedia.Program{
+		Initial: "linked",
+		States: []*ipmedia.State{{
+			Name:   "linked",
+			Annots: []ipmedia.Annot{ipmedia.FlowLinkAnn(ipmedia.TunnelSlot("a", 0), ipmedia.TunnelSlot("b", 0))},
+		}},
+	})
+	// Device a opens on its accepted channel; the open crosses two TCP
+	// connections through the middle box.
+	a.OpenOn("in0", ipmedia.Audio)
+	eventually(t, "end-to-end media over TCP", func() bool {
+		return plane.HasFlow("a", "b") && plane.HasFlow("b", "a")
+	})
+	for _, e := range mid.Errs() {
+		t.Errorf("mid error: %v", e)
+	}
+}
+
+// TestProductionShape runs the full production configuration: framed
+// signaling over real TCP sockets and media as real UDP datagrams —
+// the Figure 1 separation of signaling and media channels, on actual
+// sockets.
+func TestProductionShape(t *testing.T) {
+	var net ipmedia.TCPNetwork
+	plane := ipmedia.NewUDPMediaPlane()
+	defer plane.Close()
+
+	addr := func() string {
+		l, err := net.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := l.Addr()
+		l.Close()
+		return a
+	}
+	aAddr, bAddr := addr(), addr()
+
+	a, err := ipmedia.NewDevice(ipmedia.DeviceConfig{
+		Name: "a", Addr: aAddr, Net: net, Plane: plane,
+		MediaAddr: "127.0.0.1", MediaPort: 39801,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := ipmedia.NewDevice(ipmedia.DeviceConfig{
+		Name: "b", Addr: bAddr, Net: net, Plane: plane,
+		MediaAddr: "127.0.0.1", MediaPort: 39803,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	if errs := plane.Errs(); len(errs) > 0 {
+		t.Skipf("cannot bind UDP media sockets: %v", errs[0])
+	}
+
+	if err := a.Call("c", bAddr, ipmedia.Audio); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "b ringing", func() bool { return len(b.Ringing()) == 1 })
+	b.Answer(b.Ringing()[0])
+	eventually(t, "flows declared", func() bool {
+		return plane.HasFlow("a", "b") && plane.HasFlow("b", "a")
+	})
+	plane.Tick(20)
+	eventually(t, "datagrams accepted both ways", func() bool {
+		return a.Agent().Stats().Accepted >= 20 && b.Agent().Stats().Accepted >= 20
+	})
+	if errs := plane.Errs(); len(errs) > 0 {
+		t.Fatalf("media errors: %v", errs)
+	}
+}
+
+// TestVerifySuiteFacade runs the twelve-model verification through the
+// public API.
+func TestVerifySuiteFacade(t *testing.T) {
+	for _, v := range ipmedia.VerifySuite(ipmedia.CheckerOptions{MaxStates: 5_000_000}) {
+		if !v.OK() {
+			t.Errorf("%s: safety=%v liveness=%v", v.Config.Name(), v.Safety, v.Liveness)
+		}
+	}
+}
+
+// TestLatencyFacade reproduces the paper's headline comparison through
+// the public API.
+func TestLatencyFacade(t *testing.T) {
+	ours, err := ipmedia.Fig13Latency(ipmedia.PaperC, ipmedia.PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sip, err := ipmedia.SIPCommon(ipmedia.PaperC, ipmedia.PaperN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Measured != 128*time.Millisecond || sip.Measured != 378*time.Millisecond {
+		t.Fatalf("headline comparison %v vs %v, want 128ms vs 378ms", ours.Measured, sip.Measured)
+	}
+}
+
+// TestTopologyFacade exercises signaling-path analysis via the facade.
+func TestTopologyFacade(t *testing.T) {
+	top := ipmedia.NewTopology()
+	type ref = struct{ Box, Slot string }
+	top.Tunnel(ref{"L", "l"}, ref{"M", "a"})
+	top.Link(ref{"M", "a"}, ref{"M", "b"})
+	top.Tunnel(ref{"M", "b"}, ref{"R", "r"})
+	top.SetGoal(ref{"L", "l"}, "openSlot")
+	top.SetGoal(ref{"R", "r"}, "holdSlot")
+	paths, err := top.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0].Flowlinks() != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	spec, err := top.Spec(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != ipmedia.RecFlowing {
+		t.Fatalf("spec = %v", spec)
+	}
+}
