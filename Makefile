@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci vet build test fuzz bench
+
+# ci is the gate: static checks, build, the full test suite under the
+# race detector, and a short fuzz smoke so the sig fuzz targets are
+# actually executed.
+ci: vet build test fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalEnvelope -fuzztime=10s ./internal/sig
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

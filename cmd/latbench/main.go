@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"text/tabwriter"
 	"time"
 
 	"ipmedia/internal/lab"
+	"ipmedia/internal/telemetry"
 )
 
 func main() {
@@ -24,7 +26,13 @@ func main() {
 	n := flag.Duration("n", lab.PaperN, "network delivery latency per signal")
 	seed := flag.Int64("seed", 1, "seed for the SIP glare backoff")
 	maxP := flag.Int("maxp", 8, "maximum path length for the sweep")
+	noTel := flag.Bool("notelemetry", false, "skip the telemetry histogram report")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if !*noTel {
+		reg = telemetry.Enable()
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer w.Flush()
@@ -102,5 +110,36 @@ func main() {
 		fmt.Fprintf(w, "\n%s\n", m)
 		fmt.Fprintf(w, "(ours covers BOTH servers relinking concurrently — two operations;\n")
 		fmt.Fprintf(w, " the SIP counts cover one server's operation)\n")
+	}
+
+	if reg != nil {
+		w.Flush()
+		printHistograms(reg)
+	}
+}
+
+// printHistograms reports the wall-clock latency histograms the run
+// populated: protocol-engine compute per goal kind and slot
+// time-to-flowing. The experiments above measure *virtual* latency;
+// these histograms measure the real CPU cost of the same engines.
+func printHistograms(reg *telemetry.Registry) {
+	s := reg.Snapshot()
+	names := make([]string, 0, len(s.Histograms))
+	for k, h := range s.Histograms {
+		if h.Count > 0 {
+			names = append(names, k)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("\ntelemetry histograms (wall clock):")
+	hw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer hw.Flush()
+	fmt.Fprintln(hw, "HISTOGRAM\tCOUNT\tAVG\tP50\tP95\tP99")
+	for _, k := range names {
+		h := s.Histograms[k]
+		fmt.Fprintf(hw, "%s\t%d\t%v\t%v\t%v\t%v\n", k, h.Count, h.Avg, h.P50, h.P95, h.P99)
 	}
 }

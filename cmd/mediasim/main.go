@@ -5,18 +5,22 @@
 //
 //	mediasim -scenario prepaid [-naive]
 //	mediasim -scenario ctd [-busy]
+//	mediasim -metrics :9090 [-linger 30s] ...   # live telemetry endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"ipmedia"
 	"ipmedia/internal/box"
 	"ipmedia/internal/scenario"
+	"ipmedia/internal/telemetry"
 )
 
 func main() {
@@ -24,7 +28,22 @@ func main() {
 	naive := flag.Bool("naive", false, "prepaid: run the uncoordinated Figure 2 baseline")
 	busy := flag.Bool("busy", false, "ctd: make the clicked telephone unavailable")
 	trace := flag.Bool("trace", false, "prepaid: print the servers' wire trace")
+	metrics := flag.String("metrics", "", "serve the telemetry exposition endpoint at this address (e.g. :9090)")
+	linger := flag.Duration("linger", 0, "keep serving -metrics for this long after the scenario finishes")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *metrics != "" {
+		// Enable before the stack is built: instruments are resolved at
+		// object construction.
+		reg = telemetry.Enable()
+		go func() {
+			if err := http.ListenAndServe(*metrics, reg); err != nil {
+				log.Fatalf("metrics endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("telemetry: serving http://%s/ (append ?trace=1 for the signal trace)\n", *metrics)
+	}
 
 	switch *name {
 	case "prepaid":
@@ -33,6 +52,40 @@ func main() {
 		runCTD(*busy)
 	default:
 		log.Fatalf("unknown scenario %q", *name)
+	}
+
+	if reg != nil {
+		printMetricsSummary(reg)
+		if *linger > 0 {
+			fmt.Printf("telemetry: lingering %v at http://%s/\n", *linger, *metrics)
+			time.Sleep(*linger)
+		}
+	}
+}
+
+// printMetricsSummary dumps the nonzero instruments so a run is
+// inspectable even without scraping the endpoint.
+func printMetricsSummary(reg *telemetry.Registry) {
+	s := reg.Snapshot()
+	fmt.Println("\ntelemetry snapshot:")
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k, v := range s.Counters {
+		if v != 0 {
+			lines = append(lines, fmt.Sprintf("  counter %s %d", k, v))
+		}
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("  gauge %s %d hwm=%d", k, v.Value, v.HighWater))
+	}
+	for k, v := range s.Histograms {
+		if v.Count != 0 {
+			lines = append(lines, fmt.Sprintf("  hist %s count=%d avg=%v p50=%v p95=%v p99=%v",
+				k, v.Count, v.Avg, v.P50, v.P95, v.P99))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"ipmedia/internal/core"
 	"ipmedia/internal/sig"
 	"ipmedia/internal/slot"
+	"ipmedia/internal/telemetry"
 )
 
 // TunnelSlot names the slot at this box for tunnel i of the named
@@ -377,6 +378,11 @@ func (b *Box) dispatch(ctx *Ctx, ev *Event) error {
 		sev, err := s.Receive(ev.Env.Sig)
 		if err != nil {
 			return fmt.Errorf("box %s: %w", b.name, err)
+		}
+		// Enabled() gates the name concatenation, not just the count, so
+		// the disabled path does no string work.
+		if telemetry.Enabled() {
+			telemetry.C(MetricGoalInvocationsPrefix + g.Kind()).Inc()
 		}
 		acts, err := g.OnEvent(b, name, sev, ev.Env.Sig)
 		if err != nil {

@@ -11,7 +11,17 @@ import (
 	"time"
 
 	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
 	"ipmedia/internal/transport"
+)
+
+// Telemetry instrument names exported by this package.
+const (
+	// MetricLoopIterations counts events processed by runner loops.
+	MetricLoopIterations = "box.loop_iterations"
+	// MetricGoalInvocationsPrefix prefixes the per-kind goal invocation
+	// counters, e.g. "box.goal_invocations.flowLink".
+	MetricGoalInvocationsPrefix = "box.goal_invocations."
 )
 
 // Runner drives one Box over a transport.Network.
@@ -33,6 +43,9 @@ type Runner struct {
 	errs  []error
 	notes []string
 	trace func(WireEvent)
+
+	mLoop   *telemetry.Counter // runner loop iterations
+	mTracer *telemetry.Tracer  // envelope send/recv trace
 
 	// OnError, if set, observes box errors as they happen (testing).
 	OnError func(error)
@@ -63,17 +76,22 @@ func (r *Runner) traceEvent(dir, channel string, env sig.Envelope) {
 	if r.trace != nil {
 		r.trace(WireEvent{Box: r.box.Name(), Dir: dir, Channel: channel, Env: env, At: time.Now()})
 	}
+	if r.mTracer != nil {
+		r.mTracer.Record(dir, r.box.Name(), channel+" "+env.String())
+	}
 }
 
 // NewRunner wraps b for live execution over net.
 func NewRunner(b *Box, net transport.Network) *Runner {
 	r := &Runner{
-		box:    b,
-		net:    net,
-		inbox:  make(chan func(), 256),
-		done:   make(chan struct{}),
-		ports:  map[string]transport.Port{},
-		timers: map[string]*time.Timer{},
+		box:     b,
+		net:     net,
+		inbox:   make(chan func(), 256),
+		done:    make(chan struct{}),
+		ports:   map[string]transport.Port{},
+		timers:  map[string]*time.Timer{},
+		mLoop:   telemetry.C(MetricLoopIterations),
+		mTracer: telemetry.T(),
 	}
 	r.wg.Add(1)
 	go r.loop()
@@ -88,12 +106,14 @@ func (r *Runner) loop() {
 	for {
 		select {
 		case f := <-r.inbox:
+			r.mLoop.Inc()
 			f()
 		case <-r.done:
 			// Drain anything already queued, then stop.
 			for {
 				select {
 				case f := <-r.inbox:
+					r.mLoop.Inc()
 					f()
 				default:
 					r.closeAll()

@@ -1,0 +1,46 @@
+// Telemetry for the goal primitives: one latency histogram per goal
+// kind, covering the OnEvent handler (and Attach for the flowlink,
+// whose reconcile loop is its expensive path). Instruments are cached
+// per default registry; with telemetry disabled each hook costs a
+// pointer compare and a shared no-op timer.
+package core
+
+import (
+	"sync/atomic"
+
+	"ipmedia/internal/telemetry"
+)
+
+// MetricGoalLatencyPrefix prefixes the per-kind goal handler latency
+// histograms, e.g. "core.goal_latency.openSlot".
+const MetricGoalLatencyPrefix = "core.goal_latency."
+
+// coreHists is the histogram set for one registry. The zero value
+// (all-nil histograms) is the disabled set.
+type coreHists struct {
+	reg  *telemetry.Registry
+	open *telemetry.Histogram
+	clos *telemetry.Histogram
+	hold *telemetry.Histogram
+	link *telemetry.Histogram
+}
+
+var histCache atomic.Pointer[coreHists]
+
+// goalHists returns the histogram set for the current default
+// registry, rebuilding the cache if the default changed.
+func goalHists() *coreHists {
+	reg := telemetry.Default()
+	if h := histCache.Load(); h != nil && h.reg == reg {
+		return h
+	}
+	h := &coreHists{reg: reg}
+	if reg != nil {
+		h.open = reg.Histogram(MetricGoalLatencyPrefix + "openSlot")
+		h.clos = reg.Histogram(MetricGoalLatencyPrefix + "closeSlot")
+		h.hold = reg.Histogram(MetricGoalLatencyPrefix + "holdSlot")
+		h.link = reg.Histogram(MetricGoalLatencyPrefix + "flowLink")
+	}
+	histCache.Store(h)
+	return h
+}

@@ -70,6 +70,7 @@ func (g *OpenSlot) Attach(ss Slots) ([]Action, error) {
 
 // OnEvent implements Goal.
 func (g *OpenSlot) OnEvent(ss Slots, name string, ev slot.Event, in sig.Signal) ([]Action, error) {
+	defer goalHists().open.Timer()()
 	em := NewEmitter(ss)
 	s := ss.Slot(name)
 	switch ev {
@@ -192,6 +193,7 @@ func (g *CloseSlot) Attach(ss Slots) ([]Action, error) {
 
 // OnEvent implements Goal.
 func (g *CloseSlot) OnEvent(ss Slots, name string, ev slot.Event, in sig.Signal) ([]Action, error) {
+	defer goalHists().clos.Timer()()
 	em := NewEmitter(ss)
 	switch ev {
 	case slot.EvOpen, slot.EvOpenRace:
@@ -272,6 +274,7 @@ func (g *HoldSlot) Attach(ss Slots) ([]Action, error) {
 
 // OnEvent implements Goal.
 func (g *HoldSlot) OnEvent(ss Slots, name string, ev slot.Event, in sig.Signal) ([]Action, error) {
+	defer goalHists().hold.Timer()()
 	em := NewEmitter(ss)
 	s := ss.Slot(name)
 	switch ev {

@@ -15,6 +15,20 @@ import (
 	"ipmedia/internal/ltl"
 	"ipmedia/internal/path"
 	"ipmedia/internal/slot"
+	"ipmedia/internal/telemetry"
+)
+
+// Telemetry instrument names exported by this package.
+const (
+	// MetricSnapshots counts Snapshot calls.
+	MetricSnapshots = "pathmon.snapshots"
+	// MetricEvaluations counts per-path property evaluations.
+	MetricEvaluations = "pathmon.prop_evaluations"
+	// MetricViolations counts paths whose instantaneous observation
+	// contradicts a safety-flavored spec (a should-be-closed path seen
+	// bothFlowing). Transient nonzero values occur during convergence; a
+	// steadily growing count indicates a stuck path.
+	MetricViolations = "pathmon.violations"
 )
 
 // Monitor observes a set of boxes joined by known tunnels.
@@ -120,6 +134,9 @@ func (m *Monitor) Snapshot() ([]PathReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	telemetry.C(MetricSnapshots).Inc()
+	evals := telemetry.C(MetricEvaluations)
+	violations := telemetry.C(MetricViolations)
 	var out []PathReport
 	for _, p := range paths {
 		l, r := p.Ends()
@@ -138,6 +155,14 @@ func (m *Monitor) Snapshot() ([]PathReport, error) {
 			rs = slot.New(r.Slot, false)
 		}
 		rep.Obs = path.Observe(ls, rs)
+		evals.Inc()
+		// Liveness specs (□◇bothFlowing and the hold/hold disjunction)
+		// have no instantaneous violation; the two stability specs do:
+		// media flowing on a path that should quiesce.
+		if rep.Specified && rep.Obs.BothFlowing &&
+			(rep.Spec == ltl.StabClosed || rep.Spec == ltl.StabNotFlowing) {
+			violations.Inc()
+		}
 		out = append(out, rep)
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package pathmon
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"ipmedia/internal/core"
 	"ipmedia/internal/ltl"
 	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
 	"ipmedia/internal/transport"
 )
 
@@ -109,5 +111,106 @@ func TestMonitorSnapshot(t *testing.T) {
 	}
 	if _, found := Find(reports, "L", "nobody"); found {
 		t.Fatal("Find must miss unknown boxes")
+	}
+}
+
+// TestSnapshotConcurrentWithRunners pins the monitor's locking
+// contract: Snapshot, AddBox, and Tunnel may be called from any
+// goroutine while the monitored boxes are live and their goals are
+// churning. Run under -race this exercises the per-box freeze (Do),
+// the monitor's own mutex, and the telemetry counters Snapshot bumps.
+func TestSnapshotConcurrentWithRunners(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+
+	net := transport.NewMemNetwork()
+	prof := func(name string, port int) *core.EndpointProfile {
+		return core.NewEndpointProfile(name, "h"+name, port, []sig.Codec{sig.G711}, []sig.Codec{sig.G711})
+	}
+	l := box.NewRunner(box.New("L", prof("L", 1)), net)
+	r := box.NewRunner(box.New("R", prof("R", 2)), net)
+	mid := box.NewRunner(box.New("M", core.ServerProfile{Name: "M"}), net)
+	defer l.Stop()
+	defer r.Stop()
+	defer mid.Stop()
+	if err := l.Listen("L", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Listen("R", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Connect("cl", "L"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Connect("cr", "R"); err != nil {
+		t.Fatal(err)
+	}
+	mid.Do(func(ctx *box.Ctx) {
+		ctx.SetGoal(core.NewFlowLink(box.TunnelSlot("cl", 0), box.TunnelSlot("cr", 0)))
+	})
+	await(t, "L's channel", func() bool {
+		ok := false
+		l.Do(func(ctx *box.Ctx) { ok = ctx.Box().HasChannel("in0") })
+		return ok
+	})
+
+	m := New()
+	m.AddBox(l)
+	m.AddBox(r)
+	m.AddBox(mid)
+	m.Tunnel("M", box.TunnelSlot("cl", 0), "L", box.TunnelSlot("in0", 0))
+	m.Tunnel("M", box.TunnelSlot("cr", 0), "R", box.TunnelSlot("in0", 0))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churn the goal at L between open and close so slot states and
+	// goal kinds change under the monitor's feet.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				l.Do(func(ctx *box.Ctx) {
+					ctx.SetGoal(core.NewOpenSlot(box.TunnelSlot("in0", 0), sig.Audio, l.Box().Profile()))
+				})
+			} else {
+				l.Do(func(ctx *box.Ctx) {
+					ctx.SetGoal(core.NewCloseSlot(box.TunnelSlot("in0", 0)))
+				})
+			}
+		}
+	}()
+	// Concurrent (idempotent) registration while snapshotting.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.AddBox(l)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		if _, err := m.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := reg.Counter(MetricSnapshots).Value(); got != 100 {
+		t.Fatalf("snapshots = %d, want 100", got)
+	}
+	if evals := reg.Counter(MetricEvaluations).Value(); evals < 100 {
+		t.Fatalf("prop_evaluations = %d, want >= 100", evals)
 	}
 }

@@ -204,26 +204,31 @@ func decodeSignal(r *bytes.Reader) (Signal, error) {
 // Marshal encodes the envelope payload (without the length frame).
 func (e Envelope) Marshal() []byte {
 	var b bytes.Buffer
+	encodeEnvelope(&b, e)
+	return b.Bytes()
+}
+
+// encodeEnvelope appends the envelope payload encoding to b.
+func encodeEnvelope(b *bytes.Buffer, e Envelope) {
 	if e.IsMeta() {
 		b.WriteByte(tagMeta)
 		b.WriteByte(byte(e.Meta.Kind))
-		putString(&b, e.Meta.App)
+		putString(b, e.Meta.App)
 		keys := make([]string, 0, len(e.Meta.Attrs))
 		for k := range e.Meta.Attrs {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		putU32(&b, uint32(len(keys)))
+		putU32(b, uint32(len(keys)))
 		for _, k := range keys {
-			putString(&b, k)
-			putString(&b, e.Meta.Attrs[k])
+			putString(b, k)
+			putString(b, e.Meta.Attrs[k])
 		}
-		return b.Bytes()
+		return
 	}
 	b.WriteByte(tagSignal)
-	putU32(&b, uint32(e.Tunnel))
-	EncodeSignal(&b, e.Sig)
-	return b.Bytes()
+	putU32(b, uint32(e.Tunnel))
+	EncodeSignal(b, e.Sig)
 }
 
 // UnmarshalEnvelope decodes an envelope payload produced by Marshal.
@@ -282,17 +287,19 @@ func UnmarshalEnvelope(p []byte) (Envelope, error) {
 	}
 }
 
-// WriteFrame writes a length-framed envelope to w.
+// WriteFrame writes a length-framed envelope to w. Header and payload
+// are encoded into one buffer and issued as a single Write, so a frame
+// costs one syscall on a raw socket instead of two.
 func WriteFrame(w io.Writer, e Envelope) error {
-	p := e.Marshal()
-	if len(p) > MaxFrame {
+	var b bytes.Buffer
+	b.Write(make([]byte, 4)) // length header, patched below
+	encodeEnvelope(&b, e)
+	p := b.Bytes()
+	n := len(p) - 4
+	if n > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
+	binary.BigEndian.PutUint32(p[:4], uint32(n))
 	_, err := w.Write(p)
 	return err
 }

@@ -202,3 +202,45 @@ func TestQuickAnswerDescriptorInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// writeCounter records how many Write calls it receives, so tests can
+// assert on syscall counts for socket-bound writers.
+type writeCounter struct {
+	buf    bytes.Buffer
+	writes int
+}
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestWriteFrameSingleWrite pins the coalesced framing: one envelope
+// must reach the writer (and hence a raw TCP conn) in exactly one
+// Write call, header and payload together, and still round-trip.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	d := Descriptor{ID: DescID{"deviceA", 7}, Addr: "192.168.1.10", Port: 5004, Codecs: []Codec{G711, G726}}
+	envs := []Envelope{
+		{Tunnel: 2, Sig: Open(Audio, d)},
+		{Tunnel: 0, Sig: Close()},
+		{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: map[string]string{"amount": "10"}}},
+	}
+	var w writeCounter
+	for i, e := range envs {
+		if err := WriteFrame(&w, e); err != nil {
+			t.Fatal(err)
+		}
+		if w.writes != i+1 {
+			t.Fatalf("after %d frames: %d Write calls, want %d", i+1, w.writes, i+1)
+		}
+	}
+	for _, want := range envs {
+		got, err := ReadFrame(&w.buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Telemetry for the slot FSM: per-transition counters, an open-open
+// glare counter, a time-to-flowing histogram, and FSM-transition trace
+// events. Instruments are resolved once per default registry and
+// cached; with telemetry disabled every hot-path hook reduces to a nil
+// check.
+package slot
+
+import (
+	"sync/atomic"
+
+	"ipmedia/internal/telemetry"
+)
+
+// Telemetry instrument names exported by this package.
+const (
+	// MetricTransPrefix prefixes the per-transition counters, e.g.
+	// "slot.trans.closed_opening".
+	MetricTransPrefix = "slot.trans."
+	// MetricGlare counts open-open race resolutions (paper Section
+	// VI-B), on both the winning and the losing end.
+	MetricGlare = "slot.glare_resolutions"
+	// MetricTimeToFlowing is the latency histogram from a slot leaving
+	// the closed state to reaching flowing.
+	MetricTimeToFlowing = "slot.time_to_flowing"
+)
+
+const numStates = int(Closing) + 1
+
+// slotMetrics is the instrument set for one registry. The zero value
+// (all-nil instruments) is the disabled set.
+type slotMetrics struct {
+	reg    *telemetry.Registry
+	trans  [numStates][numStates]*telemetry.Counter
+	glare  *telemetry.Counter
+	ttf    *telemetry.Histogram
+	tracer *telemetry.Tracer
+}
+
+var metricsCache atomic.Pointer[slotMetrics]
+
+// metrics returns the instrument set for the current default registry,
+// rebuilding the cache if the default changed since the last call.
+func metrics() *slotMetrics {
+	reg := telemetry.Default()
+	if m := metricsCache.Load(); m != nil && m.reg == reg {
+		return m
+	}
+	m := &slotMetrics{reg: reg}
+	if reg != nil {
+		for f := 0; f < numStates; f++ {
+			for t := 0; t < numStates; t++ {
+				m.trans[f][t] = reg.Counter(MetricTransPrefix + stateNames[f] + "_" + stateNames[t])
+			}
+		}
+		m.glare = reg.Counter(MetricGlare)
+		m.ttf = reg.Histogram(MetricTimeToFlowing)
+		m.tracer = reg.Tracer()
+	}
+	metricsCache.Store(m)
+	return m
+}

@@ -14,6 +14,7 @@ package slot
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"ipmedia/internal/sig"
 )
@@ -101,6 +102,9 @@ type Slot struct {
 
 	hist  History
 	stale uint32 // count of discarded stale signals, for diagnostics
+
+	m        *slotMetrics // telemetry instruments; never nil after New
+	openedAt time.Time    // when the slot last left Closed (telemetry only)
 }
 
 // New creates a slot named name. initiator must be true exactly at the
@@ -109,7 +113,31 @@ type Slot struct {
 // "the winner of the race is always the end of the tunnel that
 // initiated setup of the signaling channel").
 func New(name string, initiator bool) *Slot {
-	return &Slot{name: name, initiator: initiator}
+	return &Slot{name: name, initiator: initiator, m: metrics()}
+}
+
+// transition moves the slot to state to, recording the transition in
+// the telemetry counters, the time-to-flowing histogram, and the
+// signal tracer. With telemetry disabled it is a plain assignment plus
+// a nil check.
+func (s *Slot) transition(to State) {
+	from := s.state
+	s.state = to
+	m := s.m
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.trans[from][to].Inc()
+	if from == Closed && to != Closed {
+		s.openedAt = time.Now()
+	}
+	if to == Flowing && from != Flowing && !s.openedAt.IsZero() {
+		m.ttf.Observe(time.Since(s.openedAt))
+		s.openedAt = time.Time{}
+	}
+	if m.tracer != nil {
+		m.tracer.Record("slot", s.name, from.String()+"->"+to.String())
+	}
 }
 
 // Name returns the slot's name within its box.
@@ -185,19 +213,19 @@ func (s *Slot) Send(g sig.Signal) error {
 		if g.Medium == "" {
 			return s.errf("open requires a medium")
 		}
-		s.state = Opening
+		s.transition(Opening)
 		s.medium = g.Medium
 		s.recordDescSent(g.Desc)
 	case sig.KindOack:
 		if s.state != Opened {
 			return s.errf("cannot send oack")
 		}
-		s.state = Flowing
+		s.transition(Flowing)
 		s.recordDescSent(g.Desc)
 	case sig.KindClose:
 		switch s.state {
 		case Opening, Opened, Flowing:
-			s.state = Closing
+			s.transition(Closing)
 			s.leaveFlowing()
 			// A closing slot is no longer "described" (paper Section
 			// VII: only opened and flowing slots are); drop the cache
@@ -244,7 +272,7 @@ func (s *Slot) leaveFlowing() {
 
 // reset returns the slot to the closed state, forgetting channel state.
 func (s *Slot) reset() {
-	s.state = Closed
+	s.transition(Closed)
 	s.medium = ""
 	s.desc = sig.Descriptor{}
 	s.hasDesc = false
@@ -260,7 +288,7 @@ func (s *Slot) Receive(g sig.Signal) (Event, error) {
 	case sig.KindOpen:
 		switch s.state {
 		case Closed:
-			s.state = Opened
+			s.transition(Opened)
 			s.medium = g.Medium
 			s.cacheDesc(g.Desc)
 			return EvOpen, nil
@@ -268,13 +296,16 @@ func (s *Slot) Receive(g sig.Signal) (Event, error) {
 			// Open-open race within the tunnel (paper Section VI-B). The
 			// winner is the end that initiated the signaling channel; the
 			// losing open signal is simply ignored.
+			if s.m != nil {
+				s.m.glare.Inc()
+			}
 			if s.initiator {
 				s.stale++
 				return EvStale, nil
 			}
 			// This end loses: back off and become the acceptor. The
 			// incoming open supersedes ours.
-			s.state = Opened
+			s.transition(Opened)
 			s.medium = g.Medium
 			s.cacheDesc(g.Desc)
 			return EvOpenRace, nil
@@ -289,7 +320,7 @@ func (s *Slot) Receive(g sig.Signal) (Event, error) {
 	case sig.KindOack:
 		switch s.state {
 		case Opening:
-			s.state = Flowing
+			s.transition(Flowing)
 			s.cacheDesc(g.Desc)
 			return EvOack, nil
 		case Closing:

@@ -1,0 +1,62 @@
+// Text exposition: an expvar-style HTTP endpoint rendering a registry
+// snapshot as sorted plain-text lines, one instrument per line, so
+// `curl` and shell tooling can scrape it without a client library.
+//
+//	counter transport.frames_out 1284
+//	gauge   transport.queue_depth 0 hwm=17
+//	hist    slot.time_to_flowing count=4 avg=1.1ms p50=1ms p95=2.1ms p99=2.1ms
+//
+// Appending ?trace=1 dumps the signal tracer's ring buffer after the
+// instruments.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WriteTo renders the snapshot in the text exposition format.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		if err := emit("counter %s %d\n", k, s.Counters[k]); err != nil {
+			return total, err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		g := s.Gauges[k]
+		if err := emit("gauge %s %d hwm=%d\n", k, g.Value, g.HighWater); err != nil {
+			return total, err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		if err := emit("hist %s count=%d avg=%v p50=%v p95=%v p99=%v\n",
+			k, h.Count, h.Avg, h.P50, h.P95, h.P99); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ServeHTTP implements http.Handler: it renders a fresh snapshot of
+// the registry in the text exposition format.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s := r.Snapshot()
+	if _, err := s.WriteTo(w); err != nil {
+		return
+	}
+	if req.URL.Query().Get("trace") != "" {
+		fmt.Fprintf(w, "\ntrace (%d events, %d recorded):\n", len(s.Trace), r.Tracer().Recorded())
+		for _, e := range s.Trace {
+			fmt.Fprintf(w, "%s\n", e)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package telemetry is the observability subsystem of the signaling
+// stack: lock-free counters and gauges, fixed-bucket latency
+// histograms, a bounded signal tracer, and a registry with a text
+// exposition endpoint.
+//
+// The package is dependency-free (standard library only) and built
+// around a nil-safe disabled path: every instrument is a pointer whose
+// methods are no-ops on a nil receiver, and every lookup against a nil
+// registry returns a nil instrument. Instrumented code therefore never
+// branches on a "telemetry enabled" flag — it simply calls through a
+// possibly-nil pointer, which costs about a nanosecond and zero
+// allocations when telemetry is off. Enable telemetry (Enable or
+// SetDefault) before constructing the stack: instruments are resolved
+// when the instrumented objects are created.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. All methods are
+// safe for concurrent use and are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; zero on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level (e.g. a queue depth) that also
+// tracks its high-water mark. All methods are safe for concurrent use
+// and are no-ops on a nil receiver.
+type Gauge struct {
+	v   atomic.Int64
+	hwm atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrease) and updates the
+// high-water mark.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	v := g.v.Add(delta)
+	for {
+		h := g.hwm.Load()
+		if v <= h || g.hwm.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Inc adds one to the gauge.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set forces the gauge to v and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		h := g.hwm.Load()
+		if v <= h || g.hwm.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level; zero on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HighWater returns the largest level ever observed; zero on a nil
+// receiver.
+func (g *Gauge) HighWater() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.hwm.Load()
+}
+
+// latencyBounds are the histogram bucket upper bounds in nanoseconds:
+// a base-2 exponential ladder from 1µs to ~8.6s. Latencies above the
+// last bound land in the overflow bucket.
+var latencyBounds = func() []int64 {
+	b := make([]int64, 0, 24)
+	for ns := int64(1 << 10); ns <= 1<<33; ns <<= 1 {
+		b = append(b, ns)
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// lock-free; Snapshot is a consistent-enough read for monitoring (each
+// bucket is read atomically, but the set of buckets is not read in one
+// instant). All methods are no-ops on a nil receiver.
+type Histogram struct {
+	counts []atomic.Uint64 // len(latencyBounds)+1; last is overflow
+	sum    atomic.Int64    // total nanoseconds observed
+	n      atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Uint64, len(latencyBounds)+1)}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	i := 0
+	for i < len(latencyBounds) && ns > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+}
+
+// nopTimer is returned by Timer on a nil histogram so the disabled
+// path allocates nothing.
+var nopTimer = func() {}
+
+// Timer starts timing and returns a stop function that records the
+// elapsed time. On a nil receiver it returns a shared no-op.
+func (h *Histogram) Timer() func() {
+	if h == nil {
+		return nopTimer
+	}
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
+// HistSnapshot is a point-in-time summary of a histogram.
+type HistSnapshot struct {
+	Count uint64
+	Sum   time.Duration
+	Avg   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot summarizes the histogram. Quantiles are reported as the
+// upper bound of the bucket containing the quantile, so they are
+// conservative (never under-report).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s.Count = total
+	s.Sum = time.Duration(h.sum.Load())
+	if total == 0 {
+		return s
+	}
+	s.Avg = s.Sum / time.Duration(total)
+	q := func(p float64) time.Duration {
+		target := uint64(p * float64(total))
+		if target == 0 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				if i < len(latencyBounds) {
+					return time.Duration(latencyBounds[i])
+				}
+				return time.Duration(latencyBounds[len(latencyBounds)-1]) * 2
+			}
+		}
+		return s.Sum
+	}
+	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	return s
+}
+
+// Registry holds named instruments. Instruments are created on first
+// lookup and live for the registry's lifetime; callers should resolve
+// an instrument once (at object construction) and hold the pointer.
+// All methods are safe for concurrent use and nil-safe: lookups on a
+// nil registry return nil instruments.
+type Registry struct {
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+	hists    sync.Map // string -> *Histogram
+	tracer   *Tracer
+}
+
+// NewRegistry creates an empty registry with a tracer of the default
+// capacity.
+func NewRegistry() *Registry {
+	return &Registry{tracer: NewTracer(2048)}
+}
+
+// Counter returns the named counter, creating it if needed; nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, new(Counter))
+	return v.(*Counter)
+}
+
+// Gauge returns the named gauge, creating it if needed; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, new(Gauge))
+	return v.(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it if needed; nil on
+// a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.hists.LoadOrStore(name, newHistogram())
+	return v.(*Histogram)
+}
+
+// Tracer returns the registry's signal tracer; nil on a nil registry.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// GaugeSnapshot is a point-in-time reading of a gauge.
+type GaugeSnapshot struct {
+	Value     int64
+	HighWater int64
+}
+
+// Snapshot is a consistent-enough point-in-time copy of every
+// instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]GaugeSnapshot
+	Histograms map[string]HistSnapshot
+	Trace      []TraceEvent
+}
+
+// Snapshot reads every instrument. It is safe to call concurrently
+// with instrument updates; on a nil registry it returns empty maps.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]GaugeSnapshot{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		g := v.(*Gauge)
+		s.Gauges[k.(string)] = GaugeSnapshot{Value: g.Value(), HighWater: g.HighWater()}
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		s.Histograms[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	s.Trace = r.tracer.Events()
+	return s
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// def is the process-wide default registry. It is nil until Enable or
+// SetDefault installs one; all package-level lookups then resolve
+// against it.
+var def atomic.Pointer[Registry]
+
+// Enable installs a fresh default registry if none is set and returns
+// the default. It is idempotent.
+func Enable() *Registry {
+	if r := def.Load(); r != nil {
+		return r
+	}
+	def.CompareAndSwap(nil, NewRegistry())
+	return def.Load()
+}
+
+// SetDefault replaces the default registry; pass nil to disable
+// telemetry. Intended for tests and process startup, before the
+// instrumented stack is constructed.
+func SetDefault(r *Registry) {
+	def.Store(r)
+}
+
+// Default returns the default registry, or nil when telemetry is
+// disabled.
+func Default() *Registry { return def.Load() }
+
+// Enabled reports whether a default registry is installed. Hot paths
+// that would build instrument names dynamically should check it first
+// to avoid the string work when telemetry is off.
+func Enabled() bool { return def.Load() != nil }
+
+// C resolves a counter in the default registry (nil when disabled).
+func C(name string) *Counter { return def.Load().Counter(name) }
+
+// G resolves a gauge in the default registry (nil when disabled).
+func G(name string) *Gauge { return def.Load().Gauge(name) }
+
+// H resolves a histogram in the default registry (nil when disabled).
+func H(name string) *Histogram { return def.Load().Histogram(name) }
+
+// T resolves the default registry's tracer (nil when disabled).
+func T() *Tracer { return def.Load().Tracer() }

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("counter lookup must be stable")
+	}
+	g := r.Gauge("g")
+	g.Add(3)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 3 || g.HighWater() != 4 {
+		t.Fatalf("gauge = %d hwm=%d, want 3 hwm=4", g.Value(), g.HighWater())
+	}
+	g.Set(-2)
+	if g.Value() != -2 || g.HighWater() != 4 {
+		t.Fatalf("after Set: %d hwm=%d", g.Value(), g.HighWater())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	var r *Registry
+	c.Inc()
+	c.Add(2)
+	g.Add(1)
+	g.Set(9)
+	h.Observe(time.Second)
+	h.Timer()()
+	tr.Record("k", "s", "d")
+	if c.Value() != 0 || g.Value() != 0 || g.HighWater() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if h.Snapshot().Count != 0 || tr.Events() != nil || tr.Len() != 0 {
+		t.Fatal("nil snapshot must be empty")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil || r.Tracer() != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	// 90 fast samples, 10 slow ones: p50 small, p99 large.
+	for i := 0; i < 90; i++ {
+		h.Observe(2 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want microseconds", s.P50)
+	}
+	if s.P99 < 10*time.Millisecond {
+		t.Fatalf("p99 = %v, want tens of ms", s.P99)
+	}
+	if s.Avg <= 0 || s.Sum <= 0 {
+		t.Fatalf("avg=%v sum=%v", s.Avg, s.Sum)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not monotone: %v %v %v", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Record("send", "box", string(rune('a'+i)))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 || tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	if tr.Recorded() != 6 {
+		t.Fatalf("recorded = %d, want 6", tr.Recorded())
+	}
+	// Oldest first, and the two oldest events were overwritten.
+	if evs[0].Seq != 3 || evs[3].Seq != 6 {
+		t.Fatalf("ring order wrong: %v", evs)
+	}
+	if evs[0].Detail != "c" || evs[3].Detail != "f" {
+		t.Fatalf("ring contents wrong: %v", evs)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	SetDefault(nil)
+	defer SetDefault(nil)
+	if Enabled() || C("x") != nil || G("x") != nil || H("x") != nil || T() != nil {
+		t.Fatal("disabled default must resolve nil instruments")
+	}
+	r := Enable()
+	if r == nil || Default() != r || Enable() != r {
+		t.Fatal("Enable must install and return a stable default")
+	}
+	C("x").Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("package-level lookup must hit the default registry")
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(7)
+	r.Counter("a.count").Add(3)
+	r.Gauge("q.depth").Add(5)
+	r.Histogram("lat").Observe(3 * time.Millisecond)
+	r.Tracer().Record("send", "boxA", "open")
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"counter a.count 3\n",
+		"counter b.count 7\n",
+		"gauge q.depth 5 hwm=5\n",
+		"hist lat count=1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Index(body, "a.count") > strings.Index(body, "b.count") {
+		t.Fatal("exposition must be sorted")
+	}
+	if strings.Contains(body, "boxA") {
+		t.Fatal("trace must be absent without ?trace=1")
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?trace=1", nil))
+	if !strings.Contains(rec.Body.String(), "send boxA open") {
+		t.Fatalf("trace missing:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,101 @@
+// Signal tracer: a bounded ring buffer of timestamped events — an
+// envelope crossing a box edge, or a slot FSM transition — for live
+// message-sequence debugging without unbounded memory growth. The
+// tracer keeps the most recent events; older ones are overwritten.
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one recorded event.
+type TraceEvent struct {
+	Seq    uint64    // global sequence number, increasing
+	At     time.Time // wall-clock time of the event
+	Kind   string    // "send", "recv", "slot", ...
+	Source string    // box or slot the event belongs to
+	Detail string    // free-form payload (signal, transition, ...)
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("#%d %s %s %s %s", e.Seq, e.At.Format("15:04:05.000000"), e.Kind, e.Source, e.Detail)
+}
+
+// Tracer is a bounded ring buffer of TraceEvents. All methods are safe
+// for concurrent use and are no-ops on a nil receiver.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int // index of the next write
+	seq  uint64
+	full bool
+}
+
+// NewTracer creates a tracer keeping the most recent capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]TraceEvent, capacity)}
+}
+
+// Record appends an event, overwriting the oldest if the buffer is
+// full. It is a no-op on a nil receiver.
+func (t *Tracer) Record(kind, source, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.seq++
+	t.buf[t.next] = TraceEvent{Seq: t.seq, At: now, Kind: kind, Source: source, Detail: detail}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first. Nil receivers
+// return nil.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]TraceEvent(nil), t.buf[:t.next]...)
+	}
+	out := make([]TraceEvent, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Len reports how many events are buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Recorded reports the total number of events ever recorded, including
+// overwritten ones.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}

@@ -5,11 +5,38 @@
 package transport
 
 import (
+	"io"
 	"net"
 	"sync"
 
 	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
 )
+
+// countingWriter adds every written byte to a counter. The counter is
+// nil-safe, so the wrapper costs one nil check when telemetry is off.
+type countingWriter struct {
+	w io.Writer
+	c *telemetry.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
+}
+
+// countingReader adds every read byte to a counter.
+type countingReader struct {
+	r io.Reader
+	c *telemetry.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(uint64(n))
+	return n, err
+}
 
 // tcpPort adapts a net.Conn to the Port interface. Outgoing envelopes
 // are queued (unbounded) and written by a dedicated goroutine so Send
@@ -21,12 +48,25 @@ type tcpPort struct {
 	in   *queue // envelopes decoded from the socket
 	once sync.Once
 	wg   sync.WaitGroup
+
+	framesOut *telemetry.Counter
+	framesIn  *telemetry.Counter
+	wireOut   countingWriter
+	wireIn    countingReader
 }
 
 // NewTCPPort wraps an established connection as a signaling-channel
 // port.
 func NewTCPPort(conn net.Conn) Port {
-	p := &tcpPort{conn: conn, out: newQueue(), in: newQueue()}
+	p := &tcpPort{
+		conn:      conn,
+		out:       newQueue(nil),
+		in:        newQueue(nil),
+		framesOut: telemetry.C(MetricFramesOut),
+		framesIn:  telemetry.C(MetricFramesIn),
+		wireOut:   countingWriter{w: conn, c: telemetry.C(MetricBytesOut)},
+		wireIn:    countingReader{r: conn, c: telemetry.C(MetricBytesIn)},
+	}
 	p.wg.Add(2)
 	go p.writer()
 	go p.reader()
@@ -36,10 +76,11 @@ func NewTCPPort(conn net.Conn) Port {
 func (p *tcpPort) writer() {
 	defer p.wg.Done()
 	for e := range p.out.out {
-		if err := sig.WriteFrame(p.conn, e); err != nil {
+		if err := sig.WriteFrame(p.wireOut, e); err != nil {
 			p.Close()
 			return
 		}
+		p.framesOut.Inc()
 	}
 	// Queue closed: half-close the write side if possible so the peer's
 	// reader sees EOF after the last frame.
@@ -51,11 +92,12 @@ func (p *tcpPort) writer() {
 func (p *tcpPort) reader() {
 	defer p.wg.Done()
 	for {
-		e, err := sig.ReadFrame(p.conn)
+		e, err := sig.ReadFrame(p.wireIn)
 		if err != nil {
 			p.in.close()
 			return
 		}
+		p.framesIn.Inc()
 		if p.in.push(e) != nil {
 			return
 		}
@@ -100,6 +142,7 @@ func (TCPNetwork) Dial(addr string) (Port, error) {
 	if err != nil {
 		return nil, err
 	}
+	telemetry.C(MetricDials).Inc()
 	return NewTCPPort(conn), nil
 }
 
@@ -108,6 +151,7 @@ func (l *tcpListener) Accept() (Port, error) {
 	if err != nil {
 		return nil, err
 	}
+	telemetry.C(MetricAccepts).Inc()
 	return NewTCPPort(conn), nil
 }
 

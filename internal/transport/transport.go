@@ -13,10 +13,26 @@ import (
 	"sync"
 
 	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
 )
 
 // ErrClosed reports use of a closed port, listener, or network.
 var ErrClosed = errors.New("transport: closed")
+
+// Telemetry instrument names exported by this package. queue_depth
+// counts envelopes accepted by Send but not yet handed to a receiver
+// (or written to a socket), across all queues in the process; its
+// high-water mark is the visibility the unbounded queues otherwise
+// lack — a slow reader shows up as a growing depth.
+const (
+	MetricFramesOut  = "transport.frames_out"
+	MetricFramesIn   = "transport.frames_in"
+	MetricBytesOut   = "transport.bytes_out"
+	MetricBytesIn    = "transport.bytes_in"
+	MetricQueueDepth = "transport.queue_depth"
+	MetricDials      = "transport.dials"
+	MetricAccepts    = "transport.accepts"
+)
 
 // Port is one end of a signaling channel. Sends never block
 // indefinitely: the channel queues are unbounded, preserving the FIFO
@@ -50,7 +66,9 @@ type Network interface {
 	Dial(addr string) (Port, error)
 }
 
-// queue is an unbounded FIFO feeding a receive channel.
+// queue is an unbounded FIFO feeding a receive channel. Every queue
+// tracks its occupancy in the process-wide queue-depth gauge; deliver,
+// if non-nil, counts envelopes actually handed to the receiver.
 type queue struct {
 	mu     sync.Mutex
 	items  []sig.Envelope
@@ -58,13 +76,18 @@ type queue struct {
 	out    chan sig.Envelope
 	closed bool
 	done   chan struct{}
+
+	depth   *telemetry.Gauge
+	deliver *telemetry.Counter
 }
 
-func newQueue() *queue {
+func newQueue(deliver *telemetry.Counter) *queue {
 	q := &queue{
-		notify: make(chan struct{}, 1),
-		out:    make(chan sig.Envelope),
-		done:   make(chan struct{}),
+		notify:  make(chan struct{}, 1),
+		out:     make(chan sig.Envelope),
+		done:    make(chan struct{}),
+		depth:   telemetry.G(MetricQueueDepth),
+		deliver: deliver,
 	}
 	go q.pump()
 	return q
@@ -78,6 +101,7 @@ func (q *queue) push(e sig.Envelope) error {
 	}
 	q.items = append(q.items, e)
 	q.mu.Unlock()
+	q.depth.Inc()
 	select {
 	case q.notify <- struct{}{}:
 	default:
@@ -106,9 +130,11 @@ func (q *queue) pump() {
 		q.mu.Unlock()
 		select {
 		case q.out <- e:
+			q.deliver.Inc()
 		case <-q.done:
 			// Receiver gone; drain silently until close.
 		}
+		q.depth.Dec()
 	}
 }
 
@@ -129,25 +155,31 @@ func (q *queue) close() {
 
 // memPort is one end of an in-memory signaling channel.
 type memPort struct {
-	peerName string
-	sendTo   *queue // far end's receive queue
-	recvFrom *queue // our receive queue
-	closeFar func()
-	once     sync.Once
+	peerName  string
+	sendTo    *queue // far end's receive queue
+	recvFrom  *queue // our receive queue
+	closeFar  func()
+	once      sync.Once
+	framesOut *telemetry.Counter
 }
 
 // Pipe creates an in-memory signaling channel and returns its two
 // ports. aName and bName label the ends for diagnostics.
 func Pipe(aName, bName string) (Port, Port) {
-	qa, qb := newQueue(), newQueue()
-	a := &memPort{peerName: bName, sendTo: qb, recvFrom: qa}
-	b := &memPort{peerName: aName, sendTo: qa, recvFrom: qb}
+	framesIn := telemetry.C(MetricFramesIn)
+	framesOut := telemetry.C(MetricFramesOut)
+	qa, qb := newQueue(framesIn), newQueue(framesIn)
+	a := &memPort{peerName: bName, sendTo: qb, recvFrom: qa, framesOut: framesOut}
+	b := &memPort{peerName: aName, sendTo: qa, recvFrom: qb, framesOut: framesOut}
 	a.closeFar = func() { qb.close() }
 	b.closeFar = func() { qa.close() }
 	return a, b
 }
 
-func (p *memPort) Send(e sig.Envelope) error { return p.sendTo.push(e) }
+func (p *memPort) Send(e sig.Envelope) error {
+	p.framesOut.Inc()
+	return p.sendTo.push(e)
+}
 
 func (p *memPort) Recv() <-chan sig.Envelope { return p.recvFrom.out }
 
@@ -204,6 +236,7 @@ func (n *MemNetwork) Dial(addr string) (Port, error) {
 	near, far := Pipe(addr, "dialer")
 	select {
 	case l.accept <- far:
+		telemetry.C(MetricDials).Inc()
 		return near, nil
 	case <-l.done:
 		return nil, ErrClosed
@@ -216,6 +249,7 @@ func (l *memListener) Accept() (Port, error) {
 		if !ok {
 			return nil, ErrClosed
 		}
+		telemetry.C(MetricAccepts).Inc()
 		return p, nil
 	case <-l.done:
 		return nil, ErrClosed
