@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test fuzz bench
+.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc
 
 # ci is the gate: static checks, build, the full test suite under the
-# race detector, and a short fuzz smoke so the sig fuzz targets are
-# actually executed.
-ci: vet build test fuzz
+# race detector, the parallel-vs-sequential checker agreement test,
+# a short fuzz smoke so the sig fuzz targets are actually executed,
+# and a one-iteration benchmark smoke so the perf harness keeps
+# compiling and the zero-alloc assertions run.
+ci: vet build test agree fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,8 +18,24 @@ build:
 test:
 	$(GO) test -race ./...
 
+# agree re-runs the twelve-model parallel determinism check under the
+# race detector, the acceptance gate for the parallel explorer.
+agree:
+	$(GO) test -race -run='TestParallelAgreement' ./internal/mcmodel
+
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalEnvelope -fuzztime=10s ./internal/sig
+	$(GO) test -run='^$$' -fuzz=FuzzEncoderEquivalence -fuzztime=10s ./internal/sig
+
+bench-smoke:
+	$(GO) test -run='^$$' -bench='Explore|Marshal' -benchtime=1x ./internal/mcmodel ./internal/sig
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-mc records the before/after checker numbers: the twelve-model
+# suite at workers 1 vs 4, written to BENCH_mc.json. Forcing 4 (rather
+# than the GOMAXPROCS default) keeps the parallel leg and its
+# totals-agreement check in the record even on small CI hosts.
+bench-mc:
+	$(GO) run ./cmd/pathcheck -bench BENCH_mc.json -workers 4

@@ -6,19 +6,25 @@
 //
 // Usage:
 //
-//	pathcheck [-budget N] [-flowlinks N] [-blowup]
+//	pathcheck [-budget N] [-flowlinks N] [-workers N] [-blowup] [-bench FILE]
 //
 // -budget sets the chaos budget of the nondeterministic initial phases
 // (default: the per-model defaults). -flowlinks restricts to one row
-// of the suite. -blowup prints the flowlink cost-comparison table that
-// reproduces the paper's ×300 memory / ×1000 time observation.
+// of the suite. -workers sets the exploration goroutine count (default
+// GOMAXPROCS; 1 selects the sequential reference explorer). -blowup
+// prints the flowlink cost-comparison table that reproduces the
+// paper's ×300 memory / ×1000 time observation. -bench writes a JSON
+// record of suite wall-clock at workers 1 vs N (see BENCH_mc.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"ipmedia/internal/mc"
 	"ipmedia/internal/mcmodel"
@@ -30,9 +36,15 @@ func main() {
 	blowup := flag.Bool("blowup", false, "print the flowlink cost-comparison table")
 	maxStates := flag.Int("maxstates", 30_000_000, "abort exploration beyond this many states")
 	compact := flag.Bool("compact", false, "hash compaction: 64-bit state fingerprints (like Spin's compression)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "exploration goroutines (1: sequential reference)")
+	bench := flag.String("bench", "", "write a workers-1-vs-N suite benchmark as JSON to this file")
 	flag.Parse()
 
-	opts := mc.Options{MaxStates: *maxStates, HashCompaction: *compact}
+	opts := mc.Options{MaxStates: *maxStates, HashCompaction: *compact, Workers: *workers}
+	if *bench != "" {
+		runBench(opts, *bench)
+		return
+	}
 	if *blowup {
 		runBlowup(opts)
 		return
@@ -65,6 +77,89 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall models verified: safety + temporal specification hold under weak fairness")
+}
+
+// benchRun is one suite pass at a fixed worker count.
+type benchRun struct {
+	Workers     int     `json:"workers"`
+	States      int     `json:"states"`
+	Transitions int     `json:"transitions"`
+	WallMS      float64 `json:"wall_ms"`
+	StatesPerS  float64 `json:"states_per_sec"`
+}
+
+// benchReport is the BENCH_mc.json schema.
+type benchReport struct {
+	Date       string     `json:"date"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Budget     string     `json:"budget"`
+	Runs       []benchRun `json:"runs"`
+	SpeedupNx1 float64    `json:"speedup_workersN_vs_1"`
+	Note       string     `json:"note,omitempty"`
+}
+
+// runBench runs the twelve-model suite once sequentially and once at
+// opts.Workers, and writes the comparison as JSON. Verdicts must pass
+// and both runs must agree on totals, so this doubles as an end-to-end
+// agreement check.
+func runBench(opts mc.Options, path string) {
+	runAt := func(workers int) benchRun {
+		o := opts
+		o.Workers = workers
+		r := benchRun{Workers: workers}
+		start := time.Now()
+		for _, v := range mcmodel.Suite(o) {
+			if !v.OK() {
+				fmt.Fprintf(os.Stderr, "bench: %s FAILED: safety=%v liveness=%v\n", v.Config.Name(), v.Safety, v.Liveness)
+				os.Exit(1)
+			}
+			r.States += v.Result.States
+			r.Transitions += v.Result.Transitions
+		}
+		wall := time.Since(start)
+		r.WallMS = float64(wall.Microseconds()) / 1000
+		r.StatesPerS = float64(r.States) / wall.Seconds()
+		return r
+	}
+	seq := runAt(1)
+	rep := benchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Budget:     "per-model defaults",
+		Runs:       []benchRun{seq},
+	}
+	if n := opts.Workers; n > 1 {
+		par := runAt(n)
+		if par.States != seq.States || par.Transitions != seq.Transitions {
+			fmt.Fprintf(os.Stderr, "bench: parallel totals (%d, %d) disagree with sequential (%d, %d)\n",
+				par.States, par.Transitions, seq.States, seq.Transitions)
+			os.Exit(1)
+		}
+		rep.Runs = append(rep.Runs, par)
+		rep.SpeedupNx1 = seq.WallMS / par.WallMS
+	} else {
+		rep.SpeedupNx1 = 1
+	}
+	if runtime.NumCPU() == 1 {
+		rep.Note = "single-CPU host: parallel mode cannot beat sequential wall-clock here; see EXPERIMENTS.md"
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: workers=1 %.0fms", path, seq.WallMS)
+	if len(rep.Runs) > 1 {
+		fmt.Printf(", workers=%d %.0fms (x%.2f)", rep.Runs[1].Workers, rep.Runs[1].WallMS, rep.SpeedupNx1)
+	}
+	fmt.Println()
 }
 
 func runBlowup(opts mc.Options) {

@@ -13,7 +13,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 
 	"ipmedia/internal/sig"
@@ -62,8 +61,11 @@ type Goal interface {
 	Refresh(ss Slots, inChanged, outChanged bool) ([]Action, error)
 	// Clone deep-copies the goal object, for the model checker.
 	Clone() Goal
-	// Encode appends a deterministic state fingerprint to b.
-	Encode(b *bytes.Buffer)
+	// AppendEncode appends a deterministic state fingerprint to dst and
+	// returns the extended slice. Append-style (rather than writing to
+	// a bytes.Buffer) so the model checker can fingerprint millions of
+	// states into one reused buffer without allocating.
+	AppendEncode(dst []byte) []byte
 }
 
 // Emitter validates and collects a goal's outgoing signals. Emit

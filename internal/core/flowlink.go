@@ -18,7 +18,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 
 	"ipmedia/internal/sig"
@@ -175,14 +174,13 @@ func (g *FlowLink) Clone() Goal {
 	return &c
 }
 
-// Encode implements Goal.
-func (g *FlowLink) Encode(b *bytes.Buffer) {
-	b.WriteString("link:")
-	b.WriteString(g.A)
-	b.WriteByte(',')
-	b.WriteString(g.B)
-	b.WriteByte(boolByte(g.UtdA))
-	b.WriteByte(boolByte(g.UtdB))
+// AppendEncode implements Goal.
+func (g *FlowLink) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "link:"...)
+	dst = append(dst, g.A...)
+	dst = append(dst, ',')
+	dst = append(dst, g.B...)
+	return append(dst, boolByte(g.UtdA), boolByte(g.UtdB))
 }
 
 func boolByte(v bool) byte {
@@ -241,12 +239,12 @@ func (g *Forwarder) Clone() Goal {
 	return &c
 }
 
-// Encode implements Goal.
-func (g *Forwarder) Encode(b *bytes.Buffer) {
-	b.WriteString("fwd:")
-	b.WriteString(g.A)
-	b.WriteByte(',')
-	b.WriteString(g.B)
+// AppendEncode implements Goal.
+func (g *Forwarder) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "fwd:"...)
+	dst = append(dst, g.A...)
+	dst = append(dst, ',')
+	return append(dst, g.B...)
 }
 
 // RawGoal marks goals whose slots are not protocol endpoints: the box

@@ -3,8 +3,6 @@
 package core
 
 import (
-	"bytes"
-
 	"ipmedia/internal/sig"
 )
 
@@ -25,8 +23,9 @@ type Profile interface {
 	Answer(d sig.Descriptor) sig.Selector
 	// Clone deep-copies the profile.
 	Clone() Profile
-	// Encode appends a deterministic state fingerprint.
-	Encode(b *bytes.Buffer)
+	// AppendEncode appends a deterministic state fingerprint to dst and
+	// returns the extended slice.
+	AppendEncode(dst []byte) []byte
 }
 
 // ServerProfile is the profile of an application-server goal object:
@@ -49,10 +48,10 @@ func (p ServerProfile) Answer(d sig.Descriptor) sig.Selector {
 // Clone returns the profile itself; it is immutable.
 func (p ServerProfile) Clone() Profile { return p }
 
-// Encode appends the profile fingerprint.
-func (p ServerProfile) Encode(b *bytes.Buffer) {
-	b.WriteString("srv:")
-	b.WriteString(p.Name)
+// AppendEncode appends the profile fingerprint.
+func (p ServerProfile) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "srv:"...)
+	return append(dst, p.Name...)
 }
 
 // EndpointProfile is the profile of a genuine media endpoint: a real
@@ -141,27 +140,26 @@ func (p *EndpointProfile) Clone() Profile {
 	return &c
 }
 
-// Encode appends the profile fingerprint.
-func (p *EndpointProfile) Encode(b *bytes.Buffer) {
-	b.WriteString("ep:")
-	b.WriteString(p.Origin)
-	b.WriteString(p.Addr)
-	b.WriteByte(byte(p.Port >> 8))
-	b.WriteByte(byte(p.Port))
+// AppendEncode appends the profile fingerprint.
+func (p *EndpointProfile) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "ep:"...)
+	dst = append(dst, p.Origin...)
+	dst = append(dst, p.Addr...)
+	dst = append(dst, byte(p.Port>>8), byte(p.Port))
 	for _, c := range p.RecvCodecs {
-		b.WriteString(string(c))
-		b.WriteByte(',')
+		dst = append(dst, c...)
+		dst = append(dst, ',')
 	}
-	b.WriteByte(';')
+	dst = append(dst, ';')
 	for _, c := range p.SendCodecs {
-		b.WriteString(string(c))
-		b.WriteByte(',')
+		dst = append(dst, c...)
+		dst = append(dst, ',')
 	}
 	if p.MuteIn {
-		b.WriteByte('I')
+		dst = append(dst, 'I')
 	}
 	if p.MuteOut {
-		b.WriteByte('O')
+		dst = append(dst, 'O')
 	}
-	b.WriteByte(byte(p.seq))
+	return append(dst, byte(p.seq))
 }

@@ -5,7 +5,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 
 	"ipmedia/internal/sig"
@@ -129,12 +128,12 @@ func (g *OpenSlot) Clone() Goal {
 	return &OpenSlot{Name: g.Name, Medium: g.Medium, P: g.P.Clone()}
 }
 
-// Encode implements Goal.
-func (g *OpenSlot) Encode(b *bytes.Buffer) {
-	b.WriteString("open:")
-	b.WriteString(g.Name)
-	b.WriteString(string(g.Medium))
-	g.P.Encode(b)
+// AppendEncode implements Goal.
+func (g *OpenSlot) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "open:"...)
+	dst = append(dst, g.Name...)
+	dst = append(dst, string(g.Medium)...)
+	return g.P.AppendEncode(dst)
 }
 
 // refreshSingle implements the modify event for single-slot goals: a
@@ -215,10 +214,10 @@ func (g *CloseSlot) Refresh(Slots, bool, bool) ([]Action, error) { return nil, n
 // Clone implements Goal.
 func (g *CloseSlot) Clone() Goal { return &CloseSlot{Name: g.Name} }
 
-// Encode implements Goal.
-func (g *CloseSlot) Encode(b *bytes.Buffer) {
-	b.WriteString("close:")
-	b.WriteString(g.Name)
+// AppendEncode implements Goal.
+func (g *CloseSlot) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "close:"...)
+	return append(dst, g.Name...)
 }
 
 // HoldSlot is the holdSlot goal: accept a media channel and get it to
@@ -310,9 +309,9 @@ func (g *HoldSlot) Refresh(ss Slots, inChanged, outChanged bool) ([]Action, erro
 // Clone implements Goal.
 func (g *HoldSlot) Clone() Goal { return &HoldSlot{Name: g.Name, P: g.P.Clone()} }
 
-// Encode implements Goal.
-func (g *HoldSlot) Encode(b *bytes.Buffer) {
-	b.WriteString("hold:")
-	b.WriteString(g.Name)
-	g.P.Encode(b)
+// AppendEncode implements Goal.
+func (g *HoldSlot) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "hold:"...)
+	dst = append(dst, g.Name...)
+	return g.P.AppendEncode(dst)
 }

@@ -10,7 +10,6 @@
 package endpoint
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -385,7 +384,7 @@ func (g *ringGoal) Refresh(core.Slots, bool, bool) ([]core.Action, error) { retu
 
 func (g *ringGoal) Clone() core.Goal { c := *g; return &c }
 
-func (g *ringGoal) Encode(b *bytes.Buffer) {
-	b.WriteString("ring:")
-	b.WriteString(g.name)
+func (g *ringGoal) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "ring:"...)
+	return append(dst, g.name...)
 }

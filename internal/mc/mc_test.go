@@ -2,6 +2,7 @@ package mc
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ type toyState struct {
 	id int
 }
 
-func (s toyState) Key() string { return fmt.Sprint(s.id) }
+func (s toyState) AppendKey(dst []byte) []byte { return strconv.AppendInt(dst, int64(s.id), 10) }
 func (s toyState) Succs() []Succ {
 	out := make([]Succ, len(s.m.succs[s.id]))
 	copy(out, s.m.succs[s.id])

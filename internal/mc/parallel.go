@@ -1,0 +1,323 @@
+// Parallel state-space exploration: a worker pool expands frontier
+// states concurrently against a lock-striped visited set keyed by
+// 64-bit fingerprints, while a single owner goroutine merges each
+// worker's batches into the Graph. Only the owner ever writes the
+// Graph arrays, so counterexample reconstruction and the liveness
+// SCC pass see exactly the same consistent structure the sequential
+// explorer produces.
+//
+// Order-independence: the set of reachable states and the successor
+// list of each state are properties of the model, not of exploration
+// order, so States (distinct interned fingerprints) and Transitions
+// (sum of successor counts over expanded states, plus one stutter loop
+// per terminal) are identical for any worker count. The agreement
+// tests in parallel_test.go and mcmodel assert this for every suite
+// model.
+package mc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipmedia/internal/ltl"
+	"ipmedia/internal/telemetry"
+)
+
+// numShards stripes the visited set; must be a power of two. 64
+// stripes keep contention negligible for any plausible worker count.
+const numShards = 64
+
+// chunkSize is how many frontier states the owner hands a worker at a
+// time. Batching amortizes channel operations against state expansion.
+const chunkSize = 64
+
+// shard is one stripe of the visited set. Exactly one of keys/sums is
+// non-nil, mirroring Options.HashCompaction.
+type shard struct {
+	mu       sync.Mutex
+	keys     map[string]int32
+	sums     map[uint64]int32
+	keyBytes int64
+}
+
+// task is a frontier state awaiting expansion.
+type task struct {
+	id int32
+	s  State
+}
+
+// freshRec carries a newly interned state from a worker to the owner,
+// with the per-state attributes precomputed so the owner only stores.
+type freshRec struct {
+	id     int32
+	parent int32
+	label  string
+	obs    ltl.Obs
+	mask   uint64
+	quies  bool
+	s      State
+}
+
+// adjRec is the completed successor list of one expanded state.
+type adjRec struct {
+	from  int32
+	edges []edge
+}
+
+// batch is everything a worker learned from expanding one chunk.
+type batch struct {
+	fresh       []freshRec
+	adjs        []adjRec
+	viols       []violation
+	transitions int
+}
+
+// pvisited is the sharded visited set plus the global dense ID
+// allocator shared by all workers.
+type pvisited struct {
+	shards  [numShards]shard
+	next    atomic.Int32
+	compact bool
+}
+
+func newPvisited(compact bool) *pvisited {
+	v := &pvisited{compact: compact}
+	for i := range v.shards {
+		if compact {
+			v.shards[i].sums = make(map[uint64]int32, 64)
+		} else {
+			v.shards[i].keys = make(map[string]int32, 64)
+		}
+	}
+	return v
+}
+
+// intern resolves key to a state ID, allocating a fresh dense ID on
+// first sight. The boolean reports whether the key was fresh.
+func (v *pvisited) intern(key []byte) (int32, bool) {
+	h := fnv64(key)
+	sh := &v.shards[h&(numShards-1)]
+	sh.mu.Lock()
+	if v.compact {
+		if id, ok := sh.sums[h]; ok {
+			sh.mu.Unlock()
+			return id, false
+		}
+		id := v.next.Add(1) - 1
+		sh.sums[h] = id
+		sh.keyBytes += 8
+		sh.mu.Unlock()
+		return id, true
+	}
+	if id, ok := sh.keys[string(key)]; ok {
+		sh.mu.Unlock()
+		return id, false
+	}
+	id := v.next.Add(1) - 1
+	sh.keys[string(key)] = id
+	sh.keyBytes += int64(len(key))
+	sh.mu.Unlock()
+	return id, true
+}
+
+func (v *pvisited) totalKeyBytes() int64 {
+	var n int64
+	for i := range v.shards {
+		n += v.shards[i].keyBytes
+	}
+	return n
+}
+
+// exploreParallel is the multi-core counterpart of exploreSeq.
+//
+// Topology: owner -> work (chan []task) -> workers -> results
+// (chan batch) -> owner. The owner loop is a select between
+// dispatching the next frontier chunk and merging a finished batch, so
+// it can never deadlock against a worker: results is buffered to the
+// worker count and each worker has at most one unmerged batch.
+func exploreParallel(init State, opts Options, maxStates int) (*Graph, *Result, []violation) {
+	workers := opts.Workers
+	g := newGraph()
+	res := &Result{Workers: workers}
+	visited := newPvisited(opts.HashCompaction)
+	statesC := telemetry.C(MetricStates)
+	transC := telemetry.C(MetricTransitions)
+
+	work := make(chan []task, workers)
+	results := make(chan batch, workers)
+	var busyNanos atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keyBuf := make([]byte, 0, 256)
+			for chunk := range work {
+				t0 := time.Now()
+				var b batch
+				for _, it := range chunk {
+					keyBuf = expand(it, visited, &b, keyBuf)
+				}
+				busyNanos.Add(int64(time.Since(t0)))
+				results <- b
+			}
+		}()
+	}
+
+	// growTo extends the per-state arrays to hold id. Batches can merge
+	// out of order, so arrays may briefly contain holes above the
+	// contiguous prefix; every allocated ID is carried by exactly one
+	// freshRec, so all holes are filled by the time the frontier drains.
+	growTo := func(id int32) {
+		for int(id) >= len(g.obs) {
+			g.obs = append(g.obs, ltl.Obs{})
+			g.masks = append(g.masks, 0)
+			g.quies = append(g.quies, false)
+			g.adj = append(g.adj, nil)
+			g.parent = append(g.parent, -1)
+			g.plabel = append(g.plabel, "")
+		}
+	}
+
+	var viols []violation
+	invariantViols := 0
+	var queue []task
+	head := 0
+
+	// Intern the initial state owner-side so the frontier starts
+	// non-empty before any worker runs.
+	keyBuf := init.AppendKey(make([]byte, 0, 256))
+	id0, _ := visited.intern(keyBuf)
+	growTo(id0)
+	g.obs[id0] = init.Obs()
+	g.masks[id0] = init.QueueMask()
+	g.quies[id0] = init.Quiescent()
+	g.plabel[id0] = "init"
+	statesC.Inc()
+	queue = append(queue, task{id0, init})
+
+	start := time.Now()
+	inflight := 0
+	stopDispatch := false
+	for inflight > 0 || (!stopDispatch && head < len(queue)) {
+		if !stopDispatch && int(visited.next.Load()) > maxStates {
+			res.Truncated = true
+			stopDispatch = true
+		}
+		var workCh chan []task
+		var chunk []task
+		if !stopDispatch && head < len(queue) {
+			end := head + chunkSize
+			if end > len(queue) {
+				end = len(queue)
+			}
+			chunk = queue[head:end]
+			workCh = work
+		}
+		if workCh == nil && inflight == 0 {
+			// stopDispatch flipped this iteration with nothing in
+			// flight: both select cases are disabled, so exit here.
+			break
+		}
+		select {
+		case workCh <- chunk:
+			head += len(chunk)
+			inflight++
+			// Dispatched chunks alias the queue's backing array, so
+			// compaction must copy into a fresh slice rather than
+			// shifting in place as the sequential explorer does.
+			if head >= 4096 && head*2 >= len(queue) {
+				nq := make([]task, len(queue)-head, cap(queue))
+				copy(nq, queue[head:])
+				queue = nq
+				head = 0
+			}
+		case b := <-results:
+			inflight--
+			for _, f := range b.fresh {
+				growTo(f.id)
+				g.obs[f.id] = f.obs
+				g.masks[f.id] = f.mask
+				g.quies[f.id] = f.quies
+				g.parent[f.id] = f.parent
+				g.plabel[f.id] = f.label
+				statesC.Inc()
+				if !stopDispatch {
+					queue = append(queue, task{f.id, f.s})
+				}
+			}
+			for _, a := range b.adjs {
+				g.adj[a.from] = a.edges
+			}
+			for _, v := range b.viols {
+				if v.kind == violInvariant {
+					if invariantViols >= maxInvariantReports {
+						continue
+					}
+					invariantViols++
+				}
+				viols = append(viols, v)
+			}
+			res.Transitions += b.transitions
+			transC.Add(uint64(b.transitions))
+		}
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+	if n := workers * int(wall); n > 0 {
+		pct := busyNanos.Load() * 100 / int64(n)
+		telemetry.G(MetricWorkerUtil).Set(pct)
+	}
+
+	g.KeyBytes = visited.totalKeyBytes()
+	return g, res, viols
+}
+
+// expand performs the same per-state work as the body of exploreSeq's
+// BFS loop, recording results into the worker's batch instead of the
+// shared graph. keyBuf is the worker's reused fingerprint scratch.
+func expand(it task, visited *pvisited, b *batch, keyBuf []byte) []byte {
+	if inv, ok := it.s.(InvariantState); ok {
+		if err := inv.Invariant(); err != nil {
+			b.viols = append(b.viols, violation{it.id, violInvariant, err.Error()})
+		}
+	}
+	succs := it.s.Succs()
+	if len(succs) == 0 {
+		if !it.s.Quiescent() {
+			b.viols = append(b.viols, violation{it.id, violDeadlock, ""})
+		} else if err := it.s.Check(); err != nil {
+			b.viols = append(b.viols, violation{it.id, violFinal, err.Error()})
+		}
+		b.adjs = append(b.adjs, adjRec{it.id, []edge{{to: it.id, queue: -1}}})
+		b.transitions++
+		return keyBuf
+	}
+	if it.s.Quiescent() {
+		if err := it.s.Check(); err != nil {
+			b.viols = append(b.viols, violation{it.id, violFinal, err.Error()})
+		}
+	}
+	es := make([]edge, 0, len(succs))
+	for _, sc := range succs {
+		keyBuf = sc.State.AppendKey(keyBuf[:0])
+		id, fresh := visited.intern(keyBuf)
+		es = append(es, edge{to: id, queue: int32(sc.Queue)})
+		if fresh {
+			b.fresh = append(b.fresh, freshRec{
+				id:     id,
+				parent: it.id,
+				label:  sc.Label,
+				obs:    sc.State.Obs(),
+				mask:   sc.State.QueueMask(),
+				quies:  sc.State.Quiescent(),
+				s:      sc.State,
+			})
+		}
+	}
+	b.adjs = append(b.adjs, adjRec{it.id, es})
+	b.transitions += len(succs)
+	return keyBuf
+}

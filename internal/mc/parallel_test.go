@@ -1,0 +1,149 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+
+	"ipmedia/internal/ltl"
+)
+
+// bigToy builds a toy model with a wide diamond-shaped state space so
+// the parallel frontier actually fans out across workers.
+func bigToy() *toyModel {
+	m := newToy()
+	// Layered DAG: 40 layers of 25 states plus cross edges, converging
+	// on a single closed terminal state.
+	id := func(layer, i int) int { return 1 + layer*25 + i }
+	for i := 0; i < 25; i++ {
+		m.edge(0, id(0, i), i%7)
+	}
+	for layer := 0; layer < 39; layer++ {
+		for i := 0; i < 25; i++ {
+			m.edge(id(layer, i), id(layer+1, i), i%7)
+			m.edge(id(layer, i), id(layer+1, (i+3)%25), (i+1)%7)
+		}
+	}
+	last := 1 + 40*25
+	for i := 0; i < 25; i++ {
+		m.edge(id(39, i), last, 0)
+	}
+	m.quies[last] = true
+	m.obs[last] = ltl.Obs{BothClosed: true}
+	return m
+}
+
+// TestParallelAgreesWithSequential checks the tentpole invariant on
+// toy models: any worker count produces the same state count,
+// transition count, and verdicts as the sequential reference.
+func TestParallelAgreesWithSequential(t *testing.T) {
+	m := bigToy()
+	_, seq := Explore(toyState{m, 0}, Options{Workers: 1})
+	for _, w := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			gp, par := Explore(toyState{m, 0}, Options{Workers: w})
+			if par.Workers != w {
+				t.Fatalf("Workers = %d, want %d", par.Workers, w)
+			}
+			if par.States != seq.States || par.Transitions != seq.Transitions {
+				t.Fatalf("parallel (%d states, %d transitions) != sequential (%d, %d)",
+					par.States, par.Transitions, seq.States, seq.Transitions)
+			}
+			if len(par.Deadlocks) != len(seq.Deadlocks) || len(par.SafetyErrs) != len(seq.SafetyErrs) {
+				t.Fatalf("violation counts differ: %+v vs %+v", par, seq)
+			}
+			if err := gp.CheckProp(ltl.StabClosed); err != nil {
+				t.Fatalf("◇□closed should hold on the parallel graph: %v", err)
+			}
+		})
+	}
+}
+
+// TestParallelHashCompactionAgrees repeats the agreement check in
+// fingerprint-only mode, the configuration the blowup runs use.
+func TestParallelHashCompactionAgrees(t *testing.T) {
+	m := bigToy()
+	_, seq := Explore(toyState{m, 0}, Options{Workers: 1, HashCompaction: true})
+	_, par := Explore(toyState{m, 0}, Options{Workers: 4, HashCompaction: true})
+	if par.States != seq.States || par.Transitions != seq.Transitions {
+		t.Fatalf("compaction: parallel (%d, %d) != sequential (%d, %d)",
+			par.States, par.Transitions, seq.States, seq.Transitions)
+	}
+	if par.CollisionBound != seq.CollisionBound {
+		t.Fatalf("collision bounds differ: %g vs %g", par.CollisionBound, seq.CollisionBound)
+	}
+}
+
+// TestParallelFindsDeadlock checks that safety violations detected by
+// workers still produce a counterexample trace ending in the right
+// transition label.
+func TestParallelFindsDeadlock(t *testing.T) {
+	m := bigToy()
+	// Graft a deadlock (terminal, non-quiescent) off a mid-layer state.
+	m.edge(1+20*25+7, 99999, 3)
+	m.masks[99999] = 1
+	_, res := Explore(toyState{m, 0}, Options{Workers: 4})
+	if len(res.Deadlocks) != 1 {
+		t.Fatalf("expected 1 deadlock, got %d", len(res.Deadlocks))
+	}
+	if res.Deadlocks[0] == "" {
+		t.Fatal("deadlock trace is empty")
+	}
+}
+
+// TestParallelSafetyCheckOnFinalStates mirrors the sequential test:
+// quiescent terminal states failing Check are reported with a trace.
+func TestParallelSafetyCheckOnFinalStates(t *testing.T) {
+	m := newToy()
+	m.edge(0, 1, 0)
+	m.quies[1] = true
+	init := failState{toyState{m, 0}, 1}
+	_, res := Explore(init, Options{Workers: 4})
+	if len(res.SafetyErrs) != 1 {
+		t.Fatalf("expected 1 safety violation, got %v", res.SafetyErrs)
+	}
+}
+
+// TestParallelTruncation checks that MaxStates stops dispatch and that
+// the graph stays internally consistent (dense arrays, no holes).
+func TestParallelTruncation(t *testing.T) {
+	m := newToy()
+	for i := 0; i < 5000; i++ {
+		m.edge(i, i+1, 0)
+		m.edge(i, 5001+i, 1)
+		m.quies[5001+i] = true
+		m.obs[5001+i] = ltl.Obs{BothClosed: true}
+	}
+	m.quies[5000] = true
+	g, res := Explore(toyState{m, 0}, Options{Workers: 4, MaxStates: 500})
+	if !res.Truncated {
+		t.Fatal("exploration should report truncation")
+	}
+	if res.States < 500 {
+		t.Fatalf("truncated run explored only %d states", res.States)
+	}
+	if g.States() != res.States {
+		t.Fatalf("graph has %d states, result says %d", g.States(), res.States)
+	}
+}
+
+// TestParallelLivenessVerdictsAgree runs the temporal checks on graphs
+// produced by both modes and compares verdicts.
+func TestParallelLivenessVerdictsAgree(t *testing.T) {
+	// Fair cycle violating ◇□closed (from TestFairCycleWithServiceCounts).
+	m := newToy()
+	m.masks[1] = 1 << 5
+	m.masks[2] = 1 << 5
+	m.edge(0, 1, 0)
+	m.edge(1, 2, 5)
+	m.edge(2, 1, 1)
+	gs, _ := Explore(toyState{m, 0}, Options{Workers: 1})
+	gp, _ := Explore(toyState{m, 0}, Options{Workers: 4})
+	errS := gs.CheckProp(ltl.StabClosed)
+	errP := gp.CheckProp(ltl.StabClosed)
+	if (errS == nil) != (errP == nil) {
+		t.Fatalf("liveness verdicts differ: seq=%v par=%v", errS, errP)
+	}
+	if errP == nil {
+		t.Fatal("fair cycle leaving closed must violate ◇□closed in parallel mode too")
+	}
+}

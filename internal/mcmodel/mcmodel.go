@@ -18,7 +18,6 @@
 package mcmodel
 
 import (
-	"bytes"
 	"fmt"
 
 	"ipmedia/internal/core"
@@ -233,32 +232,33 @@ func (s *pstate) enqueue(idx int, acts []core.Action) error {
 	return nil
 }
 
-// Key implements mc.State.
-func (s *pstate) Key() string {
-	var b bytes.Buffer
+// AppendKey implements mc.State. It appends the canonical state
+// fingerprint to dst — append-style all the way down (profiles, goals,
+// slots, queued signals), so the checker fingerprints every explored
+// state into one reused buffer with zero allocation per state.
+func (s *pstate) AppendKey(dst []byte) []byte {
 	if s.poisoned != "" {
-		b.WriteString("!POISON:")
-		b.WriteString(s.poisoned)
+		dst = append(dst, "!POISON:"...)
+		dst = append(dst, s.poisoned...)
 	}
 	for _, n := range s.nodes {
-		b.WriteByte(byte('0' + n.phase))
-		b.WriteByte(byte('0' + n.budget))
-		n.prof.Encode(&b)
+		dst = append(dst, byte('0'+n.phase), byte('0'+n.budget))
+		dst = n.prof.AppendEncode(dst)
 		if n.goal != nil {
-			n.goal.Encode(&b)
+			dst = n.goal.AppendEncode(dst)
 		}
 		for _, name := range n.names {
-			n.slots[name].Encode(&b)
+			dst = n.slots[name].AppendEncode(dst)
 		}
-		b.WriteByte('|')
+		dst = append(dst, '|')
 	}
 	for _, q := range s.queues {
 		for _, g := range q {
-			sig.EncodeSignal(&b, g)
+			dst = sig.AppendSignal(dst, g)
 		}
-		b.WriteByte('|')
+		dst = append(dst, '|')
 	}
-	return b.String()
+	return dst
 }
 
 // Obs implements mc.State: the path-state observation over the two end

@@ -1,0 +1,82 @@
+package mcmodel
+
+import (
+	"testing"
+
+	"ipmedia/internal/mc"
+)
+
+// TestParallelAgreement is the tentpole acceptance check: every one of
+// the twelve suite models explored at -workers 1 and -workers 4 must
+// produce identical state counts, transition counts, and verdicts.
+// The Makefile runs this under -race, which also exercises the
+// owner/worker merge protocol for data races.
+func TestParallelAgreement(t *testing.T) {
+	for _, fl := range []int{0, 1} {
+		for _, cfg := range Configs(fl) {
+			cfg := cfg
+			t.Run(cfg.Name(), func(t *testing.T) {
+				seq := Check(cfg, mc.Options{MaxStates: 5_000_000, Workers: 1})
+				par := Check(cfg, mc.Options{MaxStates: 5_000_000, Workers: 4})
+				if seq.Result.States != par.Result.States {
+					t.Errorf("states: sequential %d != parallel %d", seq.Result.States, par.Result.States)
+				}
+				if seq.Result.Transitions != par.Result.Transitions {
+					t.Errorf("transitions: sequential %d != parallel %d", seq.Result.Transitions, par.Result.Transitions)
+				}
+				if (seq.Safety == nil) != (par.Safety == nil) {
+					t.Errorf("safety verdicts differ: seq=%v par=%v", seq.Safety, par.Safety)
+				}
+				if (seq.Liveness == nil) != (par.Liveness == nil) {
+					t.Errorf("liveness verdicts differ: seq=%v par=%v", seq.Liveness, par.Liveness)
+				}
+				if par.Result.Workers != 4 {
+					t.Errorf("parallel run reports %d workers", par.Result.Workers)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelAgreementHashCompaction repeats the agreement check in
+// fingerprint-only mode on one representative model — the setting the
+// blowup sweeps run in.
+func TestParallelAgreementHashCompaction(t *testing.T) {
+	cfg := Config{Left: Open, Right: Hold, Flowlinks: 1}
+	seq := Check(cfg, mc.Options{MaxStates: 5_000_000, Workers: 1, HashCompaction: true})
+	par := Check(cfg, mc.Options{MaxStates: 5_000_000, Workers: 4, HashCompaction: true})
+	if seq.Result.States != par.Result.States || seq.Result.Transitions != par.Result.Transitions {
+		t.Fatalf("compaction: sequential (%d, %d) != parallel (%d, %d)",
+			seq.Result.States, seq.Result.Transitions, par.Result.States, par.Result.Transitions)
+	}
+	if !seq.OK() || !par.OK() {
+		t.Fatalf("verdicts: seq safety=%v liveness=%v, par safety=%v liveness=%v",
+			seq.Safety, seq.Liveness, par.Safety, par.Liveness)
+	}
+}
+
+// BenchmarkExplore measures raw state-space exploration (safety only,
+// no liveness pass) on the largest default-budget model, the number
+// BENCH_mc.json records. It lives in mcmodel rather than mc because mc
+// cannot import its own test models without a cycle.
+func BenchmarkExplore(b *testing.B) {
+	cfg := Config{Left: Open, Right: Hold, Flowlinks: 1}.withDefaults()
+	for _, bench := range []struct {
+		name string
+		opts mc.Options
+	}{
+		{"workers=1", mc.Options{Workers: 1}},
+		{"workers=4", mc.Options{Workers: 4}},
+		{"workers=1/compact", mc.Options{Workers: 1, HashCompaction: true}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				_, res := mc.Explore(New(cfg), bench.opts)
+				states = res.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}

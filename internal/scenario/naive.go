@@ -8,7 +8,6 @@
 package scenario
 
 import (
-	"bytes"
 	"sync"
 
 	"ipmedia/internal/box"
@@ -127,10 +126,10 @@ func (g *NaiveLeg) Refresh(core.Slots, bool, bool) ([]core.Action, error) { retu
 // Clone implements core.Goal.
 func (g *NaiveLeg) Clone() core.Goal { c := *g; return &c }
 
-// Encode implements core.Goal.
-func (g *NaiveLeg) Encode(b *bytes.Buffer) {
-	b.WriteString("naive:")
-	b.WriteString(g.name)
+// AppendEncode implements core.Goal.
+func (g *NaiveLeg) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "naive:"...)
+	return append(dst, g.name...)
 }
 
 // Describe sends a descriptor command on a leg: "a signal to X telling

@@ -1,0 +1,7 @@
+//go:build race
+
+package sig
+
+// raceEnabled reports whether the race detector is active; zero-alloc
+// assertions are skipped under it because it defeats sync.Pool reuse.
+const raceEnabled = true

@@ -3,15 +3,23 @@
 // framed binary format used by the TCP transport. The same
 // deterministic encoding doubles as the state fingerprint of in-flight
 // signals inside the model checker.
+//
+// The encode path is append-style: every encoder appends to a
+// caller-provided []byte and returns the extended slice, so both the
+// TCP hot path (via a sync.Pool of frame buffers in WriteFrame) and
+// the model checker's per-state fingerprinting run without allocating.
+// The decode path reuses the caller's payload buffer and interns the
+// protocol's well-known strings (codec and medium names), so
+// steady-state signaling allocates only for genuinely novel strings.
 package sig
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Frame format: every envelope is framed as
@@ -27,6 +35,20 @@ const (
 	// corrupted stream.
 	MaxFrame = 64 << 10
 
+	// MaxCodecs bounds the codec list of a descriptor on the wire. The
+	// decoder has always rejected longer lists; the encoder now rejects
+	// them too, so every encodable envelope is decodable (encode/decode
+	// symmetry).
+	MaxCodecs = 64
+
+	// MaxAttrs bounds the attribute map of a meta-signal on the wire,
+	// symmetric with the decoder's limit.
+	MaxAttrs = 1024
+
+	// maxString is the largest string representable by the uint16
+	// length prefix.
+	maxString = 1<<16 - 1
+
 	tagSignal byte = 1
 	tagMeta   byte = 2
 )
@@ -36,82 +58,303 @@ var (
 	ErrFrameTooLarge = errors.New("sig: frame exceeds maximum size")
 	// ErrCorrupt reports an undecodable payload.
 	ErrCorrupt = errors.New("sig: corrupt envelope encoding")
+	// ErrUnencodable reports an envelope that cannot be represented in
+	// the wire format (too many codecs or attributes, or an oversized
+	// string). It wraps ErrCorrupt: emitting such an envelope would
+	// corrupt the stream for the peer, so the encoders reject it
+	// instead of silently truncating.
+	ErrUnencodable = fmt.Errorf("%w: unencodable envelope", ErrCorrupt)
 )
 
-func putString(b *bytes.Buffer, s string) {
-	var n [2]byte
-	binary.BigEndian.PutUint16(n[:], uint16(len(s)))
-	b.Write(n[:])
-	b.WriteString(s)
+// ---------------------------------------------------------------------
+// Append-style encoders.
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
 }
 
-func getString(r *bytes.Reader) (string, error) {
-	var n [2]byte
-	if _, err := io.ReadFull(r, n[:]); err != nil {
-		return "", ErrCorrupt
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// appendString appends the uint16 length prefix and the bytes of s.
+// Strings longer than maxString are rejected by Envelope.Validate on
+// the wire paths; the model checker's fingerprint path never produces
+// them.
+func appendString(dst []byte, s string) []byte {
+	dst = appendU16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// AppendDescriptor appends the deterministic encoding of d to dst and
+// returns the extended slice.
+func AppendDescriptor(dst []byte, d Descriptor) []byte {
+	dst = appendString(dst, d.ID.Origin)
+	dst = appendU32(dst, d.ID.Seq)
+	dst = appendString(dst, d.Addr)
+	dst = appendU32(dst, uint32(d.Port))
+	dst = appendU32(dst, uint32(len(d.Codecs)))
+	for _, c := range d.Codecs {
+		dst = appendString(dst, string(c))
 	}
-	l := int(binary.BigEndian.Uint16(n[:]))
-	buf := make([]byte, l)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", ErrCorrupt
+	return dst
+}
+
+// AppendSelector appends the deterministic encoding of s to dst and
+// returns the extended slice.
+func AppendSelector(dst []byte, s Selector) []byte {
+	dst = appendString(dst, s.Answers.Origin)
+	dst = appendU32(dst, s.Answers.Seq)
+	dst = appendString(dst, s.Addr)
+	dst = appendU32(dst, uint32(s.Port))
+	dst = appendString(dst, string(s.Codec))
+	return dst
+}
+
+// AppendSignal appends the deterministic encoding of g to dst and
+// returns the extended slice.
+func AppendSignal(dst []byte, g Signal) []byte {
+	dst = append(dst, byte(g.Kind))
+	switch g.Kind {
+	case KindOpen:
+		dst = appendString(dst, string(g.Medium))
+		dst = AppendDescriptor(dst, g.Desc)
+	case KindOack, KindDescribe:
+		dst = AppendDescriptor(dst, g.Desc)
+	case KindSelect:
+		dst = AppendSelector(dst, g.Sel)
 	}
-	return string(buf), nil
+	return dst
 }
 
-func putU32(b *bytes.Buffer, v uint32) {
-	var n [4]byte
-	binary.BigEndian.PutUint32(n[:], v)
-	b.Write(n[:])
+// appendEnvelope appends the envelope payload encoding to dst. The
+// envelope must already be validated.
+func appendEnvelope(dst []byte, e Envelope) []byte {
+	if e.IsMeta() {
+		dst = append(dst, tagMeta, byte(e.Meta.Kind))
+		dst = appendString(dst, e.Meta.App)
+		keys := make([]string, 0, len(e.Meta.Attrs))
+		for k := range e.Meta.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = appendU32(dst, uint32(len(keys)))
+		for _, k := range keys {
+			dst = appendString(dst, k)
+			dst = appendString(dst, e.Meta.Attrs[k])
+		}
+		return dst
+	}
+	dst = append(dst, tagSignal)
+	dst = appendU32(dst, uint32(e.Tunnel))
+	return AppendSignal(dst, e.Sig)
 }
 
-func getU32(r *bytes.Reader) (uint32, error) {
-	var n [4]byte
-	if _, err := io.ReadFull(r, n[:]); err != nil {
+// ---------------------------------------------------------------------
+// Encode-side validation: symmetric with the decoder's limits, so the
+// encoders never emit bytes the decoders reject.
+
+func validString(what, s string) error {
+	if len(s) > maxString {
+		return fmt.Errorf("%w: %s is %d bytes (max %d)", ErrUnencodable, what, len(s), maxString)
+	}
+	return nil
+}
+
+func (d Descriptor) validate() error {
+	if len(d.Codecs) > MaxCodecs {
+		return fmt.Errorf("%w: descriptor has %d codecs (max %d)", ErrUnencodable, len(d.Codecs), MaxCodecs)
+	}
+	if err := validString("descriptor origin", d.ID.Origin); err != nil {
+		return err
+	}
+	if err := validString("descriptor addr", d.Addr); err != nil {
+		return err
+	}
+	for _, c := range d.Codecs {
+		if err := validString("codec name", string(c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s Selector) validate() error {
+	if err := validString("selector origin", s.Answers.Origin); err != nil {
+		return err
+	}
+	if err := validString("selector addr", s.Addr); err != nil {
+		return err
+	}
+	return validString("codec name", string(s.Codec))
+}
+
+// Validate reports whether the envelope is representable in the wire
+// format: at most MaxCodecs codecs per descriptor, at most MaxAttrs
+// meta attributes, and no string longer than 64KiB-1. The encoders
+// reject envelopes that fail validation, keeping encode and decode
+// symmetric.
+func (e Envelope) Validate() error {
+	if e.IsMeta() {
+		m := e.Meta
+		if len(m.Attrs) > MaxAttrs {
+			return fmt.Errorf("%w: meta-signal has %d attrs (max %d)", ErrUnencodable, len(m.Attrs), MaxAttrs)
+		}
+		if err := validString("meta app", m.App); err != nil {
+			return err
+		}
+		for k, v := range m.Attrs {
+			if err := validString("attr key", k); err != nil {
+				return err
+			}
+			if err := validString("attr value", v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if e.Tunnel < 0 || int64(e.Tunnel) > int64(^uint32(0)) {
+		return fmt.Errorf("%w: tunnel index %d out of range", ErrUnencodable, e.Tunnel)
+	}
+	g := e.Sig
+	switch g.Kind {
+	case KindOpen:
+		if err := validString("medium", string(g.Medium)); err != nil {
+			return err
+		}
+		return g.Desc.validate()
+	case KindOack, KindDescribe:
+		return g.Desc.validate()
+	case KindSelect:
+		return g.Sel.validate()
+	case KindClose, KindCloseAck:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown signal kind %d", ErrUnencodable, g.Kind)
+	}
+}
+
+// AppendBinary validates the envelope and appends its payload encoding
+// (without the length frame) to dst, returning the extended slice.
+// This is the zero-allocation encode path: with a caller-managed
+// buffer it performs no allocation for tunnel signals (meta-signals
+// allocate a small key slice for deterministic attribute ordering).
+func (e Envelope) AppendBinary(dst []byte) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return dst, err
+	}
+	return appendEnvelope(dst, e), nil
+}
+
+// Marshal encodes the envelope payload (without the length frame) into
+// a fresh slice. It panics on an envelope that violates the wire
+// limits; use AppendBinary to handle the error instead.
+func (e Envelope) Marshal() []byte {
+	p, err := e.AppendBinary(nil)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------
+// Decoders.
+
+// wreader is a cursor over a payload slice; unlike bytes.Reader it
+// lives on the stack.
+type wreader struct {
+	p   []byte
+	off int
+}
+
+func (r *wreader) u8() (byte, error) {
+	if r.off >= len(r.p) {
 		return 0, ErrCorrupt
 	}
-	return binary.BigEndian.Uint32(n[:]), nil
+	b := r.p[r.off]
+	r.off++
+	return b, nil
 }
 
-// EncodeDescriptor appends a deterministic encoding of d to b.
-func EncodeDescriptor(b *bytes.Buffer, d Descriptor) {
-	putString(b, d.ID.Origin)
-	putU32(b, d.ID.Seq)
-	putString(b, d.Addr)
-	putU32(b, uint32(d.Port))
-	putU32(b, uint32(len(d.Codecs)))
-	for _, c := range d.Codecs {
-		putString(b, string(c))
+func (r *wreader) u32() (uint32, error) {
+	if r.off+4 > len(r.p) {
+		return 0, ErrCorrupt
 	}
+	v := binary.BigEndian.Uint32(r.p[r.off:])
+	r.off += 4
+	return v, nil
 }
 
-func decodeDescriptor(r *bytes.Reader) (Descriptor, error) {
+func (r *wreader) str() (string, error) {
+	if r.off+2 > len(r.p) {
+		return "", ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint16(r.p[r.off:]))
+	r.off += 2
+	if r.off+n > len(r.p) {
+		return "", ErrCorrupt
+	}
+	s := internString(r.p[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+// internString maps the protocol's well-known names onto shared
+// constants, so decoding steady-state traffic does not allocate a
+// fresh string per codec or medium. The switch compiles to
+// comparisons against the cases without converting b.
+func internString(b []byte) string {
+	switch string(b) {
+	case "":
+		return ""
+	case string(Audio):
+		return string(Audio)
+	case string(Video):
+		return string(Video)
+	case string(G711):
+		return string(G711)
+	case string(G726):
+		return string(G726)
+	case string(G729):
+		return string(G729)
+	case string(H263):
+		return string(H263)
+	case string(H264):
+		return string(H264)
+	case string(NoMedia):
+		return string(NoMedia)
+	}
+	return string(b)
+}
+
+func decodeDescriptor(r *wreader) (Descriptor, error) {
 	var d Descriptor
 	var err error
-	if d.ID.Origin, err = getString(r); err != nil {
+	if d.ID.Origin, err = r.str(); err != nil {
 		return d, err
 	}
-	if d.ID.Seq, err = getU32(r); err != nil {
+	if d.ID.Seq, err = r.u32(); err != nil {
 		return d, err
 	}
-	if d.Addr, err = getString(r); err != nil {
+	if d.Addr, err = r.str(); err != nil {
 		return d, err
 	}
-	port, err := getU32(r)
+	port, err := r.u32()
 	if err != nil {
 		return d, err
 	}
 	d.Port = int(port)
-	n, err := getU32(r)
+	n, err := r.u32()
 	if err != nil {
 		return d, err
 	}
-	if n > 64 {
+	if n > MaxCodecs {
 		return d, ErrCorrupt
 	}
 	if n > 0 {
 		d.Codecs = make([]Codec, n)
 		for i := range d.Codecs {
-			s, err := getString(r)
+			s, err := r.str()
 			if err != nil {
 				return d, err
 			}
@@ -121,33 +364,24 @@ func decodeDescriptor(r *bytes.Reader) (Descriptor, error) {
 	return d, nil
 }
 
-// EncodeSelector appends a deterministic encoding of s to b.
-func EncodeSelector(b *bytes.Buffer, s Selector) {
-	putString(b, s.Answers.Origin)
-	putU32(b, s.Answers.Seq)
-	putString(b, s.Addr)
-	putU32(b, uint32(s.Port))
-	putString(b, string(s.Codec))
-}
-
-func decodeSelector(r *bytes.Reader) (Selector, error) {
+func decodeSelector(r *wreader) (Selector, error) {
 	var s Selector
 	var err error
-	if s.Answers.Origin, err = getString(r); err != nil {
+	if s.Answers.Origin, err = r.str(); err != nil {
 		return s, err
 	}
-	if s.Answers.Seq, err = getU32(r); err != nil {
+	if s.Answers.Seq, err = r.u32(); err != nil {
 		return s, err
 	}
-	if s.Addr, err = getString(r); err != nil {
+	if s.Addr, err = r.str(); err != nil {
 		return s, err
 	}
-	port, err := getU32(r)
+	port, err := r.u32()
 	if err != nil {
 		return s, err
 	}
 	s.Port = int(port)
-	codec, err := getString(r)
+	codec, err := r.str()
 	if err != nil {
 		return s, err
 	}
@@ -155,30 +389,16 @@ func decodeSelector(r *bytes.Reader) (Selector, error) {
 	return s, nil
 }
 
-// EncodeSignal appends a deterministic encoding of g to b.
-func EncodeSignal(b *bytes.Buffer, g Signal) {
-	b.WriteByte(byte(g.Kind))
-	switch g.Kind {
-	case KindOpen:
-		putString(b, string(g.Medium))
-		EncodeDescriptor(b, g.Desc)
-	case KindOack, KindDescribe:
-		EncodeDescriptor(b, g.Desc)
-	case KindSelect:
-		EncodeSelector(b, g.Sel)
-	}
-}
-
-func decodeSignal(r *bytes.Reader) (Signal, error) {
+func decodeSignal(r *wreader) (Signal, error) {
 	var g Signal
-	k, err := r.ReadByte()
+	k, err := r.u8()
 	if err != nil {
 		return g, ErrCorrupt
 	}
 	g.Kind = Kind(k)
 	switch g.Kind {
 	case KindOpen:
-		m, err := getString(r)
+		m, err := r.str()
 		if err != nil {
 			return g, err
 		}
@@ -201,80 +421,52 @@ func decodeSignal(r *bytes.Reader) (Signal, error) {
 	return g, nil
 }
 
-// Marshal encodes the envelope payload (without the length frame).
-func (e Envelope) Marshal() []byte {
-	var b bytes.Buffer
-	encodeEnvelope(&b, e)
-	return b.Bytes()
-}
-
-// encodeEnvelope appends the envelope payload encoding to b.
-func encodeEnvelope(b *bytes.Buffer, e Envelope) {
-	if e.IsMeta() {
-		b.WriteByte(tagMeta)
-		b.WriteByte(byte(e.Meta.Kind))
-		putString(b, e.Meta.App)
-		keys := make([]string, 0, len(e.Meta.Attrs))
-		for k := range e.Meta.Attrs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		putU32(b, uint32(len(keys)))
-		for _, k := range keys {
-			putString(b, k)
-			putString(b, e.Meta.Attrs[k])
-		}
-		return
-	}
-	b.WriteByte(tagSignal)
-	putU32(b, uint32(e.Tunnel))
-	EncodeSignal(b, e.Sig)
-}
-
 // UnmarshalEnvelope decodes an envelope payload produced by Marshal.
+// The decoded envelope does not alias p; the caller may reuse the
+// buffer for the next frame.
 func UnmarshalEnvelope(p []byte) (Envelope, error) {
-	r := bytes.NewReader(p)
-	tag, err := r.ReadByte()
+	r := wreader{p: p}
+	tag, err := r.u8()
 	if err != nil {
 		return Envelope{}, ErrCorrupt
 	}
 	switch tag {
 	case tagSignal:
 		var e Envelope
-		t, err := getU32(r)
+		t, err := r.u32()
 		if err != nil {
 			return e, err
 		}
 		e.Tunnel = int(t)
-		if e.Sig, err = decodeSignal(r); err != nil {
+		if e.Sig, err = decodeSignal(&r); err != nil {
 			return e, err
 		}
 		return e, nil
 	case tagMeta:
 		m := &Meta{}
-		k, err := r.ReadByte()
+		k, err := r.u8()
 		if err != nil {
 			return Envelope{}, ErrCorrupt
 		}
 		m.Kind = MetaKind(k)
-		if m.App, err = getString(r); err != nil {
+		if m.App, err = r.str(); err != nil {
 			return Envelope{}, err
 		}
-		n, err := getU32(r)
+		n, err := r.u32()
 		if err != nil {
 			return Envelope{}, err
 		}
-		if n > 1024 {
+		if n > MaxAttrs {
 			return Envelope{}, ErrCorrupt
 		}
 		if n > 0 {
 			m.Attrs = make(map[string]string, n)
 			for i := uint32(0); i < n; i++ {
-				key, err := getString(r)
+				key, err := r.str()
 				if err != nil {
 					return Envelope{}, err
 				}
-				val, err := getString(r)
+				val, err := r.str()
 				if err != nil {
 					return Envelope{}, err
 				}
@@ -287,24 +479,76 @@ func UnmarshalEnvelope(p []byte) (Envelope, error) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Framing.
+
+// framePool recycles frame buffers across WriteFrame calls, so
+// steady-state signaling encodes without allocating.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // WriteFrame writes a length-framed envelope to w. Header and payload
-// are encoded into one buffer and issued as a single Write, so a frame
-// costs one syscall on a raw socket instead of two.
+// are encoded into one pooled buffer and issued as a single Write, so
+// a frame costs one syscall on a raw socket and zero allocations in
+// steady state.
 func WriteFrame(w io.Writer, e Envelope) error {
-	var b bytes.Buffer
-	b.Write(make([]byte, 4)) // length header, patched below
-	encodeEnvelope(&b, e)
-	p := b.Bytes()
-	n := len(p) - 4
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
+	b := append((*bp)[:0], 0, 0, 0, 0) // length header, patched below
+	b, err := e.AppendBinary(b)
+	if err != nil {
+		return err
+	}
+	*bp = b
+	n := len(b) - 4
 	if n > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	binary.BigEndian.PutUint32(p[:4], uint32(n))
-	_, err := w.Write(p)
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err = w.Write(b)
 	return err
 }
 
-// ReadFrame reads one length-framed envelope from r.
+// FrameReader reads length-framed envelopes from a stream, reusing one
+// payload buffer across frames. It is not safe for concurrent use; use
+// one per connection (the transport's reader goroutine owns it).
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r for frame-at-a-time reading.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: make([]byte, 0, 512)}
+}
+
+// ReadFrame reads and decodes the next envelope. The internal buffer
+// is reused between calls; the returned envelope does not alias it.
+func (fr *FrameReader) ReadFrame() (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	p := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, p); err != nil {
+		return Envelope{}, err
+	}
+	return UnmarshalEnvelope(p)
+}
+
+// ReadFrame reads one length-framed envelope from r. For streams, a
+// FrameReader amortizes the payload buffer across frames.
 func ReadFrame(r io.Reader) (Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {

@@ -12,7 +12,6 @@
 package slot
 
 import (
-	"bytes"
 	"fmt"
 	"time"
 
@@ -395,31 +394,30 @@ func (s *Slot) Clone() *Slot {
 	return &c
 }
 
-// Encode appends a deterministic fingerprint of the slot's state to b,
-// for state hashing in the model checker.
-func (s *Slot) Encode(b *bytes.Buffer) {
-	b.WriteString(s.name)
-	b.WriteByte(byte(s.state))
-	b.WriteString(string(s.medium))
-	b.WriteByte(boolByte(s.initiator))
-	b.WriteByte(boolByte(s.hasDesc))
+// AppendEncode appends a deterministic fingerprint of the slot's state
+// to dst and returns the extended slice, for state hashing in the
+// model checker.
+func (s *Slot) AppendEncode(dst []byte) []byte {
+	dst = append(dst, s.name...)
+	dst = append(dst, byte(s.state))
+	dst = append(dst, string(s.medium)...)
+	dst = append(dst, boolByte(s.initiator), boolByte(s.hasDesc))
 	if s.hasDesc {
-		sig.EncodeDescriptor(b, s.desc)
+		dst = sig.AppendDescriptor(dst, s.desc)
 	}
-	b.WriteByte(boolByte(s.owesCloseAck))
-	b.WriteByte(boolByte(s.enabled))
-	b.WriteByte(boolByte(s.hist.HasDescSent))
+	dst = append(dst, boolByte(s.owesCloseAck), boolByte(s.enabled), boolByte(s.hist.HasDescSent))
 	if s.hist.HasDescSent {
-		sig.EncodeDescriptor(b, s.hist.DescSent)
+		dst = sig.AppendDescriptor(dst, s.hist.DescSent)
 	}
-	b.WriteByte(boolByte(s.hist.HasSelSent))
+	dst = append(dst, boolByte(s.hist.HasSelSent))
 	if s.hist.HasSelSent {
-		sig.EncodeSelector(b, s.hist.SelSent)
+		dst = sig.AppendSelector(dst, s.hist.SelSent)
 	}
-	b.WriteByte(boolByte(s.hist.HasSelRcvd))
+	dst = append(dst, boolByte(s.hist.HasSelRcvd))
 	if s.hist.HasSelRcvd {
-		sig.EncodeSelector(b, s.hist.SelRcvd)
+		dst = sig.AppendSelector(dst, s.hist.SelRcvd)
 	}
+	return dst
 }
 
 func boolByte(v bool) byte {

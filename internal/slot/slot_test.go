@@ -284,15 +284,13 @@ func TestEncodeDistinguishesStates(t *testing.T) {
 	s1 := New("x", true)
 	s2 := New("x", true)
 	mustSend(t, s2, sig.Open(sig.Audio, desc("L", 1)))
-	var b1, b2 bytes.Buffer
-	s1.Encode(&b1)
-	s2.Encode(&b2)
-	if bytes.Equal(b1.Bytes(), b2.Bytes()) {
+	b1 := s1.AppendEncode(nil)
+	b2 := s2.AppendEncode(nil)
+	if bytes.Equal(b1, b2) {
 		t.Fatal("different slot states must have different fingerprints")
 	}
-	var b3 bytes.Buffer
-	s2.Clone().Encode(&b3)
-	if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+	b3 := s2.Clone().AppendEncode(nil)
+	if !bytes.Equal(b2, b3) {
 		t.Fatal("clone must fingerprint identically")
 	}
 }

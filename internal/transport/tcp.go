@@ -91,8 +91,13 @@ func (p *tcpPort) writer() {
 
 func (p *tcpPort) reader() {
 	defer p.wg.Done()
+	// One FrameReader per connection so every frame decodes out of the
+	// same reused length-prefix-sized buffer instead of allocating one
+	// per frame. The decoded Envelope owns its strings/slices, so
+	// reusing the frame buffer between iterations is safe.
+	fr := sig.NewFrameReader(p.wireIn)
 	for {
-		e, err := sig.ReadFrame(p.wireIn)
+		e, err := fr.ReadFrame()
 		if err != nil {
 			p.in.close()
 			return
