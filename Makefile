@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc
+.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime storm-smoke alloc-gate
 
 # ci is the gate: static checks, build, the full test suite under the
 # race detector, the parallel-vs-sequential checker agreement test,
 # a short fuzz smoke so the sig fuzz targets are actually executed,
-# and a one-iteration benchmark smoke so the perf harness keeps
-# compiling and the zero-alloc assertions run.
-ci: vet build test agree fuzz bench-smoke
+# a one-iteration benchmark smoke so the perf harness keeps compiling,
+# the runner zero-alloc gate (non-race: the race detector defeats pool
+# reuse), and a short call-storm so the live runtime survives load.
+ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +33,23 @@ bench-smoke:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# alloc-gate asserts the tentpole claim of the runtime rework: the
+# steady-state event dispatch path allocates nothing.
+alloc-gate:
+	$(GO) test -run='TestRunnerEventZeroAlloc' ./internal/box
+
+# storm-smoke drives 500 concurrent call lifecycles for 5 seconds over
+# the in-memory network: a shutdown-under-load and liveness check, not
+# a measurement.
+storm-smoke:
+	$(GO) run ./cmd/callstorm -paths 500 -servers 4 -mode link -net mem -hold 250ms -duration 5s
+
+# bench-runtime records the live-runtime scaling numbers: 10k
+# concurrent open/hold/flowLink/close lifecycles over the in-memory
+# network, written to BENCH_runtime.json.
+bench-runtime:
+	$(GO) run ./cmd/callstorm -paths 10000 -servers 8 -mode link -net mem -hold 1s -ramp 120s -duration 15s -out BENCH_runtime.json
 
 # bench-mc records the before/after checker numbers: the twelve-model
 # suite at workers 1 vs 4, written to BENCH_mc.json. Forcing 4 (rather

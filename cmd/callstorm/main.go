@@ -1,0 +1,368 @@
+// callstorm is the load harness for the live runtime: it stands up K
+// server boxes and drives N concurrent open/hold/flowLink/close call
+// lifecycles over the in-memory network (or TCP loopback), then
+// reports throughput, setup-latency percentiles from the telemetry
+// histograms, and runtime footprint, optionally as a JSON artifact.
+//
+// Each path is a device box cycling a three-state program: dial and
+// open toward a server, hold while flowing, tear down and redial. In
+// link mode the servers are relays that splice every incoming call to
+// a device box with a flowLink, so each path exercises the full
+// open/hold/flowLink/close goal set end to end; in hold mode clients
+// land directly on holdSlot devices.
+//
+// Usage:
+//
+//	callstorm [-paths N] [-servers K] [-mode link|hold] [-net mem|tcp]
+//	          [-ramp 30s] [-duration 10s] [-hold 500ms] [-out BENCH_runtime.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/core"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+	"ipmedia/internal/telemetry"
+	"ipmedia/internal/timerwheel"
+	"ipmedia/internal/transport"
+)
+
+type stormStats struct {
+	setups    atomic.Int64 // calls that reached flowing
+	completed atomic.Int64 // full lifecycles (flowing + held + torn down)
+	giveups   atomic.Int64 // calls that hit the give-up timer
+	holding   atomic.Int64 // paths currently flowing-and-held
+}
+
+type result struct {
+	Date       string `json:"date"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	Mode     string `json:"mode"`
+	Net      string `json:"net"`
+	Paths    int    `json:"paths"`
+	Servers  int    `json:"servers"`
+	HoldMS   int64  `json:"hold_ms"`
+	WindowMS int64  `json:"window_ms"`
+
+	PathsHeldPeak int64   `json:"paths_held_peak"`
+	Setups        int64   `json:"setups"`
+	Completed     int64   `json:"completed_calls"`
+	Giveups       int64   `json:"giveups"`
+	CallsPerSec   float64 `json:"calls_per_sec"`
+
+	Events         int64   `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+
+	GoroutinesPeak int   `json:"goroutines_peak"`
+	InboxDepthHWM  int64 `json:"inbox_depth_hwm"`
+	TimersHWM      int64 `json:"timerwheel_pending_hwm"`
+	QueueDepthHWM  int64 `json:"queue_depth_hwm"`
+
+	SetupCount int64   `json:"setup_latency_count"`
+	SetupP50MS float64 `json:"setup_latency_p50_ms"`
+	SetupP95MS float64 `json:"setup_latency_p95_ms"`
+	SetupP99MS float64 `json:"setup_latency_p99_ms"`
+}
+
+func main() {
+	paths := flag.Int("paths", 1000, "concurrent call lifecycles (paths)")
+	servers := flag.Int("servers", 4, "server boxes")
+	mode := flag.String("mode", "link", "server behavior: link (relay+flowLink) or hold (direct holdSlot)")
+	netKind := flag.String("net", "mem", "transport: mem or tcp (loopback)")
+	ramp := flag.Duration("ramp", 60*time.Second, "max time to wait for all paths to reach flowing once")
+	duration := flag.Duration("duration", 10*time.Second, "steady-state measurement window")
+	hold := flag.Duration("hold", 500*time.Millisecond, "mean hold time per call")
+	stagger := flag.Duration("stagger", 0, "spread each path's first dial uniformly over this window (0: dial immediately)")
+	giveup := flag.Duration("giveup", 10*time.Second, "abandon and redial a call that has not flowed after this long")
+	out := flag.String("out", "", "write the result JSON here (empty: stdout only)")
+	flag.Parse()
+
+	// Telemetry must be live before the first runner (and the shared
+	// wheel) resolve their instruments.
+	reg := telemetry.Enable()
+
+	var network transport.Network
+	switch *netKind {
+	case "mem":
+		network = transport.NewMemNetwork()
+	case "tcp":
+		network = transport.TCPNetwork{}
+	default:
+		fmt.Fprintf(os.Stderr, "callstorm: unknown -net %q\n", *netKind)
+		os.Exit(2)
+	}
+
+	stats := &stormStats{}
+
+	// Servers first, so every client dial lands on a listener.
+	devAddrs := listenAll(network, *netKind, "dev", *servers, func(i int) *box.Box {
+		return box.New(fmt.Sprintf("dev%d", i), devProfile(fmt.Sprintf("dev%d", i), 20000+i))
+	})
+	targets := devAddrs
+	if *mode == "link" {
+		relayAddrs := listenAll(network, *netKind, "relay", *servers, func(i int) *box.Box {
+			b := box.New(fmt.Sprintf("relay%d", i), core.ServerProfile{Name: fmt.Sprintf("relay%d", i)})
+			b.Hook = relayHook(devAddrs, i)
+			return b
+		})
+		targets = relayAddrs
+	}
+
+	// Clients: one runner per path, each cycling its lifecycle program.
+	fmt.Fprintf(os.Stderr, "callstorm: starting %d paths against %d %s servers over %s...\n",
+		*paths, *servers, *mode, *netKind)
+	rng := rand.New(rand.NewSource(1))
+	clients := make([]*box.Runner, *paths)
+	for i := range clients {
+		name := fmt.Sprintf("cli%d", i)
+		b := box.New(name, devProfile(name, 30000+i))
+		r := box.NewRunner(b, network)
+		r.OnError = func(err error) { fmt.Fprintf(os.Stderr, "callstorm: %s: %v\n", name, err) }
+		r.SetProgram(clientProgram(stats, targets[i%len(targets)], *hold, *stagger, *giveup, rng.Int63()))
+		clients[i] = r
+	}
+
+	// Ramp: every path flowing at least once.
+	rampDeadline := time.Now().Add(*ramp)
+	for stats.setups.Load() < int64(*paths) && time.Now().Before(rampDeadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "callstorm: ramp done, %d/%d paths set up; measuring %v...\n",
+		stats.setups.Load(), *paths, *duration)
+
+	// Steady window.
+	mEvents := telemetry.C(box.MetricLoopIterations)
+	var ms0, ms1 runtime.MemStats
+	goroPeak := runtime.NumGoroutine()
+	var heldPeak int64
+	runtime.ReadMemStats(&ms0)
+	events0 := int64(mEvents.Value())
+	completed0 := stats.completed.Load()
+	t0 := time.Now()
+	for end := t0.Add(*duration); time.Now().Before(end); {
+		time.Sleep(100 * time.Millisecond)
+		if g := runtime.NumGoroutine(); g > goroPeak {
+			goroPeak = g
+		}
+		if h := stats.holding.Load(); h > heldPeak {
+			heldPeak = h
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	events := int64(mEvents.Value()) - events0
+	completed := stats.completed.Load() - completed0
+
+	snap := reg.Snapshot()
+	ttf := snap.Histograms[slot.MetricTimeToFlowing]
+	res := result{
+		Date:       time.Now().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Mode:       *mode,
+		Net:        *netKind,
+		Paths:      *paths,
+		Servers:    *servers,
+		HoldMS:     hold.Milliseconds(),
+		WindowMS:   elapsed.Milliseconds(),
+
+		PathsHeldPeak: heldPeak,
+		Setups:        stats.setups.Load(),
+		Completed:     stats.completed.Load(),
+		Giveups:       stats.giveups.Load(),
+		CallsPerSec:   float64(completed) / elapsed.Seconds(),
+
+		Events:         events,
+		EventsPerSec:   float64(events) / elapsed.Seconds(),
+		GoroutinesPeak: goroPeak,
+		InboxDepthHWM:  snap.Gauges[box.MetricInboxDepth].HighWater,
+		TimersHWM:      snap.Gauges[timerwheel.MetricPending].HighWater,
+		QueueDepthHWM:  snap.Gauges[transport.MetricQueueDepth].HighWater,
+
+		SetupCount: int64(ttf.Count),
+		SetupP50MS: float64(ttf.P50) / float64(time.Millisecond),
+		SetupP95MS: float64(ttf.P95) / float64(time.Millisecond),
+		SetupP99MS: float64(ttf.P99) / float64(time.Millisecond),
+	}
+	if events > 0 {
+		res.NsPerEvent = float64(elapsed.Nanoseconds()) / float64(events)
+		res.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(events)
+	}
+
+	blob, _ := json.MarshalIndent(res, "", "  ")
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "callstorm:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Clean shutdown under load is part of what the harness exercises.
+	stopAll(clients)
+	if res.PathsHeldPeak < int64(*paths)/2 {
+		fmt.Fprintf(os.Stderr, "callstorm: WARNING: held only %d of %d paths concurrently\n",
+			res.PathsHeldPeak, *paths)
+	}
+}
+
+// listenAll starts n server boxes and returns their dial addresses.
+func listenAll(network transport.Network, netKind, prefix string, n int, build func(i int) *box.Box) []string {
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("%s%d", prefix, i)
+		if netKind == "tcp" {
+			// Grab a free loopback port for the runner to re-listen on.
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "callstorm:", err)
+				os.Exit(1)
+			}
+			addr = l.Addr().String()
+			l.Close()
+		}
+		r := box.NewRunner(build(i), network)
+		if err := r.Listen(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "callstorm:", err)
+			os.Exit(1)
+		}
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+func devProfile(name string, port int) *core.EndpointProfile {
+	return core.NewEndpointProfile(name, "10.1.0.1", port,
+		[]sig.Codec{sig.G711, sig.G726}, []sig.Codec{sig.G711, sig.G726})
+}
+
+// relayHook splices every incoming call onward to a device box with a
+// flowLink, and propagates teardowns to the spliced leg. It runs on
+// the relay's loop goroutine.
+func relayHook(devAddrs []string, seed int) func(*box.Ctx, *box.Event) {
+	next := seed
+	return func(ctx *box.Ctx, ev *box.Event) {
+		if ev.Kind != box.EvEnvelope || !ev.Env.IsMeta() {
+			return
+		}
+		in := ev.Channel
+		if strings.HasPrefix(in, "out-") {
+			return // events on spliced legs are the flowLink's business
+		}
+		switch ev.Env.Meta.Kind {
+		case sig.MetaSetup:
+			out := "out-" + in
+			ctx.Dial(out, devAddrs[next%len(devAddrs)])
+			next++
+			ctx.SetGoal(core.NewFlowLink(box.TunnelSlot(in, 0), box.TunnelSlot(out, 0)))
+		case sig.MetaTeardown:
+			ctx.Teardown("out-" + in)
+		}
+	}
+}
+
+// clientProgram is one path's lifecycle: dial and open toward addr,
+// hold while flowing, tear down, redial. Hold times are jittered ±25%
+// so the storm does not beat in lockstep, and a nonzero stagger delays
+// the first dial by a uniform-random slice of the window so a large
+// storm does not open every path in the same instant.
+func clientProgram(stats *stormStats, addr string, hold, stagger, giveup time.Duration, seed int64) *box.Program {
+	const ch = "c"
+	s0 := box.TunnelSlot(ch, 0)
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func() time.Duration {
+		return hold/2 + hold/2 + time.Duration(rng.Int63n(int64(hold)/2)) - hold/4
+	}
+	initial := "call"
+	var states []*box.State
+	if stagger > 0 {
+		initial = "stagger"
+		delay := time.Duration(rng.Int63n(int64(stagger)))
+		states = append(states, &box.State{
+			Name:    "stagger",
+			OnEnter: func(ctx *box.Ctx) { ctx.SetTimer("start", delay) },
+			Trans: []box.Trans{
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("start") }, To: "call"},
+			},
+		})
+	}
+	states = append(states, []*box.State{
+		{
+			Name:   "call",
+			Annots: []box.Annot{box.OpenSlotAnn(s0, sig.Audio)},
+			OnEnter: func(ctx *box.Ctx) {
+				ctx.Dial(ch, addr)
+				ctx.SetTimer("giveup", giveup)
+			},
+			Trans: []box.Trans{
+				{When: func(ctx *box.Ctx) bool { return ctx.IsFlowing(s0) }, To: "hold",
+					Do: func(ctx *box.Ctx) {
+						ctx.CancelTimer("giveup")
+						stats.setups.Add(1)
+						stats.holding.Add(1)
+					}},
+				{When: func(ctx *box.Ctx) bool { return ctx.OnMeta(ch, sig.MetaUnavailable) }, To: "redial",
+					Do: func(ctx *box.Ctx) { ctx.CancelTimer("giveup"); stats.giveups.Add(1) }},
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("giveup") }, To: "redial",
+					Do: func(ctx *box.Ctx) { stats.giveups.Add(1) }},
+			},
+		},
+		{
+			Name:    "hold",
+			Annots:  []box.Annot{box.OpenSlotAnn(s0, sig.Audio)},
+			OnEnter: func(ctx *box.Ctx) { ctx.SetTimer("hold", jitter()) },
+			Trans: []box.Trans{
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("hold") }, To: "redial",
+					Do: func(ctx *box.Ctx) {
+						stats.holding.Add(-1)
+						stats.completed.Add(1)
+					}},
+			},
+		},
+		{
+			Name:    "redial",
+			OnEnter: func(ctx *box.Ctx) { ctx.Teardown(ch) },
+			Trans: []box.Trans{
+				{When: func(*box.Ctx) bool { return true }, To: "call"},
+			},
+		},
+	}...)
+	return &box.Program{Initial: initial, States: states}
+}
+
+// stopAll stops runners through a small worker pool; serial Stop of
+// 100k runners would dominate shutdown.
+func stopAll(rs []*box.Runner) {
+	var wg sync.WaitGroup
+	work := make(chan *box.Runner)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				r.Stop()
+			}
+		}()
+	}
+	for _, r := range rs {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
+}

@@ -109,6 +109,29 @@ func (o Output) String() string {
 type chanInfo struct {
 	name      string
 	initiator bool
+	slotNames []string // cached TunnelSlot names, indexed by tunnel
+}
+
+// tunnelSlot returns the slot name for tunnel i, cached so
+// steady-state dispatch does no string building. Indexes outside a
+// sane tunnel range fall back to direct construction rather than
+// growing the cache on hostile input.
+func (ci *chanInfo) tunnelSlot(i int) string {
+	if i < 0 || i >= 1024 {
+		return TunnelSlot(ci.name, i)
+	}
+	for len(ci.slotNames) <= i {
+		ci.slotNames = append(ci.slotNames, TunnelSlot(ci.name, len(ci.slotNames)))
+	}
+	return ci.slotNames[i]
+}
+
+// frame holds the per-Handle working state (the event copy the Ctx
+// points at). Frames are pooled per box so steady-state dispatch does
+// not allocate; re-entrant Handle calls simply take a second frame.
+type frame struct {
+	ev  Event
+	ctx Ctx
 }
 
 // Box is the synchronous core of one box (peer module involved in
@@ -135,7 +158,11 @@ type Box struct {
 	// run. Devices and resources use it for autonomous behavior.
 	Hook func(ctx *Ctx, ev *Event)
 
-	outs []Output
+	outs     []Output
+	spare    []Output // recycled output buffer (see Recycle)
+	frames   []*frame
+	chanVer  uint64
+	goalCtrs map[string]*telemetry.Counter
 }
 
 // New creates a box. The profile is used by all annotation-created
@@ -217,10 +244,16 @@ func (b *Box) Channels() []string {
 // HasChannel reports whether the named channel exists.
 func (b *Box) HasChannel(name string) bool { return b.chans[name] != nil }
 
+// ChanVersion counts mutations of the channel table (additions and
+// destructions). Runtimes use it to notify channel waiters only when
+// the table actually changed.
+func (b *Box) ChanVersion() uint64 { return b.chanVer }
+
 // AddChannel registers a signaling channel. The runtime calls it when
 // a channel is accepted; Dial registers the initiating side.
 func (b *Box) AddChannel(name string, initiator bool) {
 	b.chans[name] = &chanInfo{name: name, initiator: initiator}
+	b.chanVer++
 }
 
 // ensureSlot creates the slot (and its default goal) on first use.
@@ -302,6 +335,7 @@ func asRaw(g core.Goal) (core.RawGoal, bool) {
 // its path is broken, so its half of the channel is shut down cleanly.
 func (b *Box) destroyChannel(name string) {
 	delete(b.chans, name)
+	b.chanVer++
 	var widowed []string
 	for sn := range b.slots {
 		ch, _, ok := slotChannel(sn)
@@ -329,22 +363,78 @@ func (b *Box) destroyChannel(name string) {
 }
 
 // Handle processes one event and returns the outputs it produced. It
-// must be called from a single goroutine.
+// must be called from a single goroutine. The returned slice is owned
+// by the caller until passed back via Recycle.
 func (b *Box) Handle(ev Event) ([]Output, error) {
-	b.outs = nil
-	ctx := &Ctx{b: b, ev: &ev}
-	if err := b.dispatch(ctx, &ev); err != nil {
-		return b.outs, err
-	}
-	if b.Hook != nil && ev.Kind != EvCall {
-		b.Hook(ctx, &ev)
-	}
-	if err := b.step(ctx); err != nil {
-		return b.outs, err
-	}
+	saved := b.outs // non-nil only if Handle re-enters mid-event
+	b.outs = b.spare[:0]
+	b.spare = nil
+
+	f := b.getFrame()
+	f.ev = ev
+	f.ctx = Ctx{b: b, ev: &f.ev}
+	err := b.handleFrame(f)
+	b.putFrame(f)
+
 	outs := b.outs
-	b.outs = nil
-	return outs, nil
+	b.outs = saved
+	return outs, err
+}
+
+func (b *Box) handleFrame(f *frame) error {
+	ctx := &f.ctx
+	if err := b.dispatch(ctx, &f.ev); err != nil {
+		return err
+	}
+	if b.Hook != nil && f.ev.Kind != EvCall {
+		b.Hook(ctx, &f.ev)
+	}
+	return b.step(ctx)
+}
+
+// Recycle hands an output slice from Handle back to the box for
+// reuse, so steady-state events dispatch without allocating. Only the
+// slice most recently returned by Handle (or one with larger
+// capacity) is worth returning; the box keeps the biggest buffer.
+func (b *Box) Recycle(outs []Output) {
+	if cap(outs) <= cap(b.spare) {
+		return
+	}
+	outs = outs[:cap(outs)]
+	for i := range outs {
+		outs[i] = Output{} // drop envelope/string references
+	}
+	b.spare = outs[:0]
+}
+
+func (b *Box) getFrame() *frame {
+	if n := len(b.frames); n > 0 {
+		f := b.frames[n-1]
+		b.frames = b.frames[:n-1]
+		return f
+	}
+	return &frame{}
+}
+
+func (b *Box) putFrame(f *frame) {
+	f.ev = Event{}
+	f.ctx = Ctx{}
+	b.frames = append(b.frames, f)
+}
+
+// goalCounter memoizes the per-goal-kind invocation counter, keyed by
+// the goal kind, so dispatch does not rebuild the metric name per
+// envelope.
+func (b *Box) goalCounter(kind string) *telemetry.Counter {
+	if c := b.goalCtrs[kind]; c != nil {
+		return c
+	}
+	if b.goalCtrs == nil {
+		b.goalCtrs = map[string]*telemetry.Counter{}
+	}
+	c := telemetry.C(MetricGoalInvocationsPrefix + kind)
+	b.goalCtrs[kind] = c
+	return c
 }
 
 func (b *Box) dispatch(ctx *Ctx, ev *Event) error {
@@ -356,11 +446,12 @@ func (b *Box) dispatch(ctx *Ctx, ev *Event) error {
 			}
 			return nil // metas are observed by hooks and guards
 		}
-		name := TunnelSlot(ev.Channel, ev.Env.Tunnel)
-		if b.chans[ev.Channel] == nil {
+		ci := b.chans[ev.Channel]
+		if ci == nil {
 			// Signal for a channel already destroyed locally; drop.
 			return nil
 		}
+		name := ci.tunnelSlot(ev.Env.Tunnel)
 		s, err := b.ensureSlot(name)
 		if err != nil {
 			return err
@@ -379,10 +470,10 @@ func (b *Box) dispatch(ctx *Ctx, ev *Event) error {
 		if err != nil {
 			return fmt.Errorf("box %s: %w", b.name, err)
 		}
-		// Enabled() gates the name concatenation, not just the count, so
-		// the disabled path does no string work.
+		// Enabled() gates the counter resolution; the per-kind counter is
+		// cached so the enabled path does no string work either.
 		if telemetry.Enabled() {
-			telemetry.C(MetricGoalInvocationsPrefix + g.Kind()).Inc()
+			b.goalCounter(g.Kind()).Inc()
 		}
 		acts, err := g.OnEvent(b, name, sev, ev.Env.Sig)
 		if err != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package box
+
+// raceEnabled reports whether the race detector is active; zero-alloc
+// assertions are skipped under it because it defeats pool reuse.
+const raceEnabled = true

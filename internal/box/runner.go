@@ -1,7 +1,13 @@
 // Runner: the live runtime for a box. One goroutine owns the box core;
-// transports, timers, and external callers feed it through an actor
-// inbox. The same box core also runs under the discrete-event
+// transports, timers, and external callers feed it through a typed
+// actor inbox. The same box core also runs under the discrete-event
 // simulator and the model checker without a Runner.
+//
+// The runtime is built for footprint: events cross the inbox as typed
+// records (no per-event closure), bursts of envelopes cross it as one
+// batch, protocol timers share the process-wide hierarchical timer
+// wheel, and the box's output buffer is recycled between events — so
+// steady-state envelope dispatch allocates nothing.
 package box
 
 import (
@@ -12,6 +18,7 @@ import (
 
 	"ipmedia/internal/sig"
 	"ipmedia/internal/telemetry"
+	"ipmedia/internal/timerwheel"
 	"ipmedia/internal/transport"
 )
 
@@ -22,27 +29,134 @@ const (
 	// MetricGoalInvocationsPrefix prefixes the per-kind goal invocation
 	// counters, e.g. "box.goal_invocations.flowLink".
 	MetricGoalInvocationsPrefix = "box.goal_invocations."
+	// MetricInboxDepth gauges events queued to runner loops but not yet
+	// dispatched, summed over all runners in the process.
+	MetricInboxDepth = "runner.inbox_depth"
 )
+
+// Pump batch sizing: buffers start small — an idle call-holding port
+// should cost bytes, not kilobytes, when a host carries 100k of them —
+// and double whenever a drain fills the buffer, up to the max.
+const (
+	pumpBatchMin = 4
+	pumpBatchMax = 64
+)
+
+// itemKind discriminates inbox items.
+type itemKind uint8
+
+const (
+	itemEvent itemKind = iota // one box event
+	itemBatch                 // a burst of envelopes for one channel
+	itemRun                   // runtime-internal work, run outside the box
+)
+
+// inboxItem is one unit of work for the runner loop. Events and
+// batches go through the box core; run items execute directly on the
+// loop goroutine (they may call handle themselves, e.g. port-loss
+// cleanup, which must not nest inside an in-progress Handle).
+type inboxItem struct {
+	kind  itemKind
+	ev    Event           // itemEvent payload; ev.Channel also labels itemBatch
+	batch []sig.Envelope  // itemBatch payload, owned by the pump
+	ack   chan<- struct{} // itemBatch: signaled when the batch is processed
+	run   func()          // itemRun payload
+	done  chan struct{}   // itemEvent: signaled after dispatch (Do)
+}
+
+// inbox is the runner's MPSC queue: producers append under a mutex,
+// the loop swaps the whole pending slice out in one drain. The two
+// slices ping-pong, so steady state runs with zero queue allocation
+// and one lock round-trip per burst rather than per event.
+type inbox struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	items  []inboxItem
+	closed bool
+	depth  *telemetry.Gauge
+}
+
+func newInbox() *inbox {
+	q := &inbox{depth: telemetry.G(MetricInboxDepth)}
+	q.cond.L = &q.mu
+	return q
+}
+
+// push enqueues it, reporting false if the inbox is closed. The
+// closed check and the append happen under one lock with drain, so a
+// successful push is always processed before the loop exits.
+func (q *inbox) push(it inboxItem) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, it)
+	if len(q.items) == 1 {
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+	q.depth.Inc()
+	return true
+}
+
+// drain blocks until work is queued, then returns the whole pending
+// batch, installing recycled (the previous batch, already processed)
+// as the new append target. ok is false once the inbox is closed and
+// empty.
+func (q *inbox) drain(recycled []inboxItem) ([]inboxItem, bool) {
+	for i := range recycled {
+		recycled[i] = inboxItem{} // drop envelope/closure references
+	}
+	q.mu.Lock()
+	for len(q.items) == 0 {
+		if q.closed {
+			q.mu.Unlock()
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	batch := q.items
+	q.items = recycled[:0]
+	q.mu.Unlock()
+	q.depth.Add(int64(-len(batch)))
+	return batch, true
+}
+
+func (q *inbox) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// donePool recycles the completion channels Do blocks on.
+var donePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
 // Runner drives one Box over a transport.Network.
 type Runner struct {
-	box *Box
-	net transport.Network
+	box   *Box
+	net   transport.Network
+	wheel *timerwheel.Wheel
 
-	inbox    chan func()
-	done     chan struct{}
+	inbox    *inbox
+	stopc    chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
 	// loop-goroutine-only state
 	ports   map[string]transport.Port
-	timers  map[string]*time.Timer
+	timers  map[string]*timerwheel.Timer
 	acceptN int
+	chanVer uint64 // box.ChanVersion after the last dispatched item
 
 	mu    sync.Mutex
 	errs  []error
 	notes []string
 	trace func(WireEvent)
+
+	waitMu  sync.Mutex
+	waiters []chan struct{} // closed when the channel table changes
 
 	mLoop   *telemetry.Counter // runner loop iterations
 	mTracer *telemetry.Tracer  // envelope send/recv trace
@@ -81,15 +195,18 @@ func (r *Runner) traceEvent(dir, channel string, env sig.Envelope) {
 	}
 }
 
-// NewRunner wraps b for live execution over net.
+// NewRunner wraps b for live execution over net. All runners in the
+// process share one timer wheel and one goroutine apiece; ports add a
+// pump goroutine each.
 func NewRunner(b *Box, net transport.Network) *Runner {
 	r := &Runner{
 		box:     b,
 		net:     net,
-		inbox:   make(chan func(), 256),
-		done:    make(chan struct{}),
+		wheel:   timerwheel.Default(),
+		inbox:   newInbox(),
+		stopc:   make(chan struct{}),
 		ports:   map[string]transport.Port{},
-		timers:  map[string]*time.Timer{},
+		timers:  map[string]*timerwheel.Timer{},
 		mLoop:   telemetry.C(MetricLoopIterations),
 		mTracer: telemetry.T(),
 	}
@@ -103,24 +220,42 @@ func (r *Runner) Box() *Box { return r.box }
 
 func (r *Runner) loop() {
 	defer r.wg.Done()
+	var batch []inboxItem
 	for {
-		select {
-		case f := <-r.inbox:
-			r.mLoop.Inc()
-			f()
-		case <-r.done:
-			// Drain anything already queued, then stop.
-			for {
-				select {
-				case f := <-r.inbox:
-					r.mLoop.Inc()
-					f()
-				default:
-					r.closeAll()
-					return
-				}
-			}
+		var ok bool
+		batch, ok = r.inbox.drain(batch)
+		if !ok {
+			r.closeAll()
+			return
 		}
+		for i := range batch {
+			r.execute(&batch[i])
+		}
+	}
+}
+
+// execute dispatches one inbox item. Loop goroutine only.
+func (r *Runner) execute(it *inboxItem) {
+	switch it.kind {
+	case itemEvent:
+		r.mLoop.Inc()
+		r.handle(it.ev)
+		if it.done != nil {
+			it.done <- struct{}{}
+		}
+	case itemBatch:
+		for _, e := range it.batch {
+			r.mLoop.Inc()
+			r.handle(Event{Kind: EvEnvelope, Channel: it.ev.Channel, Env: e})
+		}
+		it.ack <- struct{}{}
+	case itemRun:
+		r.mLoop.Inc()
+		it.run()
+	}
+	if v := r.box.ChanVersion(); v != r.chanVer {
+		r.chanVer = v
+		r.notifyWaiters()
 	}
 }
 
@@ -131,20 +266,19 @@ func (r *Runner) closeAll() {
 	for _, t := range r.timers {
 		t.Stop()
 	}
+	r.notifyWaiters()
 }
 
-// post queues f for the loop goroutine; it drops the work if the
-// runner has stopped.
-func (r *Runner) post(f func()) {
-	select {
-	case r.inbox <- f:
-	case <-r.done:
-	}
-}
-
-// Stop shuts the runner down and waits for the loop to exit.
+// Stop shuts the runner down and waits for the loop, pumps, and accept
+// goroutines to exit. Work already queued is processed first; pushes
+// that lose the race with Stop are refused, so concurrent Connect,
+// Listen, and pump deliveries cannot strand work or touch a drained
+// loop.
 func (r *Runner) Stop() {
-	r.stopOnce.Do(func() { close(r.done) })
+	r.stopOnce.Do(func() {
+		close(r.stopc)
+		r.inbox.close()
+	})
 	r.wg.Wait()
 }
 
@@ -175,17 +309,18 @@ func (r *Runner) fail(err error) {
 }
 
 // Do runs f inside the box goroutine and waits for it to finish. It is
-// the only safe way to inspect or mutate box state from outside.
+// the only safe way to inspect or mutate box state from outside. If
+// the runner is stopped, f does not run.
 func (r *Runner) Do(f func(ctx *Ctx)) {
-	donec := make(chan struct{})
-	r.post(func() {
-		defer close(donec)
-		r.handle(Event{Kind: EvCall, Call: f})
-	})
-	select {
-	case <-donec:
-	case <-r.done:
+	donec := donePool.Get().(chan struct{})
+	if !r.inbox.push(inboxItem{kind: itemEvent, ev: Event{Kind: EvCall, Call: f}, done: donec}) {
+		donePool.Put(donec)
+		return
 	}
+	// A successful push is always processed before the loop exits, so
+	// this wait cannot strand.
+	<-donec
+	donePool.Put(donec)
 }
 
 // SetProgram installs and starts a program on the box.
@@ -199,7 +334,7 @@ func (r *Runner) SetProgram(p *Program) {
 
 // Inject delivers an event as if it came from a transport, for tests.
 func (r *Runner) Inject(ev Event) {
-	r.post(func() { r.handle(ev) })
+	r.inbox.push(inboxItem{kind: itemEvent, ev: ev})
 }
 
 // handle runs one event through the box and processes its outputs.
@@ -210,6 +345,7 @@ func (r *Runner) handle(ev Event) {
 	}
 	outs, err := r.box.Handle(ev)
 	r.process(outs)
+	r.box.Recycle(outs)
 	r.fail(err)
 }
 
@@ -244,8 +380,10 @@ func (r *Runner) process(outs []Output) {
 				t.Stop()
 			}
 			name := o.Timer
-			r.timers[name] = time.AfterFunc(o.Dur, func() {
-				r.post(func() { r.handle(Event{Kind: EvTimer, Timer: name}) })
+			r.timers[name] = r.wheel.Schedule(o.Dur, func() {
+				// Wheel goroutine: just post; the box's pendingT set makes
+				// stale fires (cancel racing this post) harmless.
+				r.inbox.push(inboxItem{kind: itemEvent, ev: Event{Kind: EvTimer, Timer: name}})
 			})
 		case OutTimerCancel:
 			if t := r.timers[o.Timer]; t != nil {
@@ -260,30 +398,75 @@ func (r *Runner) process(outs []Output) {
 	}
 }
 
-// addPort registers a connected port and pumps its envelopes into the
-// loop. Loop goroutine only.
+// addPort registers a connected port and starts its pump. Loop
+// goroutine only.
 func (r *Runner) addPort(channel string, p transport.Port) {
 	r.ports[channel] = p
 	r.wg.Add(1)
-	go func() {
-		defer r.wg.Done()
-		for e := range p.Recv() {
-			ev := Event{Kind: EvEnvelope, Channel: channel, Env: e}
-			r.post(func() { r.handle(ev) })
+	go r.pump(channel, p)
+}
+
+// pump moves envelopes from a port into the inbox until the transport
+// goes away, then posts the port-loss cleanup. Batch-capable ports
+// deliver bursts as single inbox items from ping-ponged buffers; the
+// loop acks each batch so a buffer is refilled only after its
+// envelopes were dispatched.
+func (r *Runner) pump(channel string, p transport.Port) {
+	defer r.wg.Done()
+	if bp, ok := p.(transport.BatchPort); ok {
+		var bufs [2][]sig.Envelope
+		ack := make(chan struct{}, 2)
+		outstanding, cur, want := 0, 0, pumpBatchMin
+		for {
+			if outstanding == 2 {
+				<-ack
+				outstanding--
+			}
+			if len(bufs[cur]) < want {
+				bufs[cur] = make([]sig.Envelope, want)
+			}
+			n, ok := bp.RecvBatch(bufs[cur])
+			if !ok {
+				break
+			}
+			if n == len(bufs[cur]) && want < pumpBatchMax {
+				want *= 2 // saturated drain: the port is bursty, scale up
+			}
+			if !r.inbox.push(inboxItem{kind: itemBatch,
+				ev: Event{Kind: EvEnvelope, Channel: channel}, batch: bufs[cur][:n], ack: ack}) {
+				return
+			}
+			outstanding++
+			cur ^= 1
 		}
-		// Transport gone without a teardown: synthesize one so the box
-		// cleans up, unless the channel is already gone.
-		r.post(func() {
-			if r.box.HasChannel(channel) {
-				r.handle(Event{Kind: EvEnvelope, Channel: channel,
-					Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}}})
+	} else {
+		for e := range p.Recv() {
+			if !r.inbox.push(inboxItem{kind: itemEvent,
+				ev: Event{Kind: EvEnvelope, Channel: channel, Env: e}}) {
+				return
 			}
-			if r.ports[channel] != nil {
-				r.ports[channel].Close()
-				delete(r.ports, channel)
-			}
-		})
-	}()
+		}
+	}
+	// Transport gone without a teardown: synthesize one so the box
+	// cleans up. Run items execute outside the box core because
+	// portLost re-enters handle.
+	r.inbox.push(inboxItem{kind: itemRun, run: func() { r.portLost(channel, p) }})
+}
+
+// portLost is the loop-side cleanup when a transport disappears. Loop
+// goroutine only. The loss only counts if p is still the registered
+// port: a teardown-then-redial reuses the channel name, and the old
+// pump's parting report must not kill the new channel.
+func (r *Runner) portLost(channel string, p transport.Port) {
+	if r.ports[channel] != p {
+		return
+	}
+	p.Close()
+	delete(r.ports, channel)
+	if r.box.HasChannel(channel) {
+		r.handle(Event{Kind: EvEnvelope, Channel: channel,
+			Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}}})
+	}
 }
 
 // Listen accepts signaling channels at addr. Accepted channels are
@@ -302,7 +485,8 @@ func (r *Runner) Listen(addr string, nameFor func(n int) string) error {
 			if err != nil {
 				return
 			}
-			r.post(func() {
+			port := p
+			ok := r.inbox.push(inboxItem{kind: itemRun, run: func() {
 				n := r.acceptN
 				r.acceptN++
 				name := "in" + strconv.Itoa(n)
@@ -310,31 +494,68 @@ func (r *Runner) Listen(addr string, nameFor func(n int) string) error {
 					name = nameFor(n)
 				}
 				r.box.AddChannel(name, false)
-				r.addPort(name, p)
-			})
+				r.addPort(name, port)
+			}})
+			if !ok {
+				// Lost the race with Stop: the loop will never register
+				// this port, so close it here instead of leaking it.
+				port.Close()
+				return
+			}
 		}
 	}()
 	go func() {
-		<-r.done
+		<-r.stopc
 		l.Close()
 	}()
 	return nil
 }
 
+// notifyWaiters wakes every AwaitChannel waiter.
+func (r *Runner) notifyWaiters() {
+	r.waitMu.Lock()
+	ws := r.waiters
+	r.waiters = nil
+	r.waitMu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
+}
+
 // AwaitChannel waits until the box has a channel with the given name
 // (e.g. an accepted incoming channel) and reports whether it appeared
-// before the timeout.
+// before the timeout. Waiting is notification-based: the loop wakes
+// waiters whenever the channel table changes.
 func (r *Runner) AwaitChannel(name string, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	for {
+		// Register before checking, so a change that lands between the
+		// check and the wait cannot be missed.
+		w := make(chan struct{})
+		r.waitMu.Lock()
+		r.waiters = append(r.waiters, w)
+		r.waitMu.Unlock()
+
 		has := false
 		r.Do(func(*Ctx) { has = r.box.HasChannel(name) })
 		if has {
 			return true
 		}
-		time.Sleep(time.Millisecond)
+		d := time.Until(deadline)
+		if d <= 0 {
+			return false
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-w:
+			t.Stop()
+		case <-t.C:
+			return false
+		case <-r.stopc:
+			t.Stop()
+			return false
+		}
 	}
-	return false
 }
 
 // Connect dials addr and registers the channel under the given name,

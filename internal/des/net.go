@@ -122,6 +122,9 @@ func (h *BoxHost) handle(ev box.Event, t time.Duration) {
 		h.net.errs = append(h.net.errs, fmt.Errorf("%s: %w", h.B.Name(), err))
 	}
 	h.process(outs, t)
+	// process copies everything it schedules, so the buffer can go
+	// straight back to the box.
+	h.B.Recycle(outs)
 	if h.net.Observer != nil {
 		h.net.Observer(h, t)
 	}

@@ -70,13 +70,12 @@ func TestDeviceCallAnswerMediaFlows(t *testing.T) {
 	f.eventually("media both ways", func() bool {
 		return f.plane.HasFlow("A", "B") && f.plane.HasFlow("B", "A")
 	})
-	f.plane.Tick(20)
-	if s := a.Agent().Stats(); s.Accepted == 0 {
-		t.Fatalf("A accepted no packets: %+v", s)
-	}
-	if s := b.Agent().Stats(); s.Accepted == 0 {
-		t.Fatalf("B accepted no packets: %+v", s)
-	}
+	// The accept window on each side opens asynchronously with the
+	// transmit flow, so keep ticking until packets land both ways.
+	f.eventually("packets accepted both ways", func() bool {
+		f.plane.Tick(1)
+		return a.Agent().Stats().Accepted > 0 && b.Agent().Stats().Accepted > 0
+	})
 
 	// Hang up: media stops, channels are destroyed on both sides.
 	a.HangUp("c")

@@ -1,0 +1,220 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipmedia/internal/telemetry"
+)
+
+// TestFire: a scheduled timer fires, once, and not early.
+func TestFire(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+	start := time.Now()
+	fired := make(chan time.Duration, 1)
+	w.Schedule(20*time.Millisecond, func() { fired <- time.Since(start) })
+	select {
+	case d := <-fired:
+		if d < 20*time.Millisecond {
+			t.Fatalf("fired early: %v < 20ms", d)
+		}
+		if d > 2*time.Second {
+			t.Fatalf("fired way late: %v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	select {
+	case <-fired:
+		t.Fatal("timer fired twice")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestStop: a stopped timer never fires and Stop reports the
+// cancellation exactly once.
+func TestStop(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+	var fired atomic.Int32
+	tm := w.Schedule(50*time.Millisecond, func() { fired.Add(1) })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer must report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop must report false")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("stopped timer fired %d times", n)
+	}
+	if p := w.Pending(); p != 0 {
+		t.Fatalf("pending = %d after stop", p)
+	}
+}
+
+// TestOrder: timers fire in deadline order when deadlines are spread
+// across distinct ticks.
+func TestOrder(t *testing.T) {
+	w := New(2 * time.Millisecond)
+	defer w.Close()
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	for i := 4; i >= 0; i-- { // schedule in reverse
+		i := i
+		w.Schedule(time.Duration(20+20*i)*time.Millisecond, func() {
+			mu.Lock()
+			got = append(got, i)
+			if len(got) == 5 {
+				close(done)
+			}
+			mu.Unlock()
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timers did not all fire")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("fire order %v, want ascending", got)
+		}
+	}
+}
+
+// TestCascade: a deadline beyond level 0's horizon (256 ticks) must
+// cascade down and still fire at the right time, not at the wrap.
+func TestCascade(t *testing.T) {
+	w := New(time.Millisecond) // level-0 horizon: 256 ms
+	defer w.Close()
+	start := time.Now()
+	fired := make(chan time.Duration, 1)
+	w.Schedule(400*time.Millisecond, func() { fired <- time.Since(start) })
+	select {
+	case d := <-fired:
+		if d < 400*time.Millisecond {
+			t.Fatalf("cascaded timer fired early: %v", d)
+		}
+		if d > 3*time.Second {
+			t.Fatalf("cascaded timer fired too late: %v", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cascaded timer never fired")
+	}
+}
+
+// TestLongIdleThenSchedule: after the wheel has been idle (cursor
+// stale), a fresh short timer must still honor its full delay.
+func TestLongIdleThenSchedule(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+	fired := make(chan struct{})
+	w.Schedule(5*time.Millisecond, func() { close(fired) })
+	<-fired
+	time.Sleep(300 * time.Millisecond) // wheel idle, cursor lags
+
+	start := time.Now()
+	again := make(chan time.Duration, 1)
+	w.Schedule(30*time.Millisecond, func() { again <- time.Since(start) })
+	select {
+	case d := <-again:
+		if d < 30*time.Millisecond {
+			t.Fatalf("timer after idle fired early: %v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer after idle never fired")
+	}
+}
+
+// TestPendingGauge: the timerwheel.pending gauge tracks arms, fires,
+// and cancels, keeping its high-water mark.
+func TestPendingGauge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+
+	w := New(time.Millisecond)
+	defer w.Close()
+	g := reg.Gauge(MetricPending)
+
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, w.Schedule(time.Hour, func() {}))
+	}
+	if v := g.Value(); v != 10 {
+		t.Fatalf("pending gauge = %d, want 10", v)
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if v := g.Value(); v != 0 {
+		t.Fatalf("pending gauge after cancel = %d, want 0", v)
+	}
+	if hwm := g.HighWater(); hwm < 10 {
+		t.Fatalf("pending high-water = %d, want >= 10", hwm)
+	}
+}
+
+// TestCancelVsFire races Stop against the firing path: every timer
+// must either fire exactly once or be cancelled (Stop()==true), never
+// both and never neither.
+func TestCancelVsFire(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+	const n = 400
+	var fired atomic.Int64
+	var stopped atomic.Int64
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		d := time.Duration(rng.Intn(4)) * time.Millisecond
+		tm := w.Schedule(d, func() { fired.Add(1) })
+		wg.Add(1)
+		go func(tm *Timer, spin time.Duration) {
+			defer wg.Done()
+			time.Sleep(spin)
+			if tm.Stop() {
+				stopped.Add(1)
+			}
+		}(tm, time.Duration(rng.Intn(4))*time.Millisecond)
+	}
+	wg.Wait()
+	// Everything not cancelled must eventually fire.
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load()+stopped.Load() != n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := fired.Load() + stopped.Load(); got != n {
+		t.Fatalf("fired %d + stopped %d = %d, want %d", fired.Load(), stopped.Load(), got, n)
+	}
+	if p := w.Pending(); p != 0 {
+		t.Fatalf("pending = %d after all resolved", p)
+	}
+}
+
+// TestManyTimersSharedWheel: the load-harness shape — tens of
+// thousands of concurrent arms and cancels against one wheel.
+func TestManyTimersSharedWheel(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+	const n = 20000
+	var fired atomic.Int64
+	for i := 0; i < n; i++ {
+		w.Schedule(time.Duration(1+i%50)*time.Millisecond, func() { fired.Add(1) })
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for fired.Load() != n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := fired.Load(); got != n {
+		t.Fatalf("fired %d of %d", got, n)
+	}
+}

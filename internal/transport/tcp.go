@@ -5,6 +5,7 @@
 package transport
 
 import (
+	"bufio"
 	"io"
 	"net"
 	"sync"
@@ -12,6 +13,13 @@ import (
 	"ipmedia/internal/sig"
 	"ipmedia/internal/telemetry"
 )
+
+// SendQueueCap bounds each TCP port's send queue. A peer that stops
+// reading cannot make the local process buffer without limit: once
+// this many envelopes are queued unwritten, Send fails with ErrBacklog
+// and the port is torn down, which the box runtime turns into the same
+// channel-loss teardown as a broken socket. Set before creating ports.
+var SendQueueCap = 4096
 
 // countingWriter adds every written byte to a counter. The counter is
 // nil-safe, so the wrapper costs one nil check when telemetry is off.
@@ -39,9 +47,11 @@ func (cr countingReader) Read(p []byte) (int, error) {
 }
 
 // tcpPort adapts a net.Conn to the Port interface. Outgoing envelopes
-// are queued (unbounded) and written by a dedicated goroutine so Send
-// never blocks on the socket; incoming frames are decoded by a reader
-// goroutine.
+// are queued (bounded by SendQueueCap) and written by a dedicated
+// goroutine so Send never blocks on the socket; incoming frames are
+// decoded by a reader goroutine. The writer drains the queue in
+// batches through a buffered writer, so a burst of N envelopes costs
+// one syscall, not N.
 type tcpPort struct {
 	conn net.Conn
 	out  *queue // envelopes awaiting write to the socket
@@ -60,8 +70,8 @@ type tcpPort struct {
 func NewTCPPort(conn net.Conn) Port {
 	p := &tcpPort{
 		conn:      conn,
-		out:       newQueue(nil),
-		in:        newQueue(nil),
+		out:       newQueue(telemetry.G(MetricSendQueueDepth), nil, SendQueueCap),
+		in:        newQueue(telemetry.G(MetricQueueDepth), nil, 0),
 		framesOut: telemetry.C(MetricFramesOut),
 		framesIn:  telemetry.C(MetricFramesIn),
 		wireOut:   countingWriter{w: conn, c: telemetry.C(MetricBytesOut)},
@@ -75,13 +85,26 @@ func NewTCPPort(conn net.Conn) Port {
 
 func (p *tcpPort) writer() {
 	defer p.wg.Done()
-	for e := range p.out.out {
-		if err := sig.WriteFrame(p.wireOut, e); err != nil {
+	bw := bufio.NewWriter(p.wireOut)
+	buf := make([]sig.Envelope, 64)
+	for {
+		n, ok := p.out.popBatch(buf)
+		if !ok {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if err := sig.WriteFrame(bw, buf[i]); err != nil {
+				p.Close()
+				return
+			}
+			p.framesOut.Inc()
+		}
+		if err := bw.Flush(); err != nil {
 			p.Close()
 			return
 		}
-		p.framesOut.Inc()
 	}
+	bw.Flush()
 	// Queue closed: half-close the write side if possible so the peer's
 	// reader sees EOF after the last frame.
 	if tc, ok := p.conn.(*net.TCPConn); ok {
@@ -109,9 +132,23 @@ func (p *tcpPort) reader() {
 	}
 }
 
-func (p *tcpPort) Send(e sig.Envelope) error { return p.out.push(e) }
+func (p *tcpPort) Send(e sig.Envelope) error {
+	err := p.out.push(e)
+	if err == ErrBacklog {
+		// The peer has stalled past the cap: fail the whole channel. The
+		// runtime observes the port loss and synthesizes teardowns for the
+		// tunnels that were using it, exactly as for a broken socket.
+		p.Close()
+	}
+	return err
+}
 
-func (p *tcpPort) Recv() <-chan sig.Envelope { return p.in.out }
+func (p *tcpPort) Recv() <-chan sig.Envelope { return p.in.stream() }
+
+// RecvBatch implements BatchPort.
+func (p *tcpPort) RecvBatch(buf []sig.Envelope) (int, bool) {
+	return p.in.popBatch(buf)
+}
 
 func (p *tcpPort) Close() error {
 	p.once.Do(func() {

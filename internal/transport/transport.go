@@ -19,24 +19,33 @@ import (
 // ErrClosed reports use of a closed port, listener, or network.
 var ErrClosed = errors.New("transport: closed")
 
+// ErrBacklog reports a send rejected because the port's bounded send
+// queue is full: the peer has stalled past the cap and the port is
+// being failed rather than buffering without limit.
+var ErrBacklog = errors.New("transport: send queue full")
+
 // Telemetry instrument names exported by this package. queue_depth
-// counts envelopes accepted by Send but not yet handed to a receiver
-// (or written to a socket), across all queues in the process; its
-// high-water mark is the visibility the unbounded queues otherwise
-// lack — a slow reader shows up as a growing depth.
+// counts envelopes accepted by Send but not yet handed to a receiver,
+// across all receive queues in the process; its high-water mark is the
+// visibility the unbounded queues otherwise lack — a slow reader shows
+// up as a growing depth. send_queue_depth is the same accounting for
+// the bounded TCP send queues (envelopes accepted but not yet written
+// to a socket).
 const (
-	MetricFramesOut  = "transport.frames_out"
-	MetricFramesIn   = "transport.frames_in"
-	MetricBytesOut   = "transport.bytes_out"
-	MetricBytesIn    = "transport.bytes_in"
-	MetricQueueDepth = "transport.queue_depth"
-	MetricDials      = "transport.dials"
-	MetricAccepts    = "transport.accepts"
+	MetricFramesOut      = "transport.frames_out"
+	MetricFramesIn       = "transport.frames_in"
+	MetricBytesOut       = "transport.bytes_out"
+	MetricBytesIn        = "transport.bytes_in"
+	MetricQueueDepth     = "transport.queue_depth"
+	MetricSendQueueDepth = "transport.send_queue_depth"
+	MetricDials          = "transport.dials"
+	MetricAccepts        = "transport.accepts"
 )
 
-// Port is one end of a signaling channel. Sends never block
-// indefinitely: the channel queues are unbounded, preserving the FIFO
-// reliable abstraction boxes are written against.
+// Port is one end of a signaling channel. Sends never block: receive
+// queues are unbounded, preserving the FIFO reliable abstraction boxes
+// are written against (TCP send queues are bounded and fail the port
+// rather than block, see ErrBacklog).
 type Port interface {
 	// Send queues an envelope for the far end.
 	Send(e sig.Envelope) error
@@ -47,6 +56,16 @@ type Port interface {
 	Close() error
 	// Peer describes the far end for diagnostics.
 	Peer() string
+}
+
+// BatchPort is implemented by ports that can hand over a burst of
+// queued envelopes in one call, without a per-envelope channel
+// handoff. RecvBatch blocks until at least one envelope is available,
+// fills buf, and returns the count; ok is false once the port is
+// closed and drained. A port must be drained through either Recv or
+// RecvBatch, not both.
+type BatchPort interface {
+	RecvBatch(buf []sig.Envelope) (n int, ok bool)
 }
 
 // Listener accepts incoming signaling channels.
@@ -66,30 +85,35 @@ type Network interface {
 	Dial(addr string) (Port, error)
 }
 
-// queue is an unbounded FIFO feeding a receive channel. Every queue
-// tracks its occupancy in the process-wide queue-depth gauge; deliver,
-// if non-nil, counts envelopes actually handed to the receiver.
+// queue is a FIFO of envelopes with two consumption modes: popBatch
+// (used by box runners and the TCP writer, no goroutine) and a lazily
+// started channel pump (the Recv compatibility path). Every queue
+// tracks its occupancy in a process-wide depth gauge; deliver, if
+// non-nil, counts envelopes actually handed to the consumer. max, if
+// positive, bounds the queue: push fails with ErrBacklog when full.
 type queue struct {
 	mu     sync.Mutex
+	cond   sync.Cond
 	items  []sig.Envelope
-	notify chan struct{}
-	out    chan sig.Envelope
 	closed bool
-	done   chan struct{}
+	max    int
+
+	outOnce sync.Once
+	out     chan sig.Envelope
+	done    chan struct{}
 
 	depth   *telemetry.Gauge
 	deliver *telemetry.Counter
 }
 
-func newQueue(deliver *telemetry.Counter) *queue {
+func newQueue(depth *telemetry.Gauge, deliver *telemetry.Counter, max int) *queue {
 	q := &queue{
-		notify:  make(chan struct{}, 1),
-		out:     make(chan sig.Envelope),
 		done:    make(chan struct{}),
-		depth:   telemetry.G(MetricQueueDepth),
+		max:     max,
+		depth:   depth,
 		deliver: deliver,
 	}
-	go q.pump()
+	q.cond.L = &q.mu
 	return q
 }
 
@@ -99,37 +123,75 @@ func (q *queue) push(e sig.Envelope) error {
 		q.mu.Unlock()
 		return ErrClosed
 	}
+	if q.max > 0 && len(q.items) >= q.max {
+		q.mu.Unlock()
+		return ErrBacklog
+	}
 	q.items = append(q.items, e)
+	if len(q.items) == 1 {
+		q.cond.Signal()
+	}
 	q.mu.Unlock()
 	q.depth.Inc()
-	select {
-	case q.notify <- struct{}{}:
-	default:
-	}
 	return nil
+}
+
+// popBatch blocks until the queue is non-empty or closed, then moves
+// up to len(buf) envelopes into buf. ok is false only when the queue
+// is closed and fully drained.
+func (q *queue) popBatch(buf []sig.Envelope) (int, bool) {
+	q.mu.Lock()
+	for len(q.items) == 0 {
+		if q.closed {
+			q.mu.Unlock()
+			return 0, false
+		}
+		q.cond.Wait()
+	}
+	n := copy(buf, q.items)
+	// Slide the tail forward so the backing array is reused instead of
+	// leaking consumed heads.
+	rest := copy(q.items, q.items[n:])
+	for i := rest; i < len(q.items); i++ {
+		q.items[i] = sig.Envelope{}
+	}
+	q.items = q.items[:rest]
+	q.mu.Unlock()
+	q.depth.Add(int64(-n))
+	q.deliver.Add(uint64(n))
+	return n, true
+}
+
+// stream returns the queue's receive channel, starting the pump
+// goroutine on first use. Queues drained via popBatch never pay for
+// the pump.
+func (q *queue) stream() <-chan sig.Envelope {
+	q.outOnce.Do(func() {
+		q.out = make(chan sig.Envelope)
+		go q.pump()
+	})
+	return q.out
 }
 
 func (q *queue) pump() {
 	defer close(q.out)
+	var buf [1]sig.Envelope
 	for {
 		q.mu.Lock()
 		for len(q.items) == 0 {
-			closed := q.closed
-			q.mu.Unlock()
-			if closed {
+			if q.closed {
+				q.mu.Unlock()
 				return
 			}
-			select {
-			case <-q.notify:
-			case <-q.done:
-			}
-			q.mu.Lock()
+			q.cond.Wait()
 		}
-		e := q.items[0]
-		q.items = q.items[1:]
+		buf[0] = q.items[0]
+		rest := copy(q.items, q.items[1:])
+		q.items[rest] = sig.Envelope{}
+		q.items = q.items[:rest]
 		q.mu.Unlock()
 		select {
-		case q.out <- e:
+		case q.out <- buf[0]:
 			q.deliver.Inc()
 		case <-q.done:
 			// Receiver gone; drain silently until close.
@@ -145,12 +207,9 @@ func (q *queue) close() {
 		return
 	}
 	q.closed = true
+	q.cond.Broadcast()
 	q.mu.Unlock()
 	close(q.done)
-	select {
-	case q.notify <- struct{}{}:
-	default:
-	}
 }
 
 // memPort is one end of an in-memory signaling channel.
@@ -168,7 +227,8 @@ type memPort struct {
 func Pipe(aName, bName string) (Port, Port) {
 	framesIn := telemetry.C(MetricFramesIn)
 	framesOut := telemetry.C(MetricFramesOut)
-	qa, qb := newQueue(framesIn), newQueue(framesIn)
+	depth := telemetry.G(MetricQueueDepth)
+	qa, qb := newQueue(depth, framesIn, 0), newQueue(depth, framesIn, 0)
 	a := &memPort{peerName: bName, sendTo: qb, recvFrom: qa, framesOut: framesOut}
 	b := &memPort{peerName: aName, sendTo: qa, recvFrom: qb, framesOut: framesOut}
 	a.closeFar = func() { qb.close() }
@@ -181,7 +241,12 @@ func (p *memPort) Send(e sig.Envelope) error {
 	return p.sendTo.push(e)
 }
 
-func (p *memPort) Recv() <-chan sig.Envelope { return p.recvFrom.out }
+func (p *memPort) Recv() <-chan sig.Envelope { return p.recvFrom.stream() }
+
+// RecvBatch implements BatchPort.
+func (p *memPort) RecvBatch(buf []sig.Envelope) (int, bool) {
+	return p.recvFrom.popBatch(buf)
+}
 
 func (p *memPort) Close() error {
 	p.once.Do(func() {
