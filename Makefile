@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime storm-smoke alloc-gate
+.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke alloc-gate
 
 # ci is the gate: static checks, build, the full test suite under the
 # race detector, the parallel-vs-sequential checker agreement test,
-# a short fuzz smoke so the sig fuzz targets are actually executed,
-# a one-iteration benchmark smoke so the perf harness keeps compiling,
-# the runner zero-alloc gate (non-race: the race detector defeats pool
-# reuse), and a short call-storm so the live runtime survives load.
-ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke
+# a short fuzz smoke so the sig and media fuzz targets are actually
+# executed, a one-iteration benchmark smoke so the perf harness keeps
+# compiling, the zero-alloc gates (non-race: the race detector defeats
+# the accounting), a short call-storm so the live runtime survives
+# load, and a short in-memory media-storm so the media pipeline does.
+ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,23 +28,39 @@ agree:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalEnvelope -fuzztime=10s ./internal/sig
 	$(GO) test -run='^$$' -fuzz=FuzzEncoderEquivalence -fuzztime=10s ./internal/sig
+	$(GO) test -run='^$$' -fuzz=FuzzPacket -fuzztime=10s ./internal/media
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench='Explore|Marshal' -benchtime=1x ./internal/mcmodel ./internal/sig
+	$(GO) test -run='^$$' -bench='PacketMarshal|AgentDeliver|AgentEmitBatch' -benchtime=1x ./internal/media
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# alloc-gate asserts the tentpole claim of the runtime rework: the
-# steady-state event dispatch path allocates nothing.
+# alloc-gate asserts the zero-alloc claims: the steady-state event
+# dispatch path (box) and the media fast path — packet marshal,
+# transmit staging, and wire delivery — allocate nothing.
 alloc-gate:
 	$(GO) test -run='TestRunnerEventZeroAlloc' ./internal/box
+	$(GO) test -run='TestMediaZeroAlloc' ./internal/media
 
 # storm-smoke drives 500 concurrent call lifecycles for 5 seconds over
 # the in-memory network: a shutdown-under-load and liveness check, not
 # a measurement.
 storm-smoke:
 	$(GO) run ./cmd/callstorm -paths 500 -servers 4 -mode link -net mem -hold 250ms -duration 5s
+
+# media-smoke blasts the in-memory media plane for ~2 seconds: a
+# pipeline liveness check, not a measurement.
+media-smoke:
+	$(GO) run ./cmd/mediastorm -plane mem -agents 16 -duration 2s
+
+# bench-media records the media-plane numbers: the in-memory carrier,
+# the seed dial-per-packet UDP loop, and the persistent-socket batched
+# pipeline at equal agent count, written to BENCH_media.json. The
+# udp_speedup_vs_legacy field is the tentpole ratio.
+bench-media:
+	$(GO) run ./cmd/mediastorm -agents 8 -duration 3s -out BENCH_media.json
 
 # bench-runtime records the live-runtime scaling numbers: 10k
 # concurrent open/hold/flowLink/close lifecycles over the in-memory

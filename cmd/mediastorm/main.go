@@ -1,0 +1,287 @@
+// mediastorm is the load harness for the media plane: it brings up N
+// flowing media paths (transmitter/receiver agent pairs wired the way
+// the signaling stack wires them after a successful open/select
+// exchange), streams paced media through them, and reports throughput,
+// allocation cost, clipping, and delivery jitter, optionally as a JSON
+// artifact (BENCH_media.json via make bench-media).
+//
+// Three carriers are measured so the fast-path speedup stays on
+// record: the in-memory Plane (mem), the seed's dial-per-packet UDP
+// transmit loop (udp_legacy, via UDPPlane.LegacyTick), and the
+// persistent-socket batched pipeline (udp, driven by per-agent
+// pacers). The udp/udp_legacy ratio is the tentpole number.
+//
+// Usage:
+//
+//	mediastorm [-agents N] [-plane all|mem|udp|legacy] [-rate PPS]
+//	           [-duration 3s] [-batch auto|on|off] [-out BENCH_media.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"ipmedia/internal/media"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
+)
+
+type runResult struct {
+	Plane   string `json:"plane"` // mem | udp_legacy | udp
+	BatchIO bool   `json:"batch_io"`
+	Agents  int    `json:"agents"` // flowing pairs
+
+	WindowMS     int64  `json:"window_ms"`
+	Sent         uint64 `json:"packets_sent"`
+	Accepted     uint64 `json:"packets_accepted"`
+	Clipped      uint64 `json:"packets_clipped"`
+	Unexpected   uint64 `json:"packets_unexpected"`
+	DecodeErrors uint64 `json:"decode_errors"`
+
+	PPSOut          float64 `json:"pps_out"`
+	PPSIn           float64 `json:"pps_in"`
+	ClipRate        float64 `json:"clip_rate"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+
+	JitterP50US float64 `json:"jitter_p50_us"`
+	JitterP95US float64 `json:"jitter_p95_us"`
+	JitterP99US float64 `json:"jitter_p99_us"`
+}
+
+type report struct {
+	Date           string `json:"date"`
+	GoMaxProcs     int    `json:"gomaxprocs"`
+	NumCPU         int    `json:"num_cpu"`
+	BatchSupported bool   `json:"batch_io_supported"`
+	Agents         int    `json:"agents"`
+	RatePerFlow    int    `json:"rate_per_flow_pps"`
+
+	Runs []runResult `json:"runs"`
+
+	UDPSpeedupVsLegacy float64 `json:"udp_speedup_vs_legacy"`
+	MemSpeedupVsLegacy float64 `json:"mem_speedup_vs_legacy"`
+}
+
+func main() {
+	agents := flag.Int("agents", 32, "flowing media paths (transmitter/receiver pairs)")
+	plane := flag.String("plane", "all", "carriers to measure: all, mem, udp, legacy")
+	rate := flag.Int("rate", 0, "per-flow target pps on the paced UDP run (0: saturate)")
+	duration := flag.Duration("duration", 3*time.Second, "measurement window per carrier")
+	batch := flag.String("batch", "auto", "UDP batched syscall path: auto, on, off")
+	out := flag.String("out", "", "write the result JSON here (empty: stdout only)")
+	flag.Parse()
+
+	rep := report{
+		Date:           time.Now().Format("2006-01-02"),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		BatchSupported: media.NewUDPPlane().BatchIO(),
+		Agents:         *agents,
+		RatePerFlow:    *rate,
+	}
+
+	want := func(name string) bool { return *plane == "all" || *plane == name }
+	if want("mem") {
+		rep.Runs = append(rep.Runs, runMem(*agents, *duration))
+	}
+	if want("legacy") || (*plane == "all") {
+		rep.Runs = append(rep.Runs, runUDP(*agents, *duration, *rate, *batch, true))
+	}
+	if want("udp") {
+		rep.Runs = append(rep.Runs, runUDP(*agents, *duration, *rate, *batch, false))
+	}
+
+	var legacy, udp, mem float64
+	for _, r := range rep.Runs {
+		switch r.Plane {
+		case "udp_legacy":
+			legacy = r.PPSOut
+		case "udp":
+			udp = r.PPSOut
+		case "mem":
+			mem = r.PPSOut
+		}
+	}
+	if legacy > 0 {
+		rep.UDPSpeedupVsLegacy = udp / legacy
+		rep.MemSpeedupVsLegacy = mem / legacy
+	}
+
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, r := range rep.Runs {
+		if r.Sent == 0 {
+			fatalf("carrier %s moved no packets", r.Plane)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mediastorm: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// freshTelemetry installs a new registry so each run's counters and
+// jitter histogram start from zero, and returns it.
+func freshTelemetry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	return reg
+}
+
+// runMem blasts Tick-driven media through n in-memory pairs.
+func runMem(n int, dur time.Duration) runResult {
+	freshTelemetry()
+	p := media.NewPlane()
+	txs := make([]*media.Agent, n)
+	for i := 0; i < n; i++ {
+		tx := p.Agent(fmt.Sprintf("tx%04d", i), media.AddrPort{Addr: fmt.Sprintf("h%d", i), Port: 1})
+		rx := p.Agent(fmt.Sprintf("rx%04d", i), media.AddrPort{Addr: fmt.Sprintf("h%d", i), Port: 2})
+		tx.SetSending(rx.Origin(), sig.G711)
+		rx.SetExpecting(tx.Origin(), sig.G711, true)
+		txs[i] = tx
+	}
+	fmt.Fprintf(os.Stderr, "mediastorm: mem: %d pairs, %v window...\n", n, dur)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for time.Since(t0) < dur {
+		p.Tick(16)
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	res := collect("mem", false, n, elapsed, txs, nil)
+	if res.Sent > 0 {
+		res.AllocsPerPacket = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Sent)
+	}
+	return res
+}
+
+// runUDP streams media through n loopback pairs: the seed
+// dial-per-packet loop when legacy, otherwise per-agent pacers over
+// the persistent-socket batched pipeline.
+func runUDP(n int, dur time.Duration, rate int, batch string, legacy bool) runResult {
+	reg := freshTelemetry()
+	p := media.NewUDPPlane()
+	defer p.Close()
+	switch batch {
+	case "on":
+		p.SetBatchIO(true)
+	case "off":
+		p.SetBatchIO(false)
+	}
+	name := "udp"
+	if legacy {
+		name = "udp_legacy"
+	}
+
+	ports := freePorts(2 * n)
+	txs := make([]*media.Agent, n)
+	for i := 0; i < n; i++ {
+		tx := p.Agent(fmt.Sprintf("tx%04d", i), media.AddrPort{Addr: "127.0.0.1", Port: ports[2*i]})
+		rx := p.Agent(fmt.Sprintf("rx%04d", i), media.AddrPort{Addr: "127.0.0.1", Port: ports[2*i+1]})
+		tx.SetSending(rx.Origin(), sig.G711)
+		rx.SetExpecting(tx.Origin(), sig.G711, true)
+		txs[i] = tx
+	}
+	if errs := p.Errs(); len(errs) > 0 {
+		fatalf("udp setup: %v", errs[0])
+	}
+
+	fmt.Fprintf(os.Stderr, "mediastorm: %s: %d pairs, batch_io=%v, %v window...\n",
+		name, n, p.BatchIO() && !legacy, dur)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	if legacy {
+		for time.Since(t0) < dur {
+			p.LegacyTick(1)
+		}
+	} else {
+		// One pacer per transmitting agent. rate 0 saturates: a short
+		// interval with a full staging batch per tick.
+		interval, perTick := 100*time.Microsecond, 128
+		if rate > 0 {
+			interval = 5 * time.Millisecond
+			perTick = rate / 200 // packets per 5ms tick
+			if perTick < 1 {
+				perTick = 1
+				interval = time.Second / time.Duration(rate)
+			}
+		}
+		for _, tx := range txs {
+			p.StartPacer(tx, interval, perTick)
+		}
+		time.Sleep(dur)
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	// Let in-flight datagrams drain before the final receive counts.
+	time.Sleep(200 * time.Millisecond)
+	res := collect(name, p.BatchIO() && !legacy, n, elapsed, txs, reg)
+	if res.Sent > 0 {
+		res.AllocsPerPacket = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Sent)
+	}
+	if errs := p.Errs(); len(errs) > 0 {
+		fatalf("%s run: %v", name, errs[0])
+	}
+	return res
+}
+
+// collect sums the pair stats into one carrier result. reg supplies
+// decode-error and jitter numbers for the UDP runs (nil for mem).
+func collect(name string, batchIO bool, n int, elapsed time.Duration, txs []*media.Agent, reg *telemetry.Registry) runResult {
+	res := runResult{Plane: name, BatchIO: batchIO, Agents: n, WindowMS: elapsed.Milliseconds()}
+	for _, tx := range txs {
+		res.Sent += tx.Stats().Sent
+	}
+	snap := telemetry.Default().Snapshot()
+	in := snap.Counters[media.MetricPacketsIn]
+	res.Clipped = snap.Counters[media.MetricClipped]
+	res.DecodeErrors = snap.Counters[media.MetricDecodeErrors]
+	// The harness wires no strangers, so everything received is either
+	// accepted or clipped.
+	res.Accepted = in - res.Clipped
+	secs := elapsed.Seconds()
+	res.PPSOut = float64(res.Sent) / secs
+	res.PPSIn = float64(in) / secs
+	if in > 0 {
+		res.ClipRate = float64(res.Clipped) / float64(in)
+	}
+	if reg != nil {
+		j := snap.Histograms[media.MetricJitter]
+		res.JitterP50US = float64(j.P50) / float64(time.Microsecond)
+		res.JitterP95US = float64(j.P95) / float64(time.Microsecond)
+		res.JitterP99US = float64(j.P99) / float64(time.Microsecond)
+	}
+	return res
+}
+
+// freePorts grabs n currently-free loopback UDP ports by binding them
+// all at once, then releasing them for the plane's agents to re-bind.
+func freePorts(n int) []int {
+	conns := make([]*net.UDPConn, 0, n)
+	ports := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP("127.0.0.1")})
+		if err != nil {
+			fatalf("probing free ports: %v", err)
+		}
+		conns = append(conns, c)
+		ports = append(ports, c.LocalAddr().(*net.UDPAddr).Port)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return ports
+}

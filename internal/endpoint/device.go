@@ -62,6 +62,13 @@ type Config struct {
 	OnRing func(channel string)
 	// OnApp, if set, observes application meta-signals.
 	OnApp func(channel, app string, attrs map[string]string)
+	// MediaPace, if nonzero on a plane that supports paced streaming
+	// (the UDP plane), runs a continuous transmitter for the device's
+	// agent: every MediaPace it sends up to MediaPaceBatch packets
+	// (default 1) while the agent is transmitting, so media flows
+	// without external Tick driving.
+	MediaPace      time.Duration
+	MediaPaceBatch int
 }
 
 // Device is a media endpoint with the Figure 5 user interface: it can
@@ -76,6 +83,7 @@ type Device struct {
 
 	mu      sync.Mutex
 	ringing map[string]bool
+	pacer   *media.Pacer // continuous media transmitter (UDP plane only)
 }
 
 // NewDevice creates, registers, and starts a device.
@@ -103,6 +111,7 @@ func NewDevice(cfg Config) (*Device, error) {
 	d := &Device{name: cfg.Name, prof: prof, cfg: cfg, ringing: map[string]bool{}}
 	if cfg.Plane != nil {
 		d.agent = cfg.Plane.Agent(cfg.Name, media.AddrPort{Addr: cfg.MediaAddr, Port: cfg.MediaPort})
+		d.startPacer(d.agent)
 	}
 	if cfg.AutoAccept {
 		b.DefaultGoal = func(slotName string) core.Goal { return core.NewHoldSlot(slotName, prof) }
@@ -131,8 +140,38 @@ func (d *Device) Agent() *media.Agent {
 	return d.agent
 }
 
+// startPacer attaches a continuous media transmitter to agent when the
+// device is configured for paced streaming and the plane supports it.
+// The pacer self-gates on the agent's transmission state, so it simply
+// runs for the device's lifetime.
+func (d *Device) startPacer(agent *media.Agent) {
+	if d.cfg.MediaPace <= 0 {
+		return
+	}
+	paced, ok := d.cfg.Plane.(media.PacedPlane)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	old := d.pacer
+	d.pacer = paced.StartPacer(agent, d.cfg.MediaPace, d.cfg.MediaPaceBatch)
+	d.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+}
+
 // Stop shuts the device down.
-func (d *Device) Stop() { d.r.Stop() }
+func (d *Device) Stop() {
+	d.mu.Lock()
+	pc := d.pacer
+	d.pacer = nil
+	d.mu.Unlock()
+	if pc != nil {
+		pc.Stop()
+	}
+	d.r.Stop()
+}
 
 // hook runs inside the box goroutine after every event: autonomous
 // device behavior plus media-agent refresh.
@@ -326,6 +365,7 @@ func (d *Device) Rehome(addr string, port int) {
 			d.mu.Lock()
 			d.agent = fresh
 			d.mu.Unlock()
+			d.startPacer(fresh)
 		}
 		for _, name := range ctx.Box().SlotNames() {
 			ctx.Refresh(name, true, false)

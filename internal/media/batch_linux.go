@@ -1,0 +1,147 @@
+//go:build linux && (amd64 || arm64)
+
+// The Linux batched-syscall fast path: raw sendmmsg/recvmmsg through
+// the stdlib syscall package, so a burst of batchSize datagrams costs
+// one kernel crossing instead of batchSize. The header and iovec
+// arrays and the receive arena are allocated once per socket and
+// reused for every batch; the RawConn callbacks are cached closures so
+// the steady state allocates nothing. Restricted to 64-bit targets
+// whose struct mmsghdr carries four bytes of padding after msg_len —
+// other platforms take the portable loop in batch_portable.go.
+package media
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// batchIOSupported reports compile-time availability of the
+// sendmmsg/recvmmsg fast path.
+const batchIOSupported = true
+
+// mmsghdr mirrors the kernel's struct mmsghdr on 64-bit Linux.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	nr  uint32 // msg_len: bytes received, filled by recvmmsg
+	_   [4]byte
+}
+
+// batchIO is per-socket batched-syscall state. It is not safe for
+// concurrent use; each socket's reader or sender owns one exclusively.
+type batchIO struct {
+	raw  syscall.RawConn
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	bufs [][]byte // receive arena views; nil on send-side instances
+
+	// Results threaded through the cached RawConn callbacks.
+	sendMsgs [][]byte
+	sendN    int
+	opN      int
+	opErr    syscall.Errno
+	recvFn   func(fd uintptr) bool
+	sendFn   func(fd uintptr) bool
+}
+
+// newBatchIO builds batch state for up to n datagrams per syscall.
+// bufSize > 0 additionally allocates a receive arena of n buffers
+// (send-side callers pass 0). Returns nil if the socket exposes no
+// RawConn, in which case the caller falls back to the portable loop.
+func newBatchIO(conn *net.UDPConn, n, bufSize int) *batchIO {
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	b := &batchIO{raw: raw, hdrs: make([]mmsghdr, n), iovs: make([]syscall.Iovec, n)}
+	if bufSize > 0 {
+		arena := make([]byte, n*bufSize)
+		b.bufs = make([][]byte, n)
+		for i := range b.bufs {
+			b.bufs[i] = arena[i*bufSize : (i+1)*bufSize]
+			b.iovs[i].Base = &b.bufs[i][0]
+			b.iovs[i].SetLen(bufSize)
+			b.hdrs[i].hdr.Iov = &b.iovs[i]
+			b.hdrs[i].hdr.Iovlen = 1
+		}
+	}
+	b.recvFn = b.doRecv
+	b.sendFn = b.doSend
+	return b
+}
+
+// doRecv runs one recvmmsg inside RawConn.Read: returning false parks
+// the goroutine in the netpoller until the socket is readable again.
+func (b *batchIO) doRecv(fd uintptr) bool {
+	n, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+		uintptr(unsafe.Pointer(&b.hdrs[0])), uintptr(len(b.hdrs)),
+		syscall.MSG_DONTWAIT, 0, 0)
+	if e == syscall.EAGAIN {
+		return false
+	}
+	b.opErr = e
+	b.opN = int(n)
+	return true
+}
+
+// recv fills the arena with one batch of datagrams and invokes deliver
+// for each, blocking in the poller until the socket is readable.
+func (b *batchIO) recv(deliver func([]byte)) (int, error) {
+	b.opN, b.opErr = 0, 0
+	if err := b.raw.Read(b.recvFn); err != nil {
+		return 0, err
+	}
+	if b.opErr != 0 {
+		return 0, b.opErr
+	}
+	for i := 0; i < b.opN; i++ {
+		deliver(b.bufs[i][:b.hdrs[i].nr])
+	}
+	return b.opN, nil
+}
+
+// doSend runs sendmmsg rounds inside RawConn.Write until the staged
+// batch is fully transmitted, repointing the iovecs at the unsent tail
+// after a partial send. Returning false parks until writable.
+func (b *batchIO) doSend(fd uintptr) bool {
+	for b.sendN < len(b.sendMsgs) {
+		k := 0
+		for i := b.sendN; i < len(b.sendMsgs) && k < len(b.iovs); i++ {
+			m := b.sendMsgs[i]
+			b.iovs[k].Base = &m[0]
+			b.iovs[k].SetLen(len(m))
+			b.hdrs[k].hdr.Iov = &b.iovs[k]
+			b.hdrs[k].hdr.Iovlen = 1
+			b.hdrs[k].hdr.Name = nil
+			b.hdrs[k].hdr.Namelen = 0
+			k++
+		}
+		n, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+			uintptr(unsafe.Pointer(&b.hdrs[0])), uintptr(k),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false
+		}
+		if e != 0 {
+			b.opErr = e
+			return true
+		}
+		b.sendN += int(n)
+	}
+	return true
+}
+
+// send transmits msgs on the connected socket in as few sendmmsg
+// calls as the kernel accepts.
+func (b *batchIO) send(msgs [][]byte) error {
+	b.sendMsgs, b.sendN, b.opErr = msgs, 0, 0
+	err := b.raw.Write(b.sendFn)
+	b.sendMsgs = nil
+	if err != nil {
+		return err
+	}
+	if b.opErr != 0 {
+		return b.opErr
+	}
+	return nil
+}

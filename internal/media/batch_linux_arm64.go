@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package media
+
+// The stdlib syscall tables were frozen before sendmmsg was assigned;
+// the numbers below are ABI-stable for this architecture.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -1,0 +1,23 @@
+//go:build !linux || !(amd64 || arm64)
+
+// Portable stand-in for the Linux batched-syscall fast path: this
+// platform has no usable sendmmsg/recvmmsg, so newBatchIO reports the
+// capability absent and the UDP plane's per-datagram loops (connected
+// net.UDPConn writes, single ReadFromUDP reads) carry all traffic.
+package media
+
+import "net"
+
+// batchIOSupported reports compile-time availability of the
+// sendmmsg/recvmmsg fast path.
+const batchIOSupported = false
+
+// batchIO is never instantiated on this platform; the type and its
+// methods exist so the UDP plane compiles unchanged.
+type batchIO struct{}
+
+func newBatchIO(*net.UDPConn, int, int) *batchIO { return nil }
+
+func (*batchIO) recv(func([]byte)) (int, error) { return 0, nil }
+
+func (*batchIO) send([][]byte) error { return nil }

@@ -1,0 +1,98 @@
+// The media packet wire codec: an RTP-stand-in binary header carrying
+// the source address, codec, and sequence number. Like the signaling
+// codec (sig.Append*), the encoder is append-style so the steady-state
+// transmit path reuses one buffer and allocates nothing; the decoder
+// has a split form (splitPacket) that yields byte-slice views into the
+// datagram so the receive path classifies without materializing
+// strings.
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"ipmedia/internal/sig"
+)
+
+// Datagram format:
+//
+//	u16 addrLen | addr | u16 port | u16 codecLen | codec | u64 seq
+//
+// maxDatagram is the stride of the staging and receive arenas: any
+// packet whose addr+codec fit comfortably (every address this system
+// produces) encodes without allocation; an oversized packet merely
+// spills into a fresh allocation.
+const maxDatagram = 512
+
+var (
+	errShortDatagram  = errors.New("media: short datagram")
+	errTruncatedAddr  = errors.New("media: truncated address")
+	errTruncatedCodec = errors.New("media: truncated codec")
+)
+
+// AppendPacket appends the wire encoding of pkt to dst and returns the
+// extended buffer. Only From, Codec, and Seq travel on the wire: the
+// destination is the datagram's UDP address.
+func AppendPacket(dst []byte, pkt Packet) []byte {
+	return appendPacketFields(dst, pkt.From, pkt.Codec, pkt.Seq)
+}
+
+func appendPacketFields(dst []byte, from AddrPort, codec sig.Codec, seq uint64) []byte {
+	var u16 [2]byte
+	var u64 [8]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(from.Addr)))
+	dst = append(dst, u16[:]...)
+	dst = append(dst, from.Addr...)
+	binary.BigEndian.PutUint16(u16[:], uint16(from.Port))
+	dst = append(dst, u16[:]...)
+	binary.BigEndian.PutUint16(u16[:], uint16(len(codec)))
+	dst = append(dst, u16[:]...)
+	dst = append(dst, codec...)
+	binary.BigEndian.PutUint64(u64[:], seq)
+	return append(dst, u64[:]...)
+}
+
+// marshalPacket is the allocating convenience form of AppendPacket.
+func marshalPacket(pkt Packet) []byte {
+	return AppendPacket(make([]byte, 0, 2+len(pkt.From.Addr)+2+2+len(pkt.Codec)+8), pkt)
+}
+
+// splitPacket validates the wire header and returns views into b: the
+// address and codec remain byte slices aliasing the datagram, so the
+// caller may compare them against expected values without allocating.
+func splitPacket(b []byte) (addr []byte, port int, codec []byte, seq uint64, err error) {
+	if len(b) < 2 {
+		return nil, 0, nil, 0, errShortDatagram
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n+4 {
+		return nil, 0, nil, 0, errTruncatedAddr
+	}
+	addr = b[:n]
+	b = b[n:]
+	port = int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	n = int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n+8 {
+		return nil, 0, nil, 0, errTruncatedCodec
+	}
+	codec = b[:n]
+	seq = binary.BigEndian.Uint64(b[n:])
+	return addr, port, codec, seq, nil
+}
+
+// unmarshalPacket decodes a datagram into a Packet, copying the
+// address and codec out of the buffer.
+func unmarshalPacket(b []byte) (Packet, error) {
+	addr, port, codec, seq, err := splitPacket(b)
+	if err != nil {
+		return Packet{}, err
+	}
+	return Packet{
+		From:  AddrPort{Addr: string(addr), Port: port},
+		Codec: sig.Codec(codec),
+		Seq:   seq,
+	}, nil
+}

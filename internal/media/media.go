@@ -6,14 +6,44 @@
 // actually flow exactly when the path semantics say they should, and
 // measure clipping — media packets lost because they arrive before the
 // receiver is set up (Section VI-A).
+//
+// Two carriers implement the plane: the in-memory Plane (synchronous,
+// deterministic, for protocol tests) and the UDPPlane (real datagrams
+// over a persistent-socket, batched-syscall pipeline, for load and
+// throughput work). Both deliver into the same Agent classification
+// logic, which is lock-free on the per-packet path: packet counters
+// are atomics and the send/expect configuration is published as
+// immutable snapshots behind atomic pointers, so reconfiguration (from
+// the box goroutine) never blocks delivery or transmission.
 package media
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
+)
+
+// Telemetry instrument names exported by the media plane.
+const (
+	// MetricPacketsIn counts media packets delivered to agents
+	// (accepted + clipped + unexpected).
+	MetricPacketsIn = "media.pps_in"
+	// MetricPacketsOut counts media packets transmitted by agents.
+	MetricPacketsOut = "media.pps_out"
+	// MetricDecodeErrors counts datagrams that failed to decode on the
+	// UDP plane.
+	MetricDecodeErrors = "media.decode_errors"
+	// MetricClipped counts packets clipped at receivers (arrived while
+	// open but before the matching selector, Section VI-A).
+	MetricClipped = "media.clipped"
+	// MetricJitter is the inter-arrival time histogram at receivers; its
+	// spread is the delivery jitter.
+	MetricJitter = "media.jitter"
 )
 
 // AddrPort identifies a media endpoint's receiving socket.
@@ -43,29 +73,66 @@ type Stats struct {
 	Unexpected uint64 // packets received while not open to the sender (discarded)
 }
 
+// sendState is one immutable snapshot of an agent's transmission
+// configuration, published behind an atomic pointer.
+type sendState struct {
+	to    AddrPort // zero when not transmitting
+	codec sig.Codec
+}
+
+// expState is one immutable snapshot of an agent's reception
+// expectation.
+type expState struct {
+	from      AddrPort // zero when no selector received
+	codec     sig.Codec
+	listening bool // flowing with a descriptor out: packets may arrive early
+}
+
+var (
+	zeroSend = &sendState{}
+	zeroExp  = &expState{}
+)
+
 // Agent is the media half of one endpoint (or one leg of a media
 // resource): the current transmission target and reception
 // expectation, updated by the endpoint's signaling code, plus packet
 // counters. All methods are safe for concurrent use; signaling updates
-// come from the box goroutine while the Plane delivers packets from
-// test goroutines.
+// come from the box goroutine while packets are emitted and delivered
+// from pacer, reader, and test goroutines. The per-packet paths
+// (emit/deliver) are lock-free and allocation-free: the mutex only
+// serializes reconfiguration writers.
 type Agent struct {
 	name   string
 	origin AddrPort
 
-	mu        sync.Mutex
-	sendTo    AddrPort  // zero when not transmitting
-	sendCodec sig.Codec //
-	expFrom   AddrPort  // zero when no selector received
-	expCodec  sig.Codec
-	listening bool // flowing with a descriptor out: packets may arrive early
-	seq       uint64
-	stats     Stats
+	mu   sync.Mutex // serializes SetSending/SetExpecting, not readers
+	send atomic.Pointer[sendState]
+	exp  atomic.Pointer[expState]
+
+	seq        atomic.Uint64
+	sent       atomic.Uint64
+	accepted   atomic.Uint64
+	clipped    atomic.Uint64
+	unexpected atomic.Uint64
+
+	lastArrival atomic.Int64 // UnixNano of the previous delivery, 0 before the first
+
+	mIn      *telemetry.Counter
+	mOut     *telemetry.Counter
+	mClipped *telemetry.Counter
+	mJitter  *telemetry.Histogram
 }
 
 // NewAgent creates an agent receiving at origin.
 func NewAgent(name string, origin AddrPort) *Agent {
-	return &Agent{name: name, origin: origin}
+	a := &Agent{name: name, origin: origin}
+	a.send.Store(zeroSend)
+	a.exp.Store(zeroExp)
+	a.mIn = telemetry.C(MetricPacketsIn)
+	a.mOut = telemetry.C(MetricPacketsOut)
+	a.mClipped = telemetry.C(MetricClipped)
+	a.mJitter = telemetry.H(MetricJitter)
+	return a
 }
 
 // Name returns the agent's name.
@@ -81,7 +148,10 @@ func (a *Agent) Origin() AddrPort { return a.origin }
 func (a *Agent) SetSending(to AddrPort, codec sig.Codec) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.sendTo, a.sendCodec = to, codec
+	if s := a.send.Load(); s.to == to && s.codec == codec {
+		return
+	}
+	a.send.Store(&sendState{to: to, codec: codec})
 }
 
 // SetExpecting declares where the agent expects media from, per the
@@ -90,55 +160,127 @@ func (a *Agent) SetSending(to AddrPort, codec sig.Codec) {
 func (a *Agent) SetExpecting(from AddrPort, codec sig.Codec, listening bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.expFrom, a.expCodec, a.listening = from, codec, listening
+	if e := a.exp.Load(); e.from == from && e.codec == codec && e.listening == listening {
+		return
+	}
+	a.exp.Store(&expState{from: from, codec: codec, listening: listening})
 }
 
 // Sending returns the current transmission target, if any.
 func (a *Agent) Sending() (AddrPort, sig.Codec, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.sendTo, a.sendCodec, !a.sendTo.IsZero()
+	s := a.send.Load()
+	return s.to, s.codec, !s.to.IsZero()
 }
 
 // Stats returns a snapshot of the agent's packet counters.
 func (a *Agent) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	return Stats{
+		Sent:       a.sent.Load(),
+		Accepted:   a.accepted.Load(),
+		Clipped:    a.clipped.Load(),
+		Unexpected: a.unexpected.Load(),
+	}
 }
 
 // emit produces the agent's next outgoing packet, if transmitting.
 func (a *Agent) emit() (Packet, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.sendTo.IsZero() {
+	s := a.send.Load()
+	if s.to.IsZero() {
 		return Packet{}, false
 	}
-	a.seq++
-	a.stats.Sent++
-	return Packet{From: a.origin, To: a.sendTo, Codec: a.sendCodec, Seq: a.seq}, true
+	seq := a.seq.Add(1)
+	a.sent.Add(1)
+	a.mOut.Inc()
+	return Packet{From: a.origin, To: s.to, Codec: s.codec, Seq: seq}, true
 }
 
-// deliver classifies an incoming packet.
+// emitBatchInto stages up to max outgoing packets against one
+// transmission-state snapshot: packet i is encoded into a slice of
+// arena (stride maxDatagram) and published in msgs[i]. It returns the
+// staged count and the shared destination; zero when not transmitting.
+// The whole batch shares one snapshot, so a reconfiguration lands on a
+// batch boundary — the packets already staged go to the old target,
+// exactly like datagrams already in flight. Allocation-free while
+// packets fit the arena stride.
+func (a *Agent) emitBatchInto(arena []byte, msgs [][]byte, max int) (int, AddrPort) {
+	s := a.send.Load()
+	if s.to.IsZero() || max <= 0 {
+		return 0, AddrPort{}
+	}
+	if max > len(msgs) {
+		max = len(msgs)
+	}
+	n := 0
+	for n < max {
+		slot := arena[n*maxDatagram : n*maxDatagram : (n+1)*maxDatagram]
+		msgs[n] = appendPacketFields(slot, a.origin, s.codec, a.seq.Add(1))
+		n++
+	}
+	a.sent.Add(uint64(n))
+	a.mOut.Add(uint64(n))
+	return n, s.to
+}
+
+// deliver classifies an incoming packet (in-memory carrier).
 func (a *Agent) deliver(p Packet) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	e := a.exp.Load()
+	a.count(e, p.From == e.from, p.Codec == e.codec)
+}
+
+// deliverWire decodes and classifies one datagram straight from its
+// wire bytes (UDP carrier). The address and codec are compared as byte
+// slices against the expectation snapshot, so the steady-state path is
+// allocation-free; a malformed datagram is reported as an error and
+// counted nowhere.
+func (a *Agent) deliverWire(b []byte) error {
+	addr, port, codec, _, err := splitPacket(b)
+	if err != nil {
+		return err
+	}
+	e := a.exp.Load()
+	fromMatch := port == e.from.Port && string(addr) == e.from.Addr
+	codecMatch := string(codec) == string(e.codec)
+	a.count(e, fromMatch, codecMatch)
+	return nil
+}
+
+// count records one arriving packet against the expectation snapshot
+// e. fromMatch/codecMatch report whether the packet's source and codec
+// equal the snapshot's (their values are irrelevant when e.from is
+// zero).
+func (a *Agent) count(e *expState, fromMatch, codecMatch bool) {
+	a.observeArrival()
+	a.mIn.Inc()
 	switch {
-	case !a.expFrom.IsZero() && p.From == a.expFrom && p.Codec == a.expCodec:
-		a.stats.Accepted++
-	case !a.expFrom.IsZero() && p.From == a.expFrom:
+	case !e.from.IsZero() && fromMatch && codecMatch:
+		a.accepted.Add(1)
+	case !e.from.IsZero() && fromMatch:
 		// Right sender, wrong codec: a codec-reconfiguration window,
 		// counted with clipping.
-		a.stats.Clipped++
-	case a.expFrom.IsZero() && a.listening:
+		a.clipped.Add(1)
+		a.mClipped.Inc()
+	case e.from.IsZero() && e.listening:
 		// Open but the matching selector has not arrived: clipped per
 		// the paper's relaxed synchronization (Section VI-B, footnote 5).
-		a.stats.Clipped++
+		a.clipped.Add(1)
+		a.mClipped.Inc()
 	default:
 		// From a sender we are not open to — e.g. telephone B of paper
 		// Figure 2, "transmitting to an endpoint that will throw away
 		// the packets".
-		a.stats.Unexpected++
+		a.unexpected.Add(1)
+	}
+}
+
+// observeArrival feeds the inter-arrival jitter histogram. Skipped
+// entirely (including the clock read) when telemetry is off.
+func (a *Agent) observeArrival() {
+	if a.mJitter == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	if last := a.lastArrival.Swap(now); last != 0 {
+		a.mJitter.Observe(time.Duration(now - last))
 	}
 }
 
@@ -230,6 +372,11 @@ func (p *Plane) Flows() []Flow {
 		byAddr[a.Origin()] = a.name
 	}
 	p.mu.Unlock()
+	return flowGraph(agents, byAddr)
+}
+
+// flowGraph builds the sorted flow list shared by both carriers.
+func flowGraph(agents []*Agent, byAddr map[AddrPort]string) []Flow {
 	var flows []Flow
 	for _, a := range agents {
 		to, codec, ok := a.Sending()

@@ -1,0 +1,8 @@
+//go:build race
+
+package media
+
+// raceEnabled reports whether the race detector is active; zero-alloc
+// assertions are skipped under it because it perturbs allocation
+// accounting.
+const raceEnabled = true

@@ -4,16 +4,29 @@
 // media streams, because limited packet loss is preferable to delay"
 // (paper Section I); this carrier plays the RTP role with a minimal
 // binary header (source address, codec, sequence number).
+//
+// The transmit pipeline is persistent and batched: each transmitting
+// agent owns one connected UDP socket (re-dialed only when the target
+// changes), packets are encoded append-style into a per-sender arena,
+// and a whole batch leaves in one sendmmsg on platforms that have it —
+// one syscall per burst instead of a dial+write+close per packet. The
+// receive side mirrors it: per-socket reader goroutines drain batches
+// with recvmmsg into a reused buffer arena and classify datagrams
+// straight from the wire bytes. A portable per-datagram loop backs
+// both directions and is selected at runtime (SetBatchIO) or wherever
+// the batched syscalls are unavailable.
 package media
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
-	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
 )
 
 // Registry is the media-plane interface endpoints program against:
@@ -23,27 +36,67 @@ type Registry interface {
 	Agent(name string, origin AddrPort) *Agent
 }
 
+// PacedPlane is implemented by planes that can stream an agent's
+// outgoing media continuously on a dedicated transmitter (the UDP
+// plane). Endpoints use it to keep media flowing without external
+// Tick driving.
+type PacedPlane interface {
+	Registry
+	StartPacer(a *Agent, interval time.Duration, batch int) *Pacer
+}
+
 var (
-	_ Registry = (*Plane)(nil)
-	_ Registry = (*UDPPlane)(nil)
+	_ Registry   = (*Plane)(nil)
+	_ Registry   = (*UDPPlane)(nil)
+	_ PacedPlane = (*UDPPlane)(nil)
 )
+
+// batchSize is the number of datagrams staged per sendmmsg/recvmmsg
+// call — the syscall amortization factor of the fast path.
+const batchSize = 32
 
 // UDPPlane registers agents on real UDP sockets. Agent origins must
 // use IP addresses (e.g. 127.0.0.1); packets are sent as datagrams and
 // classified by the receiving agent exactly as on the in-memory plane.
 type UDPPlane struct {
-	mu     sync.Mutex
-	agents map[AddrPort]*Agent
-	conns  []*net.UDPConn
-	errs   []error
-	wg     sync.WaitGroup
-	closed bool
+	mu      sync.Mutex
+	agents  map[AddrPort]*Agent
+	conns   []*net.UDPConn
+	senders map[*Agent]*udpSender
+	pacers  []*Pacer
+	errs    []error
+	wg      sync.WaitGroup
+	closed  bool
+
+	batch           atomic.Bool // sendmmsg/recvmmsg fast path enabled
+	decodeErrLogged atomic.Bool // first undecodable datagram recorded in errs
+
+	mDecodeErr *telemetry.Counter
 }
 
-// NewUDPPlane creates an empty UDP media plane.
+// NewUDPPlane creates an empty UDP media plane. The batched syscall
+// fast path is on wherever the platform supports it.
 func NewUDPPlane() *UDPPlane {
-	return &UDPPlane{agents: map[AddrPort]*Agent{}}
+	p := &UDPPlane{
+		agents:     map[AddrPort]*Agent{},
+		senders:    map[*Agent]*udpSender{},
+		mDecodeErr: telemetry.C(MetricDecodeErrors),
+	}
+	p.batch.Store(batchIOSupported)
+	return p
 }
+
+// SetBatchIO selects between the batched sendmmsg/recvmmsg fast path
+// and the portable per-datagram loop at runtime. Forcing it on where
+// the platform lacks the syscalls is a no-op. Call it before traffic
+// flows: readers already parked in a batched receive finish that batch
+// on the old setting.
+func (p *UDPPlane) SetBatchIO(on bool) {
+	p.batch.Store(on && batchIOSupported)
+}
+
+// BatchIO reports whether the batched syscall path is active.
+func (p *UDPPlane) BatchIO() bool { return p.batch.Load() }
 
 // Errs returns socket errors recorded during operation.
 func (p *UDPPlane) Errs() []error {
@@ -58,6 +111,12 @@ func (p *UDPPlane) fail(err error) {
 	p.mu.Unlock()
 }
 
+func (p *UDPPlane) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // Agent implements Registry: it binds origin's UDP socket and starts a
 // reader that classifies incoming datagrams.
 func (p *UDPPlane) Agent(name string, origin AddrPort) *Agent {
@@ -67,41 +126,248 @@ func (p *UDPPlane) Agent(name string, origin AddrPort) *Agent {
 		p.fail(fmt.Errorf("media: bind %s: %w", origin, err))
 		return a
 	}
+	// A deep receive buffer absorbs paced bursts while the reader is
+	// descheduled; best-effort, some kernels clamp it.
+	_ = conn.SetReadBuffer(1 << 20)
 	p.mu.Lock()
 	p.agents[origin] = a
 	p.conns = append(p.conns, conn)
 	p.mu.Unlock()
 	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		buf := make([]byte, 2048)
-		for {
-			n, _, err := conn.ReadFromUDP(buf)
-			if err != nil {
-				return
-			}
-			pkt, err := unmarshalPacket(buf[:n])
-			if err != nil {
-				continue
-			}
-			pkt.To = origin
-			a.deliver(pkt)
-		}
-	}()
+	go p.readLoop(a, conn, newBatchIO(conn, batchSize, maxDatagram))
 	return a
 }
 
-// Tick simulates n packet periods: every transmitting agent emits one
-// datagram per period. Delivery is asynchronous; use AwaitStats-style
-// polling in tests.
-func (p *UDPPlane) Tick(n int) {
-	p.mu.Lock()
-	agents := make([]*Agent, 0, len(p.agents))
-	for _, a := range p.agents {
-		agents = append(agents, a)
+// readLoop drains one agent's socket until it closes. The batched leg
+// pulls up to batchSize datagrams per recvmmsg into the reader's
+// arena; the portable leg reads one datagram at a time into a single
+// reused buffer. Either way no allocation happens per datagram.
+func (p *UDPPlane) readLoop(a *Agent, conn *net.UDPConn, bio *batchIO) {
+	defer p.wg.Done()
+	var buf []byte // portable leg's reused buffer, allocated on first use
+	for {
+		if bio != nil && p.batch.Load() {
+			_, err := bio.recv(func(dgram []byte) { p.deliverDatagram(a, dgram) })
+			if err != nil {
+				if !errors.Is(err, net.ErrClosed) && !p.isClosed() {
+					p.fail(fmt.Errorf("media: recv %s: %w", a.Origin(), err))
+				}
+				return
+			}
+			continue
+		}
+		if buf == nil {
+			buf = make([]byte, maxDatagram)
+		}
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		p.deliverDatagram(a, buf[:n])
 	}
+}
+
+// deliverDatagram classifies one datagram at an agent. Undecodable
+// datagrams are counted (media.decode_errors) and the first one is
+// recorded in the plane's error list so tests and operators see why a
+// stream is silent instead of a blind drop.
+func (p *UDPPlane) deliverDatagram(a *Agent, b []byte) {
+	if err := a.deliverWire(b); err != nil {
+		p.mDecodeErr.Inc()
+		if p.decodeErrLogged.CompareAndSwap(false, true) {
+			p.fail(fmt.Errorf("media: undecodable datagram for %s: %w", a.Name(), err))
+		}
+	}
+}
+
+// senderFor returns the agent's persistent transmitter, creating it on
+// first use.
+func (p *UDPPlane) senderFor(a *Agent) *udpSender {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.senders[a]
+	if s == nil {
+		s = &udpSender{
+			plane: p,
+			agent: a,
+			arena: make([]byte, batchSize*maxDatagram),
+			msgs:  make([][]byte, batchSize),
+		}
+		p.senders[a] = s
+	}
+	return s
+}
+
+// udpSender is one agent's transmit half: a connected socket kept open
+// across packets (re-dialed only when the target changes) plus the
+// staging arena batches are encoded into. All sends for one agent are
+// serialized by mu (pacer vs. Tick).
+type udpSender struct {
+	mu    sync.Mutex
+	plane *UDPPlane
+	agent *Agent
+	dst   AddrPort
+	conn  *net.UDPConn
+	bio   *batchIO
+	arena []byte
+	msgs  [][]byte
+}
+
+// send transmits up to n packets, in batches of batchSize, stopping
+// early if the agent is not (or stops) transmitting.
+func (s *udpSender) send(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plane.isClosed() {
+		return
+	}
+	for sent := 0; sent < n; {
+		want := n - sent
+		if want > batchSize {
+			want = batchSize
+		}
+		k, to := s.agent.emitBatchInto(s.arena, s.msgs, want)
+		if k == 0 {
+			return
+		}
+		if err := s.ensureConn(to); err != nil {
+			s.plane.fail(err)
+			return
+		}
+		if !s.flush(s.msgs[:k]) {
+			return
+		}
+		sent += k
+	}
+}
+
+// ensureConn points the sender's connected socket at to, dialing only
+// when the target changed.
+func (s *udpSender) ensureConn(to AddrPort) error {
+	if s.conn != nil && to == s.dst {
+		return nil
+	}
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.bio = nil, nil
+	}
+	conn, err := net.DialUDP("udp", nil, &net.UDPAddr{IP: net.ParseIP(to.Addr), Port: to.Port})
+	if err != nil {
+		return fmt.Errorf("media: dial %s: %w", to, err)
+	}
+	_ = conn.SetWriteBuffer(1 << 20)
+	s.conn, s.dst = conn, to
+	s.bio = newBatchIO(conn, batchSize, 0) // send side: headers only, no receive arena
+	s.plane.trackConn(conn)
+	return nil
+}
+
+// trackConn records a sender socket for Close; a socket dialed while
+// the plane is closing is closed immediately instead of leaking.
+func (p *UDPPlane) trackConn(c *net.UDPConn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.conns = append(p.conns, c)
 	p.mu.Unlock()
-	sort.Slice(agents, func(i, j int) bool { return agents[i].name < agents[j].name })
+}
+
+// flush sends one staged batch, via sendmmsg when the fast path is on
+// and the portable per-datagram loop otherwise. Returns false after
+// recording an error.
+func (s *udpSender) flush(msgs [][]byte) bool {
+	if s.bio != nil && s.plane.batch.Load() {
+		if err := s.bio.send(msgs); err != nil {
+			if !errors.Is(err, net.ErrClosed) && !s.plane.isClosed() {
+				s.plane.fail(fmt.Errorf("media: send %s: %w", s.dst, err))
+			}
+			return false
+		}
+		return true
+	}
+	for _, m := range msgs {
+		if _, err := s.conn.Write(m); err != nil {
+			if !errors.Is(err, net.ErrClosed) && !s.plane.isClosed() {
+				s.plane.fail(err)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// Pacer streams one agent's outgoing media continuously: a dedicated
+// goroutine transmitting a batch of packets every interval through the
+// agent's persistent sender. It self-gates on the agent's transmission
+// state — while the agent is not sending, ticks are no-ops — so it can
+// be started once and left running across reconfigurations.
+type Pacer struct {
+	s    *udpSender
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartPacer starts a pacer for a: every interval it transmits up to
+// batch packets (batch < 1 is treated as 1). The pacer is stopped by
+// Pacer.Stop or plane Close.
+func (p *UDPPlane) StartPacer(a *Agent, interval time.Duration, batch int) *Pacer {
+	if batch < 1 {
+		batch = 1
+	}
+	pc := &Pacer{s: p.senderFor(a), stop: make(chan struct{}), done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		close(pc.done)
+		return pc
+	}
+	p.pacers = append(p.pacers, pc)
+	p.mu.Unlock()
+	go pc.run(interval, batch)
+	return pc
+}
+
+func (pc *Pacer) run(interval time.Duration, batch int) {
+	defer close(pc.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-pc.stop:
+			return
+		case <-t.C:
+			pc.s.send(batch)
+		}
+	}
+}
+
+// Stop halts the pacer and waits for its goroutine. Idempotent.
+func (pc *Pacer) Stop() {
+	pc.once.Do(func() { close(pc.stop) })
+	<-pc.done
+}
+
+// Tick is a compatibility shim over the persistent-socket pipeline:
+// every transmitting agent sends n packets, batched through its
+// persistent connected socket (the seed implementation dialed and
+// closed a fresh socket per packet; see LegacyTick). Delivery is
+// asynchronous; use AwaitStats-style polling in tests.
+func (p *UDPPlane) Tick(n int) {
+	for _, a := range p.sortedAgents() {
+		p.senderFor(a).send(n)
+	}
+}
+
+// LegacyTick transmits exactly as the seed dial-per-packet plane did —
+// a fresh socket dialed and closed around every single datagram. It
+// exists as the mediastorm baseline that BENCH_media.json's speedup
+// ratios are measured against; production paths use Tick or a Pacer.
+func (p *UDPPlane) LegacyTick(n int) {
+	agents := p.sortedAgents()
 	for i := 0; i < n; i++ {
 		for _, a := range agents {
 			pkt, ok := a.emit()
@@ -122,6 +388,17 @@ func (p *UDPPlane) Tick(n int) {
 	}
 }
 
+func (p *UDPPlane) sortedAgents() []*Agent {
+	p.mu.Lock()
+	agents := make([]*Agent, 0, len(p.agents))
+	for _, a := range p.agents {
+		agents = append(agents, a)
+	}
+	p.mu.Unlock()
+	sort.Slice(agents, func(i, j int) bool { return agents[i].name < agents[j].name })
+	return agents
+}
+
 // Flows mirrors Plane.Flows over the registered agents.
 func (p *UDPPlane) Flows() []Flow {
 	p.mu.Lock()
@@ -132,25 +409,7 @@ func (p *UDPPlane) Flows() []Flow {
 		byAddr[a.Origin()] = a.name
 	}
 	p.mu.Unlock()
-	var flows []Flow
-	for _, a := range agents {
-		to, codec, ok := a.Sending()
-		if !ok {
-			continue
-		}
-		dst, found := byAddr[to]
-		if !found {
-			dst = "?"
-		}
-		flows = append(flows, Flow{From: a.name, To: dst, Codec: codec})
-	}
-	sort.Slice(flows, func(i, j int) bool {
-		if flows[i].From != flows[j].From {
-			return flows[i].From < flows[j].From
-		}
-		return flows[i].To < flows[j].To
-	})
-	return flows
+	return flowGraph(agents, byAddr)
 }
 
 // HasFlow mirrors Plane.HasFlow.
@@ -163,7 +422,8 @@ func (p *UDPPlane) HasFlow(from, to string) bool {
 	return false
 }
 
-// Close shuts all sockets down and waits for the readers.
+// Close stops the pacers, shuts all sockets down, and waits for the
+// readers.
 func (p *UDPPlane) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -171,56 +431,14 @@ func (p *UDPPlane) Close() {
 		return
 	}
 	p.closed = true
+	pacers := p.pacers
 	conns := p.conns
 	p.mu.Unlock()
+	for _, pc := range pacers {
+		pc.Stop()
+	}
 	for _, c := range conns {
 		c.Close()
 	}
 	p.wg.Wait()
-}
-
-// Datagram format:
-//
-//	u16 addrLen | addr | u16 port | u16 codecLen | codec | u64 seq
-func marshalPacket(pkt Packet) []byte {
-	addr, codec := []byte(pkt.From.Addr), []byte(pkt.Codec)
-	out := make([]byte, 0, 2+len(addr)+2+2+len(codec)+8)
-	var u16 [2]byte
-	var u64 [8]byte
-	binary.BigEndian.PutUint16(u16[:], uint16(len(addr)))
-	out = append(out, u16[:]...)
-	out = append(out, addr...)
-	binary.BigEndian.PutUint16(u16[:], uint16(pkt.From.Port))
-	out = append(out, u16[:]...)
-	binary.BigEndian.PutUint16(u16[:], uint16(len(codec)))
-	out = append(out, u16[:]...)
-	out = append(out, codec...)
-	binary.BigEndian.PutUint64(u64[:], pkt.Seq)
-	out = append(out, u64[:]...)
-	return out
-}
-
-func unmarshalPacket(b []byte) (Packet, error) {
-	var pkt Packet
-	if len(b) < 2 {
-		return pkt, fmt.Errorf("media: short datagram")
-	}
-	n := int(binary.BigEndian.Uint16(b))
-	b = b[2:]
-	if len(b) < n+4 {
-		return pkt, fmt.Errorf("media: truncated address")
-	}
-	pkt.From.Addr = string(b[:n])
-	b = b[n:]
-	pkt.From.Port = int(binary.BigEndian.Uint16(b))
-	b = b[2:]
-	n = int(binary.BigEndian.Uint16(b))
-	b = b[2:]
-	if len(b) < n+8 {
-		return pkt, fmt.Errorf("media: truncated codec")
-	}
-	pkt.Codec = sig.Codec(b[:n])
-	b = b[n:]
-	pkt.Seq = binary.BigEndian.Uint64(b)
-	return pkt, nil
 }

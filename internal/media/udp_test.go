@@ -1,12 +1,42 @@
 package media
 
 import (
+	"net"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
 )
+
+// freeUDPPort grabs a currently-free loopback UDP port for a test
+// agent to re-bind.
+func freeUDPPort(t *testing.T) int {
+	t.Helper()
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP("127.0.0.1")})
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	port := c.LocalAddr().(*net.UDPAddr).Port
+	c.Close()
+	return port
+}
+
+// await polls pred for up to five seconds (UDP delivery is
+// asynchronous).
+func await(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
 
 func TestUDPPacketRoundTrip(t *testing.T) {
 	f := func(addr string, port uint16, codec string, seq uint64) bool {
@@ -82,4 +112,167 @@ func TestUDPPlaneStrangerDiscarded(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("B stats: %+v, want 5 unexpected", b.Stats())
+}
+
+// TestUDPClippingWindow pins the paper's Section VI-A clipping
+// semantics on the real UDP carrier, not just the in-memory Plane: a
+// packet arriving after the receiver's descriptor is out (listening)
+// but before the matching selector counts as Clipped, and packets
+// after the selector are Accepted.
+func TestUDPClippingWindow(t *testing.T) {
+	p := NewUDPPlane()
+	defer p.Close()
+	a := p.Agent("A", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	b := p.Agent("B", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Skipf("cannot bind UDP sockets: %v", errs[0])
+	}
+	a.SetSending(b.Origin(), sig.G711)
+	// B is open (descriptor out, listening) but has not received the
+	// selector yet.
+	b.SetExpecting(AddrPort{}, "", true)
+	p.Tick(3)
+	await(t, "3 clipped", func() bool { return b.Stats().Clipped == 3 })
+	if s := b.Stats(); s.Accepted != 0 {
+		t.Fatalf("accepted during the clipping window: %+v", s)
+	}
+	// Selector arrives; subsequent packets are accepted.
+	b.SetExpecting(a.Origin(), sig.G711, true)
+	p.Tick(5)
+	await(t, "5 accepted after selector", func() bool { return b.Stats().Accepted == 5 })
+	if s := b.Stats(); s.Clipped != 3 {
+		t.Fatalf("clipped count moved after the selector: %+v", s)
+	}
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Fatalf("plane errors: %v", errs)
+	}
+}
+
+// runBatchTraffic drives one A->B stream of n packets with the batched
+// syscall path forced on or off and returns both agents' final stats.
+func runBatchTraffic(t *testing.T, batch bool, n uint64) (Stats, Stats) {
+	t.Helper()
+	p := NewUDPPlane()
+	defer p.Close()
+	p.SetBatchIO(batch)
+	a := p.Agent("A", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	b := p.Agent("B", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Skipf("cannot bind UDP sockets: %v", errs[0])
+	}
+	a.SetSending(b.Origin(), sig.G711)
+	b.SetExpecting(a.Origin(), sig.G711, true)
+	p.Tick(int(n))
+	await(t, "all packets accepted", func() bool { return b.Stats().Accepted == n })
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Fatalf("plane errors (batch=%v): %v", batch, errs)
+	}
+	return a.Stats(), b.Stats()
+}
+
+// TestBatchPathAgreement is the paired test for the Linux fast path:
+// the sendmmsg/recvmmsg pipeline and the portable per-datagram loop
+// must be observationally identical — same sent, accepted, clipped,
+// and unexpected counts for the same traffic.
+func TestBatchPathAgreement(t *testing.T) {
+	if !batchIOSupported {
+		t.Skip("no batched syscall path on this platform")
+	}
+	const n = 200
+	aOn, bOn := runBatchTraffic(t, true, n)
+	aOff, bOff := runBatchTraffic(t, false, n)
+	if aOn != aOff {
+		t.Errorf("sender stats differ: batch %+v, portable %+v", aOn, aOff)
+	}
+	if bOn != bOff {
+		t.Errorf("receiver stats differ: batch %+v, portable %+v", bOn, bOff)
+	}
+}
+
+// TestUDPPacerStreams: a pacer keeps media flowing with no external
+// Tick driving, and stops cleanly.
+func TestUDPPacerStreams(t *testing.T) {
+	p := NewUDPPlane()
+	defer p.Close()
+	a := p.Agent("A", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	b := p.Agent("B", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Skipf("cannot bind UDP sockets: %v", errs[0])
+	}
+	a.SetSending(b.Origin(), sig.G711)
+	b.SetExpecting(a.Origin(), sig.G711, true)
+	pc := p.StartPacer(a, time.Millisecond, 4)
+	await(t, "paced media accepted", func() bool { return b.Stats().Accepted >= 40 })
+	pc.Stop()
+	pc.Stop() // idempotent
+	sent := a.Stats().Sent
+	time.Sleep(20 * time.Millisecond)
+	if now := a.Stats().Sent; now != sent {
+		t.Fatalf("pacer still transmitting after Stop: %d -> %d", sent, now)
+	}
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Fatalf("plane errors: %v", errs)
+	}
+}
+
+// TestUDPRetarget: the persistent send socket follows a SetSending
+// retarget (re-dial on change, not per packet).
+func TestUDPRetarget(t *testing.T) {
+	p := NewUDPPlane()
+	defer p.Close()
+	a := p.Agent("A", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	b := p.Agent("B", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	c := p.Agent("C", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Skipf("cannot bind UDP sockets: %v", errs[0])
+	}
+	a.SetSending(b.Origin(), sig.G711)
+	b.SetExpecting(a.Origin(), sig.G711, true)
+	p.Tick(5)
+	await(t, "B accepted 5", func() bool { return b.Stats().Accepted == 5 })
+	a.SetSending(c.Origin(), sig.G711)
+	c.SetExpecting(a.Origin(), sig.G711, true)
+	p.Tick(7)
+	await(t, "C accepted 7", func() bool { return c.Stats().Accepted == 7 })
+	if s := b.Stats(); s.Accepted != 5 {
+		t.Fatalf("B kept receiving after retarget: %+v", s)
+	}
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Fatalf("plane errors: %v", errs)
+	}
+}
+
+// TestUDPDecodeErrorsCounted: undecodable datagrams are not dropped
+// silently — they bump media.decode_errors and the first one is
+// recorded in the plane's error list.
+func TestUDPDecodeErrorsCounted(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	p := NewUDPPlane()
+	defer p.Close()
+	b := p.Agent("B", AddrPort{Addr: "127.0.0.1", Port: freeUDPPort(t)})
+	if errs := p.Errs(); len(errs) > 0 {
+		t.Skipf("cannot bind UDP sockets: %v", errs[0])
+	}
+	conn, err := net.DialUDP("udp", nil, &net.UDPAddr{IP: net.ParseIP("127.0.0.1"), Port: b.Origin().Port})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Write([]byte{0xFF, 0xFF, 0x01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	await(t, "decode errors counted", func() bool {
+		return reg.Counter(MetricDecodeErrors).Value() == 3
+	})
+	errs := p.Errs()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "undecodable") {
+		t.Fatalf("want exactly the first decode error recorded, got %v", errs)
+	}
+	if s := b.Stats(); s.Accepted+s.Clipped+s.Unexpected != 0 {
+		t.Fatalf("undecodable datagrams must not be classified: %+v", s)
+	}
 }
