@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke alloc-gate
+.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke chaos-smoke bench-chaos alloc-gate
 
 # ci is the gate: static checks, build, the full test suite under the
 # race detector, the parallel-vs-sequential checker agreement test,
@@ -8,8 +8,10 @@ GO ?= go
 # executed, a one-iteration benchmark smoke so the perf harness keeps
 # compiling, the zero-alloc gates (non-race: the race detector defeats
 # the accounting), a short call-storm so the live runtime survives
-# load, and a short in-memory media-storm so the media pipeline does.
-ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke
+# load, a short in-memory media-storm so the media pipeline does, and
+# a seeded chaos-storm so the fault-recovery story is re-proved on
+# every run.
+ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +31,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalEnvelope -fuzztime=10s ./internal/sig
 	$(GO) test -run='^$$' -fuzz=FuzzEncoderEquivalence -fuzztime=10s ./internal/sig
 	$(GO) test -run='^$$' -fuzz=FuzzPacket -fuzztime=10s ./internal/media
+	$(GO) test -run='^$$' -fuzz=FuzzSlotRetransmit -fuzztime=10s ./internal/slot
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench='Explore|Marshal' -benchtime=1x ./internal/mcmodel ./internal/sig
@@ -38,11 +41,13 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # alloc-gate asserts the zero-alloc claims: the steady-state event
-# dispatch path (box) and the media fast path — packet marshal,
-# transmit staging, and wire delivery — allocate nothing.
+# dispatch path (box), the media fast path — packet marshal, transmit
+# staging, and wire delivery — and the reliable layer's steady-state
+# send (stamp, retain, ack bookkeeping) allocate nothing.
 alloc-gate:
 	$(GO) test -run='TestRunnerEventZeroAlloc' ./internal/box
 	$(GO) test -run='TestMediaZeroAlloc' ./internal/media
+	$(GO) test -run='TestRelSendSteadyStateZeroAlloc' ./internal/transport
 
 # storm-smoke drives 500 concurrent call lifecycles for 5 seconds over
 # the in-memory network: a shutdown-under-load and liveness check, not
@@ -54,6 +59,21 @@ storm-smoke:
 # pipeline liveness check, not a measurement.
 media-smoke:
 	$(GO) run ./cmd/mediastorm -plane mem -agents 16 -duration 2s
+
+# chaos-smoke is the seeded resilience gate: ~30 seconds of call
+# lifecycles over a wire that drops 5% and duplicates 2% of envelopes
+# with one mid-storm partition, while the Section V formulas are
+# checked live. It exits nonzero on any bounded-time formula
+# violation, a wedged path after drain, a give-up rate over budget, or
+# a leaked goroutine.
+chaos-smoke:
+	$(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -duration 20s -seed 1
+
+# bench-chaos records the recovery numbers — recovery-latency
+# percentiles, retransmit/reconnect counts, give-up rate — under the
+# standard fault profile, written to BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -duration 30s -delayrate 0.05 -reorder 0.02 -seed 1 -out BENCH_chaos.json
 
 # bench-media records the media-plane numbers: the in-memory carrier,
 # the seed dial-per-packet UDP loop, and the persistent-socket batched

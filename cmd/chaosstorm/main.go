@@ -1,0 +1,489 @@
+// chaosstorm is the fault-tolerance harness: callstorm's lifecycle
+// load run over a deliberately hostile wire, with the Section V
+// temporal formulas checked live while the faults land. The stack is
+// RelNetwork(FaultNetwork(mem|tcp)): the fault layer drops,
+// duplicates, delays, and reorders envelopes and severs links
+// mid-storm; the reliable layer retransmits, suppresses duplicates,
+// and re-dials, so the boxes above should see at most a blip. A
+// pathmon.Tracker polls every signaling path and holds it to the
+// bounded-time reading of its formula — recurrence paths must return
+// to bothFlowing within the bound, stability paths must not flow past
+// it — and records the recovery latency of every healed outage.
+//
+// The run is a gate, not just a report: it fails (exit 1) on any
+// bounded-time formula violation, any path wedged after drain, a
+// client give-up rate at or above the budget, clients that never
+// drained, or leaked goroutines after shutdown. BENCH_chaos.json
+// captures the fault profile, call outcomes, transport recovery
+// counters, and the recovery-latency distribution.
+//
+// Usage:
+//
+//	chaosstorm [-paths 24] [-servers 3] [-duration 20s] [-net mem|tcp]
+//	           [-drop 0.05] [-dup 0.02] [-delayrate 0] [-reorder 0]
+//	           [-partition 150ms] [-seed 1] [-bound 5s] [-poll 25ms]
+//	           [-giveup-budget 0.01] [-out BENCH_chaos.json] [-check]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ipmedia/internal/box"
+	"ipmedia/internal/core"
+	"ipmedia/internal/pathmon"
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+	"ipmedia/internal/telemetry"
+	"ipmedia/internal/transport"
+)
+
+type stormStats struct {
+	setups    atomic.Int64 // calls that reached flowing
+	completed atomic.Int64 // full lifecycles (flowing + held + torn down)
+	giveups   atomic.Int64 // calls abandoned by the client's give-up timer
+	refused   atomic.Int64 // dials refused outright (partition window)
+	idle      atomic.Int64 // clients parked after the stop flag
+	stop      atomic.Bool
+}
+
+type result struct {
+	Date string `json:"date"`
+
+	Net         string  `json:"net"`
+	Paths       int     `json:"paths"`
+	Servers     int     `json:"servers"`
+	DurationMS  int64   `json:"duration_ms"`
+	Drop        float64 `json:"drop_rate"`
+	Dup         float64 `json:"dup_rate"`
+	DelayRate   float64 `json:"delay_rate"`
+	Reorder     float64 `json:"reorder_rate"`
+	PartitionMS int64   `json:"partition_ms"`
+	Seed        int64   `json:"seed"`
+	BoundMS     int64   `json:"bound_ms"`
+
+	Setups      int64   `json:"setups"`
+	Completed   int64   `json:"completed_calls"`
+	CallGiveups int64   `json:"call_giveups"`
+	DialRefused int64   `json:"dials_refused"`
+	GiveupRate  float64 `json:"giveup_rate"`
+	Drained     int64   `json:"clients_drained"`
+
+	FaultsInjected   int64 `json:"faults_injected"`
+	Reconnects       int64 `json:"reconnects"`
+	Retransmits      int64 `json:"retransmits"`
+	DupDropped       int64 `json:"dup_dropped"`
+	TransportGiveups int64 `json:"transport_giveups"`
+	BacklogDropped   int64 `json:"backlog_dropped"`
+
+	LTLPolls      int      `json:"ltl_polls"`
+	LTLViolations []string `json:"ltl_violations"`
+	Wedged        []string `json:"wedged_paths"`
+
+	RecoveryCount int64   `json:"recovery_count"`
+	RecoveryP50MS float64 `json:"recovery_p50_ms"`
+	RecoveryP95MS float64 `json:"recovery_p95_ms"`
+	RecoveryMaxMS float64 `json:"recovery_max_ms"`
+
+	GoroutinesBaseline int  `json:"goroutines_baseline"`
+	GoroutinesFinal    int  `json:"goroutines_final"`
+	Leaked             bool `json:"goroutines_leaked"`
+}
+
+func main() {
+	paths := flag.Int("paths", 24, "concurrent call lifecycles (paths)")
+	servers := flag.Int("servers", 3, "holding device boxes")
+	netKind := flag.String("net", "mem", "base transport under the fault layer: mem or tcp")
+	duration := flag.Duration("duration", 20*time.Second, "storm window before drain")
+	hold := flag.Duration("hold", 300*time.Millisecond, "mean hold time per call")
+	giveup := flag.Duration("giveup", 10*time.Second, "client abandons a call not flowing after this long")
+	drop := flag.Float64("drop", 0.05, "envelope drop rate")
+	dup := flag.Float64("dup", 0.02, "envelope duplication rate")
+	delayRate := flag.Float64("delayrate", 0.0, "envelope delay rate")
+	reorder := flag.Float64("reorder", 0.0, "envelope reorder rate")
+	partition := flag.Duration("partition", 150*time.Millisecond, "mid-storm partition length (0: no sever)")
+	seed := flag.Int64("seed", 1, "seed for faults, backoff jitter, and client schedules")
+	bound := flag.Duration("bound", 5*time.Second, "bounded-time patience per temporal formula")
+	poll := flag.Duration("poll", 25*time.Millisecond, "LTL tracker poll interval")
+	giveupBudget := flag.Float64("giveup-budget", 0.01, "max tolerated client give-up rate")
+	out := flag.String("out", "", "write the result JSON here (empty: stdout only)")
+	check := flag.Bool("check", true, "exit nonzero when a resilience gate fails")
+	flag.Parse()
+
+	reg := telemetry.Enable()
+	baseline := runtime.NumGoroutine()
+
+	var base transport.Network
+	switch *netKind {
+	case "mem":
+		base = transport.NewMemNetwork()
+	case "tcp":
+		base = transport.TCPNetwork{}
+	default:
+		fmt.Fprintf(os.Stderr, "chaosstorm: unknown -net %q\n", *netKind)
+		os.Exit(2)
+	}
+	fn := transport.NewFaultNetwork(base, transport.FaultProfile{
+		Seed:         *seed,
+		DropRate:     *drop,
+		DupRate:      *dup,
+		DelayRate:    *delayRate,
+		ReorderRate:  *reorder,
+		PartitionFor: *partition,
+	})
+	network := transport.NewRelNetwork(fn, transport.RelConfig{
+		Seed:        *seed,
+		GiveUpAfter: *giveup,
+	})
+
+	mon := pathmon.New()
+	stats := &stormStats{}
+
+	// Holding devices first, so every client dial lands on a listener.
+	// Each device's hook maps every arriving setup to a monitor tunnel,
+	// keyed on the stable client end so redials retarget rather than
+	// accumulate.
+	devAddrs := make([]string, *servers)
+	devs := make([]*box.Runner, *servers)
+	for i := 0; i < *servers; i++ {
+		name := fmt.Sprintf("dev%d", i)
+		addr := name
+		if *netKind == "tcp" {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaosstorm:", err)
+				os.Exit(1)
+			}
+			addr = l.Addr().String()
+			l.Close()
+		}
+		b := box.New(name, devProfile(name, 20000+i))
+		devName := name
+		b.Hook = func(ctx *box.Ctx, ev *box.Event) {
+			if ev.Kind != box.EvEnvelope || !ev.Env.IsMeta() || ev.Env.Meta.Kind != sig.MetaSetup {
+				return
+			}
+			from, ch := ev.Env.Meta.Attrs["from"], ev.Env.Meta.Attrs["chan"]
+			if from == "" || ch == "" {
+				return
+			}
+			mon.RetargetTunnel(from, box.TunnelSlot(ch, 0), devName, box.TunnelSlot(ev.Channel, 0))
+		}
+		r := box.NewRunner(b, network)
+		if err := r.Listen(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosstorm:", err)
+			os.Exit(1)
+		}
+		mon.AddBox(r)
+		devAddrs[i] = addr
+		devs[i] = r
+	}
+
+	fmt.Fprintf(os.Stderr, "chaosstorm: %d paths vs %d devices over %s: drop=%.0f%% dup=%.0f%% delay=%.0f%% reorder=%.0f%% partition=%v seed=%d\n",
+		*paths, *servers, *netKind, *drop*100, *dup*100, *delayRate*100, *reorder*100, *partition, *seed)
+
+	rng := rand.New(rand.NewSource(*seed))
+	clients := make([]*box.Runner, *paths)
+	for i := range clients {
+		name := fmt.Sprintf("cli%d", i)
+		b := box.New(name, devProfile(name, 30000+i))
+		r := box.NewRunner(b, network)
+		r.SetProgram(clientProgram(stats, devAddrs[i%len(devAddrs)], *hold, *duration/4, *giveup, rng.Int63()))
+		mon.AddBox(r)
+		clients[i] = r
+	}
+
+	// Live formula checking for the length of the storm and the drain.
+	tk := pathmon.NewTracker(mon, *bound)
+	trackDone := make(chan struct{})
+	trackStop := make(chan struct{})
+	go func() {
+		defer close(trackDone)
+		tick := time.NewTicker(*poll)
+		defer tick.Stop()
+		for {
+			select {
+			case <-trackStop:
+				return
+			case <-tick.C:
+				if _, err := tk.Poll(); err != nil {
+					fmt.Fprintln(os.Stderr, "chaosstorm: tracker:", err)
+				}
+			}
+		}
+	}()
+
+	// The storm window, with one partition dropped in the middle.
+	half := *duration / 2
+	time.Sleep(half)
+	if *partition > 0 {
+		fmt.Fprintf(os.Stderr, "chaosstorm: mid-storm sever: every link cut, dials refused for %v\n", *partition)
+		fn.Sever()
+	}
+	time.Sleep(*duration - half)
+
+	// Drain: clients finish their current lifecycle and park; every
+	// path must quiesce with its formula satisfied.
+	stats.stop.Store(true)
+	drainDeadline := time.Now().Add(*giveup + *bound + 5*time.Second)
+	for stats.idle.Load() < int64(*paths) && time.Now().Before(drainDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(trackStop)
+	<-trackDone
+	wedged, err := tk.Drain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosstorm: drain:", err)
+	}
+
+	// Shut everything down and check nothing leaked: no pump, redial,
+	// or delayed-send goroutine may outlive the storm.
+	for _, r := range clients {
+		r.Stop()
+	}
+	for _, r := range devs {
+		r.Stop()
+	}
+	fn.Stop()
+	leaked := true
+	var finalG int
+	for end := time.Now().Add(3 * time.Second); time.Now().Before(end); {
+		finalG = runtime.NumGoroutine()
+		if finalG <= baseline+2 { // the shared timer wheel, a little GC slack
+			leaked = false
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if leaked {
+		buf := make([]byte, 1<<20)
+		fmt.Fprintf(os.Stderr, "chaosstorm: leaked goroutines:\n%s\n", buf[:runtime.Stack(buf, true)])
+	}
+
+	stTrack := tk.Stats()
+	snap := reg.Snapshot()
+	counter := func(name string) int64 { return int64(snap.Counters[name]) }
+	recoveries := append([]time.Duration(nil), stTrack.Recoveries...)
+	sort.Slice(recoveries, func(i, j int) bool { return recoveries[i] < recoveries[j] })
+	pctMS := func(q float64) float64 {
+		if len(recoveries) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(recoveries)-1))
+		return float64(recoveries[idx]) / float64(time.Millisecond)
+	}
+
+	attempts := stats.setups.Load() + stats.giveups.Load()
+	giveupRate := 0.0
+	if attempts > 0 {
+		giveupRate = float64(stats.giveups.Load()) / float64(attempts)
+	}
+	res := result{
+		Date:        time.Now().Format("2006-01-02"),
+		Net:         *netKind,
+		Paths:       *paths,
+		Servers:     *servers,
+		DurationMS:  duration.Milliseconds(),
+		Drop:        *drop,
+		Dup:         *dup,
+		DelayRate:   *delayRate,
+		Reorder:     *reorder,
+		PartitionMS: partition.Milliseconds(),
+		Seed:        *seed,
+		BoundMS:     bound.Milliseconds(),
+
+		Setups:      stats.setups.Load(),
+		Completed:   stats.completed.Load(),
+		CallGiveups: stats.giveups.Load(),
+		DialRefused: stats.refused.Load(),
+		GiveupRate:  giveupRate,
+		Drained:     stats.idle.Load(),
+
+		FaultsInjected:   counter(transport.MetricFaultsInjected),
+		Reconnects:       counter(transport.MetricReconnects),
+		Retransmits:      counter(slot.MetricRetransmits),
+		DupDropped:       counter(slot.MetricDupDropped),
+		TransportGiveups: counter(transport.MetricGiveups),
+		BacklogDropped:   counter(transport.MetricBacklogDropped),
+
+		LTLPolls:      stTrack.Polls,
+		LTLViolations: stTrack.Violations,
+		Wedged:        wedged,
+
+		RecoveryCount: int64(len(recoveries)),
+		RecoveryP50MS: pctMS(0.50),
+		RecoveryP95MS: pctMS(0.95),
+		RecoveryMaxMS: pctMS(1.0),
+
+		GoroutinesBaseline: baseline,
+		GoroutinesFinal:    finalG,
+		Leaked:             leaked,
+	}
+
+	blob, _ := json.MarshalIndent(res, "", "  ")
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosstorm:", err)
+			os.Exit(1)
+		}
+	}
+
+	if !*check {
+		return
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "chaosstorm: GATE FAILED: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if n := len(stTrack.Violations); n > 0 {
+		fail("%d bounded-time formula violations, first: %s", n, stTrack.Violations[0])
+	}
+	if len(wedged) > 0 {
+		fail("%d wedged paths after drain, first: %s", len(wedged), wedged[0])
+	}
+	if stats.idle.Load() < int64(*paths) {
+		fail("only %d/%d clients drained", stats.idle.Load(), *paths)
+	}
+	if giveupRate >= *giveupBudget {
+		fail("give-up rate %.2f%% >= budget %.2f%%", giveupRate*100, *giveupBudget*100)
+	}
+	if leaked {
+		fail("goroutines leaked: baseline %d, final %d", baseline, finalG)
+	}
+	fmt.Fprintf(os.Stderr, "chaosstorm: all gates passed: %d lifecycles, %d reconnects, %d retransmits, %d recoveries, 0 violations\n",
+		res.Completed, res.Reconnects, res.Retransmits, res.RecoveryCount)
+}
+
+func devProfile(name string, port int) *core.EndpointProfile {
+	return core.NewEndpointProfile(name, "10.2.0.1", port,
+		[]sig.Codec{sig.G711, sig.G726}, []sig.Codec{sig.G711, sig.G726})
+}
+
+// cyclesPerChannel is how many open/close goal cycles a client runs on
+// one dialed channel before tearing it down and redialing. Goal cycles
+// on a persistent channel keep the signaling path's identity stable, so
+// the tracker observes real down→flowing transitions and measures
+// their recovery latency; the periodic teardown/redial keeps the
+// dial/greet/hello machinery in the storm too.
+const cyclesPerChannel = 8
+
+// clientProgram is one path's lifecycle under chaos: dial a channel
+// toward addr, then cycle its slot goal — open until flowing, hold,
+// close until quiesced — redialing the channel every few cycles, until
+// the stop flag parks the client idle at the end of a cycle. First
+// dials are staggered so the storm does not open every path in the
+// same instant.
+func clientProgram(stats *stormStats, addr string, hold, stagger, giveup time.Duration, seed int64) *box.Program {
+	const ch = "c"
+	s0 := box.TunnelSlot(ch, 0)
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func() time.Duration {
+		return hold/2 + time.Duration(rng.Int63n(int64(hold)))
+	}
+	delay := time.Duration(rng.Int63n(int64(stagger) + 1))
+	cycles := 0
+	closed := func(ctx *box.Ctx) bool {
+		s := ctx.Box().Slot(s0)
+		return s == nil || s.State() == slot.Closed
+	}
+	lost := func(ctx *box.Ctx) bool {
+		// The transport gave the channel up (portLost synthesized a
+		// teardown) or the dial itself was refused.
+		return ctx.OnMeta(ch, sig.MetaUnavailable) || !ctx.Box().HasChannel(ch)
+	}
+	states := []*box.State{
+		{
+			Name:    "stagger",
+			OnEnter: func(ctx *box.Ctx) { ctx.SetTimer("start", delay) },
+			Trans: []box.Trans{
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("start") }, To: "dial"},
+			},
+		},
+		{
+			Name:    "dial",
+			OnEnter: func(ctx *box.Ctx) { cycles = 0; ctx.Dial(ch, addr) },
+			Trans: []box.Trans{
+				// A refused dial (partition window) is not an abandoned
+				// call: back off and retry instead of spinning.
+				{When: func(ctx *box.Ctx) bool { return ctx.OnMeta(ch, sig.MetaUnavailable) }, To: "backoff",
+					Do: func(ctx *box.Ctx) { stats.refused.Add(1) }},
+				{When: func(ctx *box.Ctx) bool { return ctx.Box().HasChannel(ch) }, To: "open"},
+			},
+		},
+		{
+			Name: "backoff",
+			OnEnter: func(ctx *box.Ctx) {
+				ctx.Teardown(ch)
+				ctx.SetTimer("retry", 50*time.Millisecond+time.Duration(rng.Int63n(int64(100*time.Millisecond))))
+			},
+			Trans: []box.Trans{
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("retry") && stats.stop.Load() }, To: "idle",
+					Do: func(*box.Ctx) { stats.idle.Add(1) }},
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("retry") }, To: "dial"},
+			},
+		},
+		{
+			Name:    "open",
+			Annots:  []box.Annot{box.OpenSlotAnn(s0, sig.Audio)},
+			OnEnter: func(ctx *box.Ctx) { ctx.SetTimer("giveup", giveup) },
+			Trans: []box.Trans{
+				{When: func(ctx *box.Ctx) bool { return ctx.IsFlowing(s0) }, To: "hold",
+					Do: func(ctx *box.Ctx) {
+						ctx.CancelTimer("giveup")
+						stats.setups.Add(1)
+					}},
+				{When: lost, To: "backoff",
+					Do: func(ctx *box.Ctx) { ctx.CancelTimer("giveup") }},
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("giveup") }, To: "redial",
+					Do: func(ctx *box.Ctx) { stats.giveups.Add(1) }},
+			},
+		},
+		{
+			Name:    "hold",
+			Annots:  []box.Annot{box.OpenSlotAnn(s0, sig.Audio)},
+			OnEnter: func(ctx *box.Ctx) { ctx.SetTimer("hold", jitter()) },
+			Trans: []box.Trans{
+				{When: lost, To: "backoff"},
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("hold") }, To: "close",
+					Do: func(ctx *box.Ctx) { stats.completed.Add(1) }},
+			},
+		},
+		{
+			Name:    "close",
+			Annots:  []box.Annot{box.CloseSlotAnn(s0)},
+			OnEnter: func(ctx *box.Ctx) { cycles++; ctx.SetTimer("giveup", giveup) },
+			Trans: []box.Trans{
+				{When: func(ctx *box.Ctx) bool { return closed(ctx) && stats.stop.Load() }, To: "redial",
+					Do: func(ctx *box.Ctx) { ctx.CancelTimer("giveup") }},
+				{When: func(ctx *box.Ctx) bool { return closed(ctx) && cycles >= cyclesPerChannel }, To: "redial",
+					Do: func(ctx *box.Ctx) { ctx.CancelTimer("giveup") }},
+				{When: closed, To: "open",
+					Do: func(ctx *box.Ctx) { ctx.CancelTimer("giveup") }},
+				{When: lost, To: "backoff",
+					Do: func(ctx *box.Ctx) { ctx.CancelTimer("giveup") }},
+				{When: func(ctx *box.Ctx) bool { return ctx.OnTimer("giveup") }, To: "redial",
+					Do: func(ctx *box.Ctx) { stats.giveups.Add(1) }},
+			},
+		},
+		{
+			Name:    "redial",
+			OnEnter: func(ctx *box.Ctx) { ctx.Teardown(ch) },
+			Trans: []box.Trans{
+				{When: func(*box.Ctx) bool { return stats.stop.Load() }, To: "idle",
+					Do: func(*box.Ctx) { stats.idle.Add(1) }},
+				{When: func(*box.Ctx) bool { return true }, To: "dial"},
+			},
+		},
+		{Name: "idle"},
+	}
+	return &box.Program{Initial: "stagger", States: states}
+}

@@ -368,7 +368,8 @@ func (r *Runner) process(outs []Output) {
 				continue
 			}
 			r.addPort(o.Channel, p)
-			p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup, Attrs: map[string]string{"from": r.box.Name()}}})
+			p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup,
+				Attrs: map[string]string{"from": r.box.Name(), "chan": o.Channel}}})
 		case OutTeardown:
 			if p := r.ports[o.Channel]; p != nil {
 				p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}})
@@ -575,7 +576,8 @@ func (r *Runner) Connect(channel, addr string) error {
 		}
 		r.box.AddChannel(channel, true)
 		r.addPort(channel, p)
-		p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup, Attrs: map[string]string{"from": r.box.Name()}}})
+		p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup,
+			Attrs: map[string]string{"from": r.box.Name(), "chan": channel}}})
 	})
 	return err
 }

@@ -61,6 +61,25 @@ func (m *Monitor) Tunnel(boxA, slotA, boxB, slotB string) {
 	})
 }
 
+// RetargetTunnel repoints the tunnel whose (boxA, slotA) end is
+// already declared at a new far end, or declares it when unknown. Long
+// chaos runs redial the same client slot at rotating servers; keying
+// on the stable end keeps the tunnel list bounded instead of growing
+// one stale entry per redial.
+func (m *Monitor) RetargetTunnel(boxA, slotA, boxB, slotB string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a := path.SlotRef{Box: boxA, Slot: slotA}
+	b := path.SlotRef{Box: boxB, Slot: slotB}
+	for i, t := range m.tunnels {
+		if t[0] == a {
+			m.tunnels[i][1] = b
+			return
+		}
+	}
+	m.tunnels = append(m.tunnels, [2]path.SlotRef{a, b})
+}
+
 // PathReport describes one signaling path at snapshot time.
 type PathReport struct {
 	Path path.Path

@@ -302,8 +302,15 @@ func (m Meta) String() string {
 // Envelope is the unit of traffic on a signaling channel: either a
 // tunnel signal addressed to one tunnel, or a meta-signal for the
 // channel as a whole (Meta non-nil).
+//
+// Seq is the channel-scope sequence number stamped by the reliable
+// transport layer; zero means unsequenced. Sequenced envelopes use a
+// distinct wire tag, so the encoding of unsequenced envelopes — the
+// only kind the box core and the model checker ever produce — is
+// byte-for-byte the legacy format.
 type Envelope struct {
-	Tunnel int // tunnel index within the channel; ignored for meta-signals
+	Tunnel int    // tunnel index within the channel; ignored for meta-signals
+	Seq    uint32 // retransmission sequence number; 0 = unsequenced
 	Sig    Signal
 	Meta   *Meta
 }
@@ -313,7 +320,13 @@ func (e Envelope) IsMeta() bool { return e.Meta != nil }
 
 func (e Envelope) String() string {
 	if e.IsMeta() {
+		if e.Seq != 0 {
+			return fmt.Sprintf("#%d:%s", e.Seq, e.Meta)
+		}
 		return e.Meta.String()
+	}
+	if e.Seq != 0 {
+		return fmt.Sprintf("#%d:t%d:%s", e.Seq, e.Tunnel, e.Sig)
 	}
 	return fmt.Sprintf("t%d:%s", e.Tunnel, e.Sig)
 }

@@ -51,6 +51,13 @@ const (
 
 	tagSignal byte = 1
 	tagMeta   byte = 2
+	// Sequenced variants: the payload is prefixed with the envelope's
+	// uint32 sequence number, stamped by the reliable transport layer.
+	// Unsequenced envelopes keep the legacy tags, so the format seen by
+	// the model checker's fingerprints and by non-reliable channels is
+	// unchanged.
+	tagSignalSeq byte = 3
+	tagMetaSeq   byte = 4
 )
 
 var (
@@ -131,7 +138,13 @@ func AppendSignal(dst []byte, g Signal) []byte {
 // envelope must already be validated.
 func appendEnvelope(dst []byte, e Envelope) []byte {
 	if e.IsMeta() {
-		dst = append(dst, tagMeta, byte(e.Meta.Kind))
+		if e.Seq != 0 {
+			dst = append(dst, tagMetaSeq)
+			dst = appendU32(dst, e.Seq)
+		} else {
+			dst = append(dst, tagMeta)
+		}
+		dst = append(dst, byte(e.Meta.Kind))
 		dst = appendString(dst, e.Meta.App)
 		keys := make([]string, 0, len(e.Meta.Attrs))
 		for k := range e.Meta.Attrs {
@@ -145,7 +158,12 @@ func appendEnvelope(dst []byte, e Envelope) []byte {
 		}
 		return dst
 	}
-	dst = append(dst, tagSignal)
+	if e.Seq != 0 {
+		dst = append(dst, tagSignalSeq)
+		dst = appendU32(dst, e.Seq)
+	} else {
+		dst = append(dst, tagSignal)
+	}
 	dst = appendU32(dst, uint32(e.Tunnel))
 	return AppendSignal(dst, e.Sig)
 }
@@ -430,9 +448,20 @@ func UnmarshalEnvelope(p []byte) (Envelope, error) {
 	if err != nil {
 		return Envelope{}, ErrCorrupt
 	}
+	var seq uint32
+	if tag == tagSignalSeq || tag == tagMetaSeq {
+		if seq, err = r.u32(); err != nil {
+			return Envelope{}, err
+		}
+		if seq == 0 {
+			// A sequenced tag carrying sequence zero would re-encode with
+			// the legacy tag; reject it so encoding stays canonical.
+			return Envelope{}, ErrCorrupt
+		}
+	}
 	switch tag {
-	case tagSignal:
-		var e Envelope
+	case tagSignal, tagSignalSeq:
+		e := Envelope{Seq: seq}
 		t, err := r.u32()
 		if err != nil {
 			return e, err
@@ -442,7 +471,7 @@ func UnmarshalEnvelope(p []byte) (Envelope, error) {
 			return e, err
 		}
 		return e, nil
-	case tagMeta:
+	case tagMeta, tagMetaSeq:
 		m := &Meta{}
 		k, err := r.u8()
 		if err != nil {
@@ -473,7 +502,7 @@ func UnmarshalEnvelope(p []byte) (Envelope, error) {
 				m.Attrs[key] = val
 			}
 		}
-		return Envelope{Meta: m}, nil
+		return Envelope{Seq: seq, Meta: m}, nil
 	default:
 		return Envelope{}, fmt.Errorf("%w: unknown envelope tag %d", ErrCorrupt, tag)
 	}

@@ -22,6 +22,12 @@ const (
 	// MetricTimeToFlowing is the latency histogram from a slot leaving
 	// the closed state to reaching flowing.
 	MetricTimeToFlowing = "slot.time_to_flowing"
+	// MetricRetransmits counts envelopes retransmitted by the reliable
+	// transport layer on behalf of the slots of a channel.
+	MetricRetransmits = "slot.retransmits"
+	// MetricDupDropped counts received envelopes discarded as
+	// duplicates by sequence-number suppression.
+	MetricDupDropped = "slot.dup_dropped"
 )
 
 const numStates = int(Closing) + 1

@@ -1,0 +1,165 @@
+// Retransmission bookkeeping for the signaling protocol: sequence
+// stamping, an unacknowledged-send ring, and in-order duplicate-free
+// receive reconstruction.
+//
+// The Figure 9/10 slot FSM — including the open-open race — is proved
+// against two-way FIFO reliable channels (paper Section III-A). Over a
+// network that drops, duplicates, delays, and reorders, the reliable
+// transport layer restores exactly that abstraction with one
+// SendTracker/RecvTracker pair per channel direction: every slot's
+// open/oack/close/closeack/describe/select crosses the wire stamped
+// with a channel-scope sequence number, is retransmitted until
+// cumulatively acknowledged, and is delivered to the far box exactly
+// once, in order. Per-slot FIFO (all the FSM needs) follows from
+// channel FIFO, so the FSM itself is unchanged and the Section V path
+// formulas carry over (see DESIGN.md).
+//
+// Both trackers are plain single-goroutine data structures with
+// amortized-zero allocation in steady state: the send ring recycles
+// its backing array, and in-order arrivals never touch the reorder
+// buffer. Locking, timers, and acking policy belong to the transport
+// layer that owns them.
+package slot
+
+import "ipmedia/internal/sig"
+
+// MaxReorder bounds the out-of-order receive buffer. An envelope more
+// than MaxReorder sequence numbers ahead of the next expected one is
+// dropped; the sender's retransmission recovers it once the gap heals.
+const MaxReorder = 1024
+
+// SendTracker assigns sequence numbers to outgoing envelopes and
+// retains every envelope until it is cumulatively acknowledged, for
+// retransmission. The zero value is ready to use; sequences start at 1
+// (sig.Envelope treats 0 as unsequenced).
+type SendTracker struct {
+	next uint32 // seq assigned to the next Stamp (0 means "not started")
+
+	// Unacked ring: buf[head..head+n) in ring order holds the envelopes
+	// with sequence base..base+n-1.
+	buf     []sig.Envelope
+	head, n int
+	base    uint32
+}
+
+// Stamp assigns the next sequence number to e, retains a copy for
+// retransmission, and returns the stamped envelope.
+func (t *SendTracker) Stamp(e sig.Envelope) sig.Envelope {
+	if t.next == 0 {
+		t.next = 1
+		t.base = 1
+	}
+	e.Seq = t.next
+	t.next++
+	t.push(e)
+	return e
+}
+
+func (t *SendTracker) push(e sig.Envelope) {
+	if t.n == len(t.buf) {
+		grown := make([]sig.Envelope, max(16, 2*len(t.buf)))
+		for i := 0; i < t.n; i++ {
+			grown[i] = t.buf[(t.head+i)%len(t.buf)]
+		}
+		t.buf, t.head = grown, 0
+	}
+	t.buf[(t.head+t.n)%len(t.buf)] = e
+	t.n++
+}
+
+// Ack releases every retained envelope with sequence <= cum and
+// returns the number released. Stale (smaller) cumulative acks are
+// no-ops.
+func (t *SendTracker) Ack(cum uint32) int {
+	released := 0
+	for t.n > 0 && t.base <= cum {
+		t.buf[t.head] = sig.Envelope{} // drop payload references
+		t.head = (t.head + 1) % len(t.buf)
+		t.n--
+		t.base++
+		released++
+	}
+	return released
+}
+
+// Unacked calls f on every retained envelope in sequence order,
+// stopping early if f returns false. The transport's retransmission
+// timer drives it.
+func (t *SendTracker) Unacked(f func(sig.Envelope) bool) {
+	for i := 0; i < t.n; i++ {
+		if !f(t.buf[(t.head+i)%len(t.buf)]) {
+			return
+		}
+	}
+}
+
+// Len reports the number of unacknowledged envelopes.
+func (t *SendTracker) Len() int { return t.n }
+
+// NextSeq reports the sequence number the next Stamp will assign.
+func (t *SendTracker) NextSeq() uint32 {
+	if t.next == 0 {
+		return 1
+	}
+	return t.next
+}
+
+// RecvTracker reconstructs the in-order duplicate-free envelope stream
+// from an at-least-once, possibly reordered arrival stream. The zero
+// value is ready to use.
+type RecvTracker struct {
+	cum     uint32         // highest sequence delivered contiguously
+	pending []sig.Envelope // arrived out of order, ascending by Seq
+}
+
+// Accept processes one arrived envelope. Envelopes that extend the
+// contiguous stream (including any buffered successors they unblock)
+// are passed to deliver, in order; duplicates are reported and
+// discarded; out-of-order arrivals within MaxReorder are buffered.
+// Unsequenced envelopes (Seq 0) bypass tracking and are delivered
+// immediately.
+func (t *RecvTracker) Accept(e sig.Envelope, deliver func(sig.Envelope)) (dup bool) {
+	if e.Seq == 0 {
+		deliver(e)
+		return false
+	}
+	switch {
+	case e.Seq <= t.cum:
+		return true
+	case e.Seq == t.cum+1:
+		t.cum++
+		deliver(e)
+		// Drain buffered successors that are now contiguous.
+		for len(t.pending) > 0 && t.pending[0].Seq == t.cum+1 {
+			t.cum++
+			deliver(t.pending[0])
+			copy(t.pending, t.pending[1:])
+			t.pending[len(t.pending)-1] = sig.Envelope{}
+			t.pending = t.pending[:len(t.pending)-1]
+		}
+		return false
+	case e.Seq > t.cum+MaxReorder:
+		// Too far ahead to buffer; retransmission will re-deliver it
+		// once the gap heals. Not a duplicate, but not kept either.
+		return false
+	}
+	// Out of order: insert into pending, ascending, unless present.
+	lo := 0
+	for lo < len(t.pending) && t.pending[lo].Seq < e.Seq {
+		lo++
+	}
+	if lo < len(t.pending) && t.pending[lo].Seq == e.Seq {
+		return true
+	}
+	t.pending = append(t.pending, sig.Envelope{})
+	copy(t.pending[lo+1:], t.pending[lo:])
+	t.pending[lo] = e
+	return false
+}
+
+// CumAck reports the highest contiguously delivered sequence number —
+// the cumulative acknowledgment to send to the peer.
+func (t *RecvTracker) CumAck() uint32 { return t.cum }
+
+// PendingLen reports the number of envelopes buffered out of order.
+func (t *RecvTracker) PendingLen() int { return len(t.pending) }

@@ -66,6 +66,10 @@ func TestTCPSendQueueBound(t *testing.T) {
 	if !backlogged {
 		t.Fatal("send queue never pushed back on a stalled peer")
 	}
+	// The discarded frame leaves a trace: backlog_dropped counts it.
+	if d := reg.Counter(MetricBacklogDropped).Value(); d != 1 {
+		t.Fatalf("backlog_dropped = %d, want 1", d)
+	}
 	// Backlog fails the whole port: further sends see a closed port.
 	deadline := time.Now().Add(2 * time.Second)
 	for {

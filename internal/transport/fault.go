@@ -1,0 +1,276 @@
+// Fault injection for signaling transports: a Network wrapper that
+// drops, delays, duplicates, and reorders envelopes, and severs live
+// links on schedule — an adversarial network in a box, in the spirit
+// of chaos-style resilience testing. Everything is driven by a
+// deterministic seeded PRNG, so a failing chaos run replays exactly
+// from its seed.
+//
+// Faults are injected on the send side of every port the network
+// creates (both the dialing and the accepting end), below whatever
+// reliability layer is stacked on top: a dropped envelope is "sent"
+// as far as the caller can tell, exactly like a datagram lost by a
+// real network, and a severed link looks like a TCP reset.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
+	"ipmedia/internal/timerwheel"
+)
+
+// FaultProfile configures a FaultNetwork. Rates are probabilities in
+// [0,1], evaluated independently per envelope in the order drop,
+// duplicate, delay, reorder. The zero profile injects nothing.
+type FaultProfile struct {
+	Seed int64 // PRNG seed; runs with the same seed and schedule replay
+
+	DropRate    float64       // lose the envelope entirely
+	DupRate     float64       // deliver the envelope twice
+	DelayRate   float64       // hold the envelope for a random delay
+	DelayMin    time.Duration // delay bounds (default 1ms..20ms)
+	DelayMax    time.Duration
+	ReorderRate float64 // hold the envelope until one more is sent
+
+	// SeverEvery periodically severs every live link (0: never). Severed
+	// links look like broken sockets: readers see EOF, senders see a
+	// closed port. PartitionFor makes Dial fail for that long after each
+	// sever, forcing reconnect backoff to actually back off.
+	SeverEvery   time.Duration
+	PartitionFor time.Duration
+}
+
+func (p FaultProfile) withDefaults() FaultProfile {
+	if p.DelayMin <= 0 {
+		p.DelayMin = time.Millisecond
+	}
+	if p.DelayMax < p.DelayMin {
+		p.DelayMax = 20 * time.Millisecond
+	}
+	return p
+}
+
+// FaultNetwork wraps a Network and injects the configured faults into
+// every channel established through it.
+type FaultNetwork struct {
+	under Network
+	prof  FaultProfile
+	wheel *timerwheel.Wheel
+
+	mu        sync.Mutex
+	ports     map[*faultPort]struct{}
+	nextSeed  int64
+	downUntil time.Time
+	stopped   bool
+
+	faults *telemetry.Counter
+}
+
+// NewFaultNetwork wraps under with fault injection per prof. Timers
+// (delays, sever schedule) run on the shared process timer wheel.
+func NewFaultNetwork(under Network, prof FaultProfile) *FaultNetwork {
+	n := &FaultNetwork{
+		under:  under,
+		prof:   prof.withDefaults(),
+		wheel:  timerwheel.Default(),
+		ports:  map[*faultPort]struct{}{},
+		faults: telemetry.C(MetricFaultsInjected),
+	}
+	if n.prof.SeverEvery > 0 {
+		n.scheduleSever()
+	}
+	return n
+}
+
+func (n *FaultNetwork) scheduleSever() {
+	n.wheel.Schedule(n.prof.SeverEvery, func() {
+		n.Sever()
+		n.mu.Lock()
+		stopped := n.stopped
+		n.mu.Unlock()
+		if !stopped {
+			n.scheduleSever()
+		}
+	})
+}
+
+// Sever cuts every live link established through this network, as a
+// partition or mass TCP reset would, and — if PartitionFor is set —
+// refuses new dials for that long.
+func (n *FaultNetwork) Sever() {
+	n.mu.Lock()
+	cut := make([]*faultPort, 0, len(n.ports))
+	for p := range n.ports {
+		cut = append(cut, p)
+	}
+	n.ports = map[*faultPort]struct{}{}
+	if n.prof.PartitionFor > 0 {
+		n.downUntil = time.Now().Add(n.prof.PartitionFor)
+	}
+	n.mu.Unlock()
+	for _, p := range cut {
+		n.faults.Inc()
+		p.Port.Close() // sever the underlying link; the wrapper stays inert
+	}
+}
+
+// Stop ends the sever schedule. Live ports are left alone.
+func (n *FaultNetwork) Stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+}
+
+func (n *FaultNetwork) wrap(p Port) Port {
+	n.mu.Lock()
+	seed := n.prof.Seed + n.nextSeed
+	n.nextSeed++
+	fp := &faultPort{
+		Port:  p,
+		net:   n,
+		rng:   rand.New(rand.NewSource(seed)),
+		prof:  n.prof,
+		wheel: n.wheel,
+	}
+	n.ports[fp] = struct{}{}
+	n.mu.Unlock()
+	return fp
+}
+
+func (n *FaultNetwork) drop(fp *faultPort) {
+	n.mu.Lock()
+	delete(n.ports, fp)
+	n.mu.Unlock()
+}
+
+// Dial implements Network. During a partition window it fails, like a
+// dial into a black-holed route.
+func (n *FaultNetwork) Dial(addr string) (Port, error) {
+	n.mu.Lock()
+	down := time.Now().Before(n.downUntil)
+	n.mu.Unlock()
+	if down {
+		return nil, fmt.Errorf("transport: fault partition: %q unreachable", addr)
+	}
+	p, err := n.under.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.wrap(p), nil
+}
+
+// Listen implements Network.
+func (n *FaultNetwork) Listen(addr string) (Listener, error) {
+	l, err := n.under.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultListener{Listener: l, net: n}, nil
+}
+
+type faultListener struct {
+	Listener
+	net *FaultNetwork
+}
+
+func (l *faultListener) Accept() (Port, error) {
+	p, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.net.wrap(p), nil
+}
+
+// faultPort injects send-side faults, delegating everything else to
+// the wrapped port.
+type faultPort struct {
+	Port
+	net   *FaultNetwork
+	prof  FaultProfile
+	wheel *timerwheel.Wheel
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	held *sig.Envelope // reorder hold: sent after the next envelope
+}
+
+// RecvBatch forwards batch draining when the wrapped port supports it.
+func (p *faultPort) RecvBatch(buf []sig.Envelope) (int, bool) {
+	if bp, ok := p.Port.(BatchPort); ok {
+		return bp.RecvBatch(buf)
+	}
+	e, ok := <-p.Port.Recv()
+	if !ok {
+		return 0, false
+	}
+	buf[0] = e
+	return 1, true
+}
+
+func (p *faultPort) Close() error {
+	p.net.drop(p)
+	return p.Port.Close()
+}
+
+func (p *faultPort) Send(e sig.Envelope) error {
+	p.mu.Lock()
+	prof := &p.prof
+	if prof.DropRate > 0 && p.rng.Float64() < prof.DropRate {
+		p.mu.Unlock()
+		p.net.faults.Inc()
+		return nil // lost in transit; the sender cannot tell
+	}
+	dup := prof.DupRate > 0 && p.rng.Float64() < prof.DupRate
+	if prof.DelayRate > 0 && p.rng.Float64() < prof.DelayRate {
+		d := prof.DelayMin + time.Duration(p.rng.Int63n(int64(prof.DelayMax-prof.DelayMin)+1))
+		p.mu.Unlock()
+		p.net.faults.Inc()
+		p.wheel.Schedule(d, func() {
+			p.Port.Send(e) // the link may have died meanwhile; that's the fault's problem
+			if dup {
+				p.Port.Send(e)
+			}
+		})
+		return nil
+	}
+	var flush *sig.Envelope
+	if p.held != nil {
+		// A held envelope goes out right after this one: the pair is
+		// swapped on the wire.
+		flush, p.held = p.held, nil
+	} else if prof.ReorderRate > 0 && p.rng.Float64() < prof.ReorderRate {
+		p.held = &e
+		p.mu.Unlock()
+		p.net.faults.Inc()
+		// Do not hold forever on an idling channel: flush after a beat
+		// if nothing overtakes it.
+		p.wheel.Schedule(10*time.Millisecond, func() { p.flushHeld() })
+		return nil
+	}
+	p.mu.Unlock()
+	if dup {
+		p.net.faults.Inc()
+	}
+	err := p.Port.Send(e)
+	if dup {
+		p.Port.Send(e)
+	}
+	if flush != nil {
+		p.Port.Send(*flush)
+	}
+	return err
+}
+
+func (p *faultPort) flushHeld() {
+	p.mu.Lock()
+	held := p.held
+	p.held = nil
+	p.mu.Unlock()
+	if held != nil {
+		p.Port.Send(*held)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector is active; zero-alloc
+// assertions are skipped under it because the detector's bookkeeping
+// allocates.
+const raceEnabled = true

@@ -1,0 +1,351 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/slot"
+	"ipmedia/internal/telemetry"
+)
+
+// relPair establishes one reliable channel over net and returns the
+// dialer and acceptor ports.
+func relPair(t *testing.T, n Network, addr string) (Port, Port) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptCh := make(chan Port, 1)
+	go func() {
+		p, err := l.Accept()
+		if err != nil {
+			return
+		}
+		acceptCh <- p
+	}()
+	dialer, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case accepted := <-acceptCh:
+		return dialer, accepted
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept never completed")
+		return nil, nil
+	}
+}
+
+// drainN receives exactly n envelopes via RecvBatch, failing on
+// timeout.
+func drainN(t *testing.T, p Port, n int) []sig.Envelope {
+	t.Helper()
+	got := make([]sig.Envelope, 0, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]sig.Envelope, 64)
+		for len(got) < n {
+			c, ok := p.(BatchPort).RecvBatch(buf)
+			if !ok {
+				return
+			}
+			got = append(got, buf[:c]...)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+	if len(got) != n {
+		t.Fatalf("received %d envelopes, want %d", len(got), n)
+	}
+	return got
+}
+
+// TestRelPortLossless: over a clean network the reliable layer is
+// transparent — in order, no duplicates, sequence numbers stripped,
+// and no layer control leaks to the receiver.
+func TestRelPortLossless(t *testing.T) {
+	n := NewRelNetwork(NewMemNetwork(), RelConfig{})
+	dialer, accepted := relPair(t, n, "a")
+	defer dialer.Close()
+	defer accepted.Close()
+	const total = 500
+	for i := 0; i < total; i++ {
+		if err := dialer.Send(sig.Envelope{Tunnel: i, Sig: sig.Close()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainN(t, accepted, total)
+	for i, e := range got {
+		if e.Tunnel != i {
+			t.Fatalf("envelope %d arrived as tunnel %d", i, e.Tunnel)
+		}
+		if e.Seq != 0 {
+			t.Fatalf("sequence number leaked to receiver: %v", e)
+		}
+		if e.Meta != nil {
+			t.Fatalf("layer control leaked to receiver: %v", e)
+		}
+	}
+}
+
+// TestRelPortRecoversLoss: under heavy drop, duplication, and
+// reordering, retransmission still delivers the exact stream, in
+// order, both directions.
+func TestRelPortRecoversLoss(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	fn := NewFaultNetwork(NewMemNetwork(), FaultProfile{
+		Seed: 42, DropRate: 0.15, DupRate: 0.1, ReorderRate: 0.1,
+	})
+	defer fn.Stop()
+	n := NewRelNetwork(fn, RelConfig{RexmitInterval: 30 * time.Millisecond, AckDelay: 10 * time.Millisecond})
+	dialer, accepted := relPair(t, n, "a")
+	defer dialer.Close()
+	defer accepted.Close()
+	const total = 400
+	for i := 0; i < total; i++ {
+		dialer.Send(sig.Envelope{Tunnel: i, Sig: sig.Close()})
+		accepted.Send(sig.Envelope{Tunnel: i, Sig: sig.CloseAck()})
+	}
+	for _, end := range []Port{accepted, dialer} {
+		got := drainN(t, end, total)
+		for i, e := range got {
+			if e.Tunnel != i {
+				t.Fatalf("envelope %d arrived as tunnel %d", i, e.Tunnel)
+			}
+		}
+	}
+	if reg.Counter(slot.MetricRetransmits).Value() == 0 {
+		t.Fatal("15%% drop produced zero retransmits")
+	}
+	if reg.Counter(slot.MetricDupDropped).Value() == 0 {
+		t.Fatal("duplication and retransmission produced zero dup drops")
+	}
+}
+
+// TestRelPortReconnects: severing every live wire mid-stream is a
+// blip, not a loss — the dialer re-dials, the acceptor rebinds the
+// channel identity, and delivery resumes on the same ports.
+func TestRelPortReconnects(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	fn := NewFaultNetwork(NewMemNetwork(), FaultProfile{PartitionFor: 50 * time.Millisecond})
+	defer fn.Stop()
+	n := NewRelNetwork(fn, RelConfig{
+		RexmitInterval: 30 * time.Millisecond,
+		AckDelay:       10 * time.Millisecond,
+		RedialMin:      10 * time.Millisecond,
+	})
+	dialer, accepted := relPair(t, n, "a")
+	defer dialer.Close()
+	defer accepted.Close()
+
+	const half = 100
+	for i := 0; i < half; i++ {
+		dialer.Send(sig.Envelope{Tunnel: i, Sig: sig.Close()})
+	}
+	fn.Sever()
+	for i := half; i < 2*half; i++ {
+		dialer.Send(sig.Envelope{Tunnel: i, Sig: sig.Close()})
+	}
+	got := drainN(t, accepted, 2*half)
+	for i, e := range got {
+		if e.Tunnel != i {
+			t.Fatalf("envelope %d arrived as tunnel %d after reconnect", i, e.Tunnel)
+		}
+	}
+	if reg.Counter(MetricReconnects).Value() == 0 {
+		t.Fatal("sever produced zero reconnects")
+	}
+	if reg.Counter(MetricGiveups).Value() != 0 {
+		t.Fatal("recoverable sever counted as giveup")
+	}
+	// The acceptor can still talk back over the rebound wire.
+	accepted.Send(sig.Envelope{Tunnel: 7, Sig: sig.Close()})
+	back := drainN(t, dialer, 1)
+	if back[0].Tunnel != 7 {
+		t.Fatalf("reverse direction broken after rebind: %v", back[0])
+	}
+}
+
+// TestRelPortGivesUp: a channel that stays down past the budget is
+// abandoned on both ends — receive queues close (the runner's
+// portLost path) and path.giveups records the degradation.
+func TestRelPortGivesUp(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	fn := NewFaultNetwork(NewMemNetwork(), FaultProfile{})
+	defer fn.Stop()
+	n := NewRelNetwork(fn, RelConfig{
+		RedialMin:   5 * time.Millisecond,
+		GiveUpAfter: 150 * time.Millisecond,
+	})
+	l, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptCh := make(chan Port, 1)
+	go func() {
+		p, err := l.Accept()
+		if err != nil {
+			return
+		}
+		acceptCh <- p
+	}()
+	dialer, err := n.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := <-acceptCh
+	// Kill the listener so redials have nowhere to land, then cut the
+	// wire: recovery must fail and the budget must expire.
+	l.Close()
+	fn.Sever()
+	for _, end := range []Port{dialer, accepted} {
+		select {
+		case _, ok := <-end.Recv():
+			if ok {
+				t.Fatal("dead channel delivered an envelope")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("give-up budget never expired")
+		}
+	}
+	if g := reg.Counter(MetricGiveups).Value(); g != 2 {
+		t.Fatalf("giveups = %d, want 2 (one per end)", g)
+	}
+	if err := dialer.Send(sig.Envelope{Sig: sig.Close()}); err != ErrClosed {
+		t.Fatalf("send on abandoned channel: %v, want ErrClosed", err)
+	}
+}
+
+// TestRelPortCleanCloseIsNotGiveup: tearing a channel down on purpose
+// must not recover, reconnect, or count as a giveup.
+func TestRelPortCleanCloseIsNotGiveup(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	n := NewRelNetwork(NewMemNetwork(), RelConfig{})
+	dialer, accepted := relPair(t, n, "a")
+	dialer.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}})
+	got := drainN(t, accepted, 1)
+	if got[0].Meta == nil || got[0].Meta.Kind != sig.MetaTeardown {
+		t.Fatalf("teardown not delivered: %v", got[0])
+	}
+	dialer.Close()
+	accepted.Close()
+	time.Sleep(50 * time.Millisecond)
+	if g := reg.Counter(MetricGiveups).Value(); g != 0 {
+		t.Fatalf("clean close counted %d giveups", g)
+	}
+	if r := reg.Counter(MetricReconnects).Value(); r != 0 {
+		t.Fatalf("clean close attempted %d reconnects", r)
+	}
+}
+
+// TestRelPortLingerDeliversTeardown: the box runtime closes a port
+// right after sending its teardown; with the wire dropping envelopes,
+// the lingering close must still deliver that teardown (retransmitted)
+// instead of letting the peer's giveup budget expire.
+func TestRelPortLingerDeliversTeardown(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	// Seed chosen so at least one teardown send is dropped across the
+	// rounds below; determinism makes the seed a fixture, not a flake.
+	fn := NewFaultNetwork(NewMemNetwork(), FaultProfile{Seed: 5, DropRate: 0.4})
+	defer fn.Stop()
+	n := NewRelNetwork(fn, RelConfig{
+		RexmitInterval: 20 * time.Millisecond,
+		AckDelay:       5 * time.Millisecond,
+		GiveUpAfter:    400 * time.Millisecond,
+	})
+	l, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptCh := make(chan Port, 1)
+	go func() {
+		for {
+			p, err := l.Accept()
+			if err != nil {
+				return
+			}
+			acceptCh <- p
+		}
+	}()
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		dialer, err := n.Dial("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := <-acceptCh
+		dialer.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}})
+		dialer.Close() // immediately, like the runner's OutTeardown
+		got := drainN(t, accepted, 1)
+		if got[0].Meta == nil || got[0].Meta.Kind != sig.MetaTeardown {
+			t.Fatalf("round %d: teardown lost across lossy close: %v", i, got[0])
+		}
+		accepted.Close()
+	}
+	time.Sleep(600 * time.Millisecond) // let any giveup budget expire
+	if g := reg.Counter(MetricGiveups).Value(); g != 0 {
+		t.Fatalf("clean lossy teardowns counted %d giveups", g)
+	}
+	if reg.Counter(slot.MetricRetransmits).Value() == 0 {
+		t.Fatal("40%% drop over 8 teardowns needed zero retransmits (seed no longer exercises the linger)")
+	}
+}
+
+// TestRelSendSteadyStateZeroAlloc: with faults absent and acks
+// flowing, the reliable send path adds nothing to the allocation
+// profile of a raw port — the ISSUE's alloc gate.
+func TestRelSendSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	n := NewRelNetwork(NewMemNetwork(), RelConfig{})
+	dialer, accepted := relPair(t, n, "a")
+	defer dialer.Close()
+	defer accepted.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]sig.Envelope, 256)
+		for {
+			if _, ok := accepted.(BatchPort).RecvBatch(buf); !ok {
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	e := sig.Envelope{Tunnel: 1, Sig: sig.Close()}
+	for i := 0; i < 10000; i++ { // warm the ring and the queues
+		dialer.Send(e)
+	}
+	time.Sleep(100 * time.Millisecond) // let acks trim the tracker
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dialer.Send(e)
+		}
+	})
+	close(stop)
+	if a := res.AllocsPerOp(); a > 0 {
+		t.Fatalf("steady-state reliable send allocates %d allocs/op, want 0", a)
+	}
+}

@@ -138,6 +138,7 @@ func (p *tcpPort) Send(e sig.Envelope) error {
 		// The peer has stalled past the cap: fail the whole channel. The
 		// runtime observes the port loss and synthesizes teardowns for the
 		// tunnels that were using it, exactly as for a broken socket.
+		telemetry.C(MetricBacklogDropped).Inc()
 		p.Close()
 	}
 	return err

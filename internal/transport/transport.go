@@ -40,6 +40,20 @@ const (
 	MetricSendQueueDepth = "transport.send_queue_depth"
 	MetricDials          = "transport.dials"
 	MetricAccepts        = "transport.accepts"
+	// MetricBacklogDropped counts envelopes discarded because a bounded
+	// send queue was full when Send was called — the frames that a
+	// backlog teardown loses, previously dropped without a trace.
+	MetricBacklogDropped = "transport.backlog_dropped"
+	// MetricFaultsInjected counts faults injected by a FaultNetwork:
+	// drops, duplications, delays, reorder holds, and link severs.
+	MetricFaultsInjected = "transport.faults_injected"
+	// MetricReconnects counts successful re-dials by the reliable layer
+	// after an underlying channel died.
+	MetricReconnects = "transport.reconnects"
+	// MetricGiveups counts reliable channels abandoned after the bounded
+	// recovery budget was exhausted; each one surfaces to the box
+	// runtime as a channel loss and drives the path's slots to closed.
+	MetricGiveups = "path.giveups"
 )
 
 // Port is one end of a signaling channel. Sends never block: receive
