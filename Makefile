@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke chaos-smoke bench-chaos alloc-gate
+.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke chaos-smoke bench-chaos alloc-gate store-smoke bench-store
 
 # ci is the gate: static checks, build, the full test suite under the
 # race detector, the parallel-vs-sequential checker agreement test,
@@ -11,7 +11,7 @@ GO ?= go
 # load, a short in-memory media-storm so the media pipeline does, and
 # a seeded chaos-storm so the fault-recovery story is re-proved on
 # every run.
-ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke chaos-smoke
+ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke chaos-smoke store-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEncoderEquivalence -fuzztime=10s ./internal/sig
 	$(GO) test -run='^$$' -fuzz=FuzzPacket -fuzztime=10s ./internal/media
 	$(GO) test -run='^$$' -fuzz=FuzzSlotRetransmit -fuzztime=10s ./internal/slot
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench='Explore|Marshal' -benchtime=1x ./internal/mcmodel ./internal/sig
@@ -42,12 +43,14 @@ bench:
 
 # alloc-gate asserts the zero-alloc claims: the steady-state event
 # dispatch path (box), the media fast path — packet marshal, transmit
-# staging, and wire delivery — and the reliable layer's steady-state
-# send (stamp, retain, ack bookkeeping) allocate nothing.
+# staging, and wire delivery — the reliable layer's steady-state send
+# (stamp, retain, ack bookkeeping), and the store's disabled path and
+# cached registry lookup allocate nothing.
 alloc-gate:
 	$(GO) test -run='TestRunnerEventZeroAlloc' ./internal/box
 	$(GO) test -run='TestMediaZeroAlloc' ./internal/media
 	$(GO) test -run='TestRelSendSteadyStateZeroAlloc' ./internal/transport
+	$(GO) test -run='TestStoreZeroAlloc' ./internal/store
 
 # storm-smoke drives 500 concurrent call lifecycles for 5 seconds over
 # the in-memory network: a shutdown-under-load and liveness check, not
@@ -69,11 +72,29 @@ media-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -duration 20s -seed 1
 
+# store-smoke is the durable-state gate: a quick storestorm run so all
+# three index backends re-prove the conformance/durability gates (every
+# lookup hits, no acknowledged CDR lost across a crash, recovery lands
+# on the durable count), then a short chaosstorm with a store crash at
+# the storm midpoint so CDR-vs-lifecycle reconciliation is re-proved
+# across a restart under live fault load.
+store-smoke:
+	$(GO) run ./cmd/storestorm -keys 500 -lookups 20000 -cdrs 5000
+	$(GO) run ./cmd/chaosstorm -paths 8 -servers 3 -duration 5s -seed 1 -crash
+
 # bench-chaos records the recovery numbers — recovery-latency
 # percentiles, retransmit/reconnect counts, give-up rate — under the
 # standard fault profile, written to BENCH_chaos.json.
 bench-chaos:
-	$(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -duration 30s -delayrate 0.05 -reorder 0.02 -seed 1 -out BENCH_chaos.json
+	$(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -duration 30s -delayrate 0.05 -reorder 0.02 -seed 1 -crash -out BENCH_chaos.json
+
+# bench-store records the store numbers: point-lookup and CDR-append
+# rates per index backend (registry cache off, so the index itself is
+# measured), WAL group-commit fsync counts, and crash-recovery replay
+# time, written to BENCH_store.json. The cached production hot path is
+# reported once as cached_lookup_ns.
+bench-store:
+	$(GO) run ./cmd/storestorm -keys 5000 -lookups 200000 -cdrs 50000 -out BENCH_store.json
 
 # bench-media records the media-plane numbers: the in-memory carrier,
 # the seed dial-per-packet UDP loop, and the persistent-socket batched

@@ -17,12 +17,23 @@
 // captures the fault profile, call outcomes, transport recovery
 // counters, and the recovery-latency distribution.
 //
+// With -crash, the durable store rides the storm too: every client is
+// bound to the subscriber registry (setup lookups) and the CDR log
+// (teardown appends), and at the storm's midpoint — alongside the
+// partition — the store takes a simulated power cut, recovers from its
+// write-ahead log, and is swapped back in live. The Section V formulas
+// keep being checked across the restart, and extra gates reconcile
+// CDRs against the channel lifecycle: no acknowledged append may be
+// lost, the final log must account for every append accepted after the
+// swap, and a final reopen must replay to the same count.
+//
 // Usage:
 //
 //	chaosstorm [-paths 24] [-servers 3] [-duration 20s] [-net mem|tcp]
 //	           [-drop 0.05] [-dup 0.02] [-delayrate 0] [-reorder 0]
 //	           [-partition 150ms] [-seed 1] [-bound 5s] [-poll 25ms]
 //	           [-giveup-budget 0.01] [-out BENCH_chaos.json] [-check]
+//	           [-crash] [-store-dir DIR] [-store-backend btree]
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"ipmedia/internal/pathmon"
 	"ipmedia/internal/sig"
 	"ipmedia/internal/slot"
+	"ipmedia/internal/store"
 	"ipmedia/internal/telemetry"
 	"ipmedia/internal/transport"
 )
@@ -96,6 +108,20 @@ type result struct {
 	GoroutinesBaseline int  `json:"goroutines_baseline"`
 	GoroutinesFinal    int  `json:"goroutines_final"`
 	Leaked             bool `json:"goroutines_leaked"`
+
+	// Durable-store fields, populated when -crash (or -store-dir) binds
+	// the store into the storm.
+	StoreBackend     string  `json:"store_backend,omitempty"`
+	StoreCrashed     bool    `json:"store_crashed,omitempty"`
+	StoreLookups     int64   `json:"store_lookups,omitempty"`
+	StoreLookupMiss  int64   `json:"store_lookup_miss"`
+	CDRIssued        uint64  `json:"cdrs_issued,omitempty"`
+	CDRAckedAtCrash  uint64  `json:"cdrs_acked_at_crash,omitempty"`
+	CDRRecovered     int     `json:"cdrs_recovered,omitempty"`
+	CDRMissedUnbound uint64  `json:"cdrs_missed_unbound"`
+	CDRFinal         int     `json:"cdrs_final,omitempty"`
+	CDRFinalReopen   int     `json:"cdrs_final_reopen,omitempty"`
+	StoreRecoveryMS  float64 `json:"store_recovery_ms,omitempty"`
 }
 
 func main() {
@@ -116,10 +142,57 @@ func main() {
 	giveupBudget := flag.Float64("giveup-budget", 0.01, "max tolerated client give-up rate")
 	out := flag.String("out", "", "write the result JSON here (empty: stdout only)")
 	check := flag.Bool("check", true, "exit nonzero when a resilience gate fails")
+	crash := flag.Bool("crash", false, "bind the durable store and crash/recover it mid-storm")
+	storeDir := flag.String("store-dir", "", "durable store directory (empty with -crash: a temp dir)")
+	storeBackend := flag.String("store-backend", "btree", "index backend for the bound store")
 	flag.Parse()
 
 	reg := telemetry.Enable()
 	baseline := runtime.NumGoroutine()
+
+	// The durable store rides along when asked for: client setups look
+	// up the subscriber registry, teardowns cut CDRs.
+	useStore := *crash || *storeDir != ""
+	var storeReopen func() *store.Store
+	var st *store.Store
+	var binder *store.Binder
+	if useStore {
+		sdir := *storeDir
+		if sdir == "" {
+			var err error
+			sdir, err = os.MkdirTemp("", "chaosstorm-store-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaosstorm:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(sdir)
+		}
+		var err error
+		st, err = store.Open(sdir, store.Options{Backend: *storeBackend})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaosstorm:", err)
+			os.Exit(1)
+		}
+		binder = store.NewBinder(st)
+		// Every client gets a registry profile, so a lookup miss during
+		// the storm means the store lost data, not that the cast grew.
+		for i := 0; i < *paths; i++ {
+			if err := st.PutProfile(store.Profile{
+				Name: fmt.Sprintf("cli%d", i), Features: []string{"storm"},
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "chaosstorm:", err)
+				os.Exit(1)
+			}
+		}
+		storeReopen = func() *store.Store {
+			s2, err := store.Open(sdir, store.Options{Backend: *storeBackend})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaosstorm: GATE FAILED: store recovery: %v\n", err)
+				os.Exit(1)
+			}
+			return s2
+		}
+	}
 
 	var base transport.Network
 	switch *netKind {
@@ -196,6 +269,11 @@ func main() {
 		name := fmt.Sprintf("cli%d", i)
 		b := box.New(name, devProfile(name, 30000+i))
 		r := box.NewRunner(b, network)
+		if binder != nil {
+			// Bind before the program starts dialing, so every channel's
+			// setup and teardown is accounted.
+			r.SetLifecycle(binder)
+		}
 		r.SetProgram(clientProgram(stats, devAddrs[i%len(devAddrs)], *hold, *duration/4, *giveup, rng.Int63()))
 		mon.AddBox(r)
 		clients[i] = r
@@ -221,12 +299,34 @@ func main() {
 		}
 	}()
 
-	// The storm window, with one partition dropped in the middle.
+	// The storm window, with one partition dropped in the middle — and,
+	// in crash mode, the store's power cut at the same moment: faults
+	// above and below the boxes at once.
 	half := *duration / 2
 	time.Sleep(half)
 	if *partition > 0 {
 		fmt.Fprintf(os.Stderr, "chaosstorm: mid-storm sever: every link cut, dials refused for %v\n", *partition)
 		fn.Sever()
+	}
+	var ackedAtCrash, issuedAtCrash uint64
+	var cdrRecovered int
+	var storeRecoveryMS float64
+	if *crash {
+		// Capture what the store acknowledged, cut its power, recover
+		// from the WAL, and swap the recovered store in live. Teardowns
+		// landing in the unbound window are counted by the binder.
+		ackedAtCrash = st.DurableCDRs()
+		issuedAtCrash = binder.Issued()
+		binder.Swap(nil)
+		st.Crash()
+		start := time.Now()
+		st2 := storeReopen()
+		storeRecoveryMS = float64(time.Since(start)) / float64(time.Millisecond)
+		cdrRecovered = st2.CDRCount()
+		binder.Swap(st2)
+		st = st2
+		fmt.Fprintf(os.Stderr, "chaosstorm: store crash at midpoint: %d CDRs acked, %d recovered in %.1f ms, store re-bound\n",
+			ackedAtCrash, cdrRecovered, storeRecoveryMS)
 	}
 	time.Sleep(*duration - half)
 
@@ -253,6 +353,21 @@ func main() {
 		r.Stop()
 	}
 	fn.Stop()
+
+	// Stop flushed every live channel through the binder; settle the
+	// log and reconcile CDRs against the lifecycle, across one more
+	// restart.
+	var cdrFinal, cdrReopen int
+	if useStore {
+		if err := st.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosstorm: store sync:", err)
+		}
+		cdrFinal = st.CDRCount()
+		st.Close()
+		st = storeReopen()
+		cdrReopen = st.CDRCount()
+		st.Close()
+	}
 	leaked := true
 	var finalG int
 	for end := time.Now().Add(3 * time.Second); time.Now().Before(end); {
@@ -327,6 +442,19 @@ func main() {
 		GoroutinesFinal:    finalG,
 		Leaked:             leaked,
 	}
+	if useStore {
+		res.StoreBackend = *storeBackend
+		res.StoreCrashed = *crash
+		res.StoreLookups = counter(store.MetricLookups)
+		res.StoreLookupMiss = counter(store.MetricLookupMiss)
+		res.CDRIssued = binder.Issued()
+		res.CDRAckedAtCrash = ackedAtCrash
+		res.CDRRecovered = cdrRecovered
+		res.CDRMissedUnbound = binder.Missed()
+		res.CDRFinal = cdrFinal
+		res.CDRFinalReopen = cdrReopen
+		res.StoreRecoveryMS = storeRecoveryMS
+	}
 
 	blob, _ := json.MarshalIndent(res, "", "  ")
 	fmt.Println(string(blob))
@@ -358,6 +486,27 @@ func main() {
 	}
 	if leaked {
 		fail("goroutines leaked: baseline %d, final %d", baseline, finalG)
+	}
+	if useStore {
+		// CDR-vs-lifecycle reconciliation across the restart(s).
+		if *crash && uint64(cdrRecovered) < ackedAtCrash {
+			fail("store crash lost acknowledged CDRs: %d acked, %d recovered", ackedAtCrash, cdrRecovered)
+		}
+		issuedAfter := res.CDRIssued - issuedAtCrash
+		expect := uint64(cdrRecovered) + issuedAfter
+		if !*crash {
+			expect = res.CDRIssued
+		}
+		if uint64(cdrFinal) != expect {
+			fail("CDR log does not reconcile with lifecycle: %d in log, %d expected (%d recovered + %d issued after swap)",
+				cdrFinal, expect, cdrRecovered, issuedAfter)
+		}
+		if cdrReopen != cdrFinal {
+			fail("final reopen replayed %d CDRs, log held %d", cdrReopen, cdrFinal)
+		}
+		if res.StoreLookupMiss > 0 {
+			fail("%d registry lookups missed despite preloaded profiles", res.StoreLookupMiss)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "chaosstorm: all gates passed: %d lifecycles, %d reconnects, %d retransmits, %d recoveries, 0 violations\n",
 		res.Completed, res.Reconnects, res.Retransmits, res.RecoveryCount)

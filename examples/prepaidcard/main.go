@@ -9,7 +9,11 @@
 // into V is lost, A is switched without permission, and B transmits to
 // an endpoint that throws its packets away.
 //
-// Run with: go run ./examples/prepaidcard [-naive]
+// With -store DIR, C's card balance lives in the durable subscriber
+// store: the funds cycle debits it through the write-ahead log, and
+// re-running with the same directory resumes the recovered balance.
+//
+// Run with: go run ./examples/prepaidcard [-naive] [-store DIR]
 package main
 
 import (
@@ -18,10 +22,12 @@ import (
 	"log"
 
 	"ipmedia"
+	"ipmedia/internal/store"
 )
 
 func main() {
 	naive := flag.Bool("naive", false, "run the uncoordinated Figure 2 baseline")
+	storeDir := flag.String("store", "", "durable store directory for the card balance (empty: in-memory only)")
 	flag.Parse()
 
 	p, err := ipmedia.NewPrepaidScenario()
@@ -29,6 +35,25 @@ func main() {
 		log.Fatal(err)
 	}
 	defer p.Stop()
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		billing := p.BindStore(st, 25)
+		if _, ok := st.Balance("C"); !ok {
+			if err := st.SetBalance("C", 100); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("store: new card for C, balance 100")
+		} else {
+			fmt.Printf("store: recovered card for C, balance %d (%d CDRs on file)\n",
+				billing.Balance(), st.CDRCount())
+		}
+		defer func() { fmt.Printf("store: final balance for C: %d\n", billing.Balance()) }()
+	}
 
 	fmt.Println("establishing: A talks to B; C calls A via the prepaid server; A switches to C")
 	if err := p.Establish(); err != nil {

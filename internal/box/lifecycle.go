@@ -1,0 +1,84 @@
+package box
+
+import "time"
+
+// Lifecycle observes signaling-channel setup and teardown at this
+// box's edge of the network — the attachment point for the durable
+// state layer: setup is where a subscriber registry is consulted,
+// teardown is where a call-detail record is cut.
+//
+// Callbacks run on the box goroutine and must not block or call back
+// into the Runner. Each channel produces at most one setup and, if a
+// setup was observed, exactly one teardown — whether the channel ends
+// by explicit teardown, transport loss, or runner Stop.
+type Lifecycle interface {
+	// ChannelSetup fires when a signaling channel comes up: on dial
+	// (peer is the dialed address) and on a received MetaSetup (peer is
+	// the announced far box name).
+	ChannelSetup(local, peer, channel string)
+	// ChannelTeardown fires when the channel goes away, with the setup
+	// observation time for call-duration accounting.
+	ChannelTeardown(local, peer, channel string, setupAt time.Time)
+}
+
+// lcEntry tracks one live channel for lifecycle accounting. Loop
+// goroutine only.
+type lcEntry struct {
+	peer    string
+	setupAt time.Time
+}
+
+// SetLifecycle installs the lifecycle observer (nil removes it).
+// Install before traffic starts: channels already up when the observer
+// is installed produce no setup, and therefore no teardown.
+func (r *Runner) SetLifecycle(l Lifecycle) {
+	r.Do(func(*Ctx) {
+		r.lifecycle = l
+		if l != nil && r.lcChans == nil {
+			r.lcChans = map[string]lcEntry{}
+		}
+	})
+}
+
+// lcSetup records a channel coming up and fires ChannelSetup. The map
+// dedups: a channel already tracked (e.g. an envelope replay) is not
+// announced twice. Loop goroutine only.
+func (r *Runner) lcSetup(channel, peer string) {
+	if r.lifecycle == nil {
+		return
+	}
+	if _, ok := r.lcChans[channel]; ok {
+		return
+	}
+	r.lcChans[channel] = lcEntry{peer: peer, setupAt: time.Now()}
+	r.lifecycle.ChannelSetup(r.box.Name(), peer, channel)
+}
+
+// lcTeardown fires ChannelTeardown for a tracked channel, exactly
+// once: the local OutTeardown, the received MetaTeardown, and the
+// port-loss synthesized teardown all funnel here, and whichever lands
+// first wins. Loop goroutine only.
+func (r *Runner) lcTeardown(channel string) {
+	if r.lifecycle == nil {
+		return
+	}
+	e, ok := r.lcChans[channel]
+	if !ok {
+		return
+	}
+	delete(r.lcChans, channel)
+	r.lifecycle.ChannelTeardown(r.box.Name(), e.peer, channel, e.setupAt)
+}
+
+// lcFlush tears down every still-tracked channel — the runner is
+// stopping, and CDR accounting must not leak the calls it takes down
+// with it. Loop goroutine only.
+func (r *Runner) lcFlush() {
+	if r.lifecycle == nil {
+		return
+	}
+	for channel, e := range r.lcChans {
+		delete(r.lcChans, channel)
+		r.lifecycle.ChannelTeardown(r.box.Name(), e.peer, channel, e.setupAt)
+	}
+}

@@ -1,0 +1,166 @@
+package box
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ipmedia/internal/core"
+	"ipmedia/internal/transport"
+)
+
+// lcRecorder records lifecycle callbacks for assertions.
+type lcRecorder struct {
+	mu     sync.Mutex
+	setups []string
+	tears  []string
+}
+
+func (l *lcRecorder) ChannelSetup(local, peer, channel string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.setups = append(l.setups, fmt.Sprintf("%s<-%s/%s", local, peer, channel))
+}
+
+func (l *lcRecorder) ChannelTeardown(local, peer, channel string, setupAt time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if setupAt.IsZero() {
+		l.tears = append(l.tears, "ZERO-SETUP-TIME")
+		return
+	}
+	l.tears = append(l.tears, fmt.Sprintf("%s<-%s/%s", local, peer, channel))
+}
+
+func (l *lcRecorder) snapshot() (setups, tears []string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.setups...), append([]string(nil), l.tears...)
+}
+
+func (l *lcRecorder) awaitTears(t *testing.T, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, tears := l.snapshot()
+		if len(tears) >= n {
+			return tears
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d teardowns, have %v", n, tears)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (l *lcRecorder) awaitSetups(t *testing.T, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		setups, _ := l.snapshot()
+		if len(setups) >= n {
+			return setups
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d setups, have %v", n, setups)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLifecycleSetupTeardown: a dialed channel produces one setup on
+// each side (dialer names the dialed address, acceptor names the far
+// box from the MetaSetup announcement) and one teardown on each side
+// when the dialer tears it down.
+func TestLifecycleSetupTeardown(t *testing.T) {
+	net := transport.NewMemNetwork()
+	srv := NewRunner(New("S", core.ServerProfile{Name: "S"}), net)
+	cli := NewRunner(New("C", core.ServerProfile{Name: "C"}), net)
+	defer srv.Stop()
+	defer cli.Stop()
+	srvRec, cliRec := &lcRecorder{}, &lcRecorder{}
+	srv.SetLifecycle(srvRec)
+	cli.SetLifecycle(cliRec)
+
+	if err := srv.Listen("S", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect("c", "S"); err != nil {
+		t.Fatal(err)
+	}
+	if setups := cliRec.awaitSetups(t, 1); setups[0] != "C<-S/c" {
+		t.Fatalf("client setups = %v", setups)
+	}
+	// The channel table updates before the MetaSetup envelope is
+	// dispatched, so wait on the observation itself.
+	if setups := srvRec.awaitSetups(t, 1); setups[0] != "S<-C/in0" {
+		t.Fatalf("server setups = %v", setups)
+	}
+
+	cli.Do(func(ctx *Ctx) { ctx.Teardown("c") })
+	if tears := cliRec.awaitTears(t, 1); tears[0] != "C<-S/c" {
+		t.Fatalf("client tears = %v", tears)
+	}
+	if tears := srvRec.awaitTears(t, 1); tears[0] != "S<-C/in0" {
+		t.Fatalf("server tears = %v", tears)
+	}
+
+	// No duplicates arrive later (port-loss cleanup races the explicit
+	// teardown; the dedup map must absorb it).
+	time.Sleep(20 * time.Millisecond)
+	cli.Stop()
+	srv.Stop()
+	if _, tears := cliRec.snapshot(); len(tears) != 1 {
+		t.Fatalf("client teardown emitted %d times: %v", len(tears), tears)
+	}
+	if _, tears := srvRec.snapshot(); len(tears) != 1 {
+		t.Fatalf("server teardown emitted %d times: %v", len(tears), tears)
+	}
+}
+
+// TestLifecycleStopFlushes: channels still up when the runner stops
+// are flushed as teardowns, and transport loss on the far side
+// produces the far teardown — every setup is balanced by exactly one
+// teardown, however the channel dies.
+func TestLifecycleStopFlushes(t *testing.T) {
+	net := transport.NewMemNetwork()
+	srv := NewRunner(New("S", core.ServerProfile{Name: "S"}), net)
+	cli := NewRunner(New("C", core.ServerProfile{Name: "C"}), net)
+	defer srv.Stop()
+	srvRec, cliRec := &lcRecorder{}, &lcRecorder{}
+	srv.SetLifecycle(srvRec)
+	cli.SetLifecycle(cliRec)
+
+	if err := srv.Listen("S", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect("c1", "S"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Connect("c2", "S"); err != nil {
+		t.Fatal(err)
+	}
+	await(t, srv, "accepted both", func(ctx *Ctx) bool {
+		return ctx.Box().HasChannel("in0") && ctx.Box().HasChannel("in1")
+	})
+
+	// Stop the client with both channels up: its flush must emit both
+	// teardowns, and the server observes both via transport loss.
+	cli.Stop()
+	tears := cliRec.awaitTears(t, 2)
+	if len(tears) != 2 {
+		t.Fatalf("client tears = %v", tears)
+	}
+	srvRec.awaitTears(t, 2)
+	srv.Stop()
+	setups, tears2 := srvRec.snapshot()
+	if len(setups) != 2 || len(tears2) != 2 {
+		t.Fatalf("server unbalanced: setups=%v tears=%v", setups, tears2)
+	}
+	for _, s := range tears2 {
+		if s == "ZERO-SETUP-TIME" {
+			t.Fatal("teardown lost its setup timestamp")
+		}
+	}
+}

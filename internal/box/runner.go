@@ -145,10 +145,12 @@ type Runner struct {
 	wg       sync.WaitGroup
 
 	// loop-goroutine-only state
-	ports   map[string]transport.Port
-	timers  map[string]*timerwheel.Timer
-	acceptN int
-	chanVer uint64 // box.ChanVersion after the last dispatched item
+	ports     map[string]transport.Port
+	timers    map[string]*timerwheel.Timer
+	acceptN   int
+	chanVer   uint64 // box.ChanVersion after the last dispatched item
+	lifecycle Lifecycle
+	lcChans   map[string]lcEntry
 
 	mu    sync.Mutex
 	errs  []error
@@ -266,6 +268,7 @@ func (r *Runner) closeAll() {
 	for _, t := range r.timers {
 		t.Stop()
 	}
+	r.lcFlush()
 	r.notifyWaiters()
 }
 
@@ -342,6 +345,14 @@ func (r *Runner) Inject(ev Event) {
 func (r *Runner) handle(ev Event) {
 	if ev.Kind == EvEnvelope {
 		r.traceEvent("recv", ev.Channel, ev.Env)
+		if r.lifecycle != nil && ev.Env.Meta != nil {
+			switch ev.Env.Meta.Kind {
+			case sig.MetaSetup:
+				r.lcSetup(ev.Channel, ev.Env.Meta.Attrs["from"])
+			case sig.MetaTeardown:
+				r.lcTeardown(ev.Channel)
+			}
+		}
 	}
 	outs, err := r.box.Handle(ev)
 	r.process(outs)
@@ -368,9 +379,11 @@ func (r *Runner) process(outs []Output) {
 				continue
 			}
 			r.addPort(o.Channel, p)
+			r.lcSetup(o.Channel, o.Addr)
 			p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup,
 				Attrs: map[string]string{"from": r.box.Name(), "chan": o.Channel}}})
 		case OutTeardown:
+			r.lcTeardown(o.Channel)
 			if p := r.ports[o.Channel]; p != nil {
 				p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaTeardown}})
 				p.Close()
@@ -576,6 +589,7 @@ func (r *Runner) Connect(channel, addr string) error {
 		}
 		r.box.AddChannel(channel, true)
 		r.addPort(channel, p)
+		r.lcSetup(channel, addr)
 		p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup,
 			Attrs: map[string]string{"from": r.box.Name(), "chan": channel}}})
 	})

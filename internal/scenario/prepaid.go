@@ -34,6 +34,10 @@ type Prepaid struct {
 	PBX   *box.Runner
 	PC    *box.Runner
 
+	// Billing, when BindStore has been called, routes the scenario's
+	// money events through the durable store.
+	Billing *Billing
+
 	// descA is the descriptor of A as recorded by PC when it passed
 	// through in earlier signals (paper Section VI-C) — the naive
 	// regime replays it in Snapshot 4.
@@ -246,16 +250,26 @@ func (p *Prepaid) Establish() error {
 	return nil
 }
 
-// FundsExhausted fires the prepaid timer (Snapshot 2 trigger).
+// FundsExhausted fires the prepaid timer (Snapshot 2 trigger). With a
+// store bound, the exhausted cycle is debited from the card first.
 func (p *Prepaid) FundsExhausted() {
+	if p.Billing != nil {
+		p.Billing.DebitCycle()
+	}
 	p.PC.Inject(box.Event{Kind: box.EvTimer, Timer: "funds"})
 }
 
 // SwitchA toggles the PBX between A's two calls (Snapshots 1<->3).
 func (p *Prepaid) SwitchA() { p.A.SendApp("in0", "switch", nil) }
 
-// Paid reports the payment from V to PC (Snapshot 4 trigger).
-func (p *Prepaid) Paid() { p.V.SendApp("in0", "paid", nil) }
+// Paid reports the payment from V to PC (Snapshot 4 trigger). With a
+// store bound, the collected funds are credited to the card first.
+func (p *Prepaid) Paid() {
+	if p.Billing != nil {
+		p.Billing.CreditPayment(p.Billing.unit)
+	}
+	p.V.SendApp("in0", "paid", nil)
+}
 
 // RunCorrect drives Snapshots 2, 3, and 4 in the compositional regime
 // and verifies the media flows of paper Figure 3 at each snapshot.

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"sync"
+
+	"ipmedia/internal/store"
+)
+
+// Billing is the store-backed replacement for the prepaid scenario's
+// implicit, in-memory notion of funds: the card balance lives in the
+// durable store, FundsExhausted debits it, and Paid credits it — each
+// adjustment guarded by a monotone token reserved *before* the debit
+// is issued, so a crash between issuing and acknowledging can re-issue
+// the same debit and the store applies it exactly once.
+type Billing struct {
+	sub  string // the prepaid subscriber (telephone C's card)
+	unit int64  // cents debited per exhausted-funds cycle
+
+	mu       sync.Mutex
+	st       *store.Store
+	inflight uint64 // reserved token of a debit not yet acknowledged
+}
+
+// BindStore attaches a durable store to the scenario: the cast is
+// registered in the subscriber registry, C's card becomes a stored
+// balance, and the scenario's billing events flow through token-guarded
+// adjustments. unit is the cents charged per funds cycle.
+//
+// Bind right after NewPrepaid. Signaling channels dialed during
+// NewPrepaid predate the binding, so channel lifecycle (CDR) accounting
+// is wired separately — Billing covers the money.
+func (p *Prepaid) BindStore(st *store.Store, unit int64) *Billing {
+	for _, prof := range []store.Profile{
+		{Name: "A", Features: []string{"pbx", "switch"}},
+		{Name: "B", Features: nil},
+		{Name: "C", Features: []string{"prepaid"}},
+		{Name: "V", Features: []string{"ivr"}},
+	} {
+		st.PutProfile(prof)
+	}
+	b := &Billing{sub: "C", unit: unit, st: st}
+	p.Billing = b
+	return b
+}
+
+// Rebind points the billing at a recovered store after a crash. The
+// reserved in-flight token survives the swap: that is what makes the
+// retried debit idempotent.
+func (b *Billing) Rebind(st *store.Store) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.st = st
+}
+
+// DebitCycle charges one unit for the exhausted funds period and
+// returns the resulting balance and whether the debit applied (false
+// means the card hit zero — or this was the retry of a debit that
+// already landed).
+//
+// The token is reserved and remembered before the debit is issued, and
+// forgotten only after the store acknowledges durability. A crash
+// anywhere in between leaves the token in place; the retry re-issues
+// the same token and the store's monotone-token guard applies it at
+// most once, whether or not the first attempt survived the crash.
+func (b *Billing) DebitCycle() (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.inflight == 0 {
+		b.inflight = b.st.NextToken(b.sub)
+	}
+	bal, applied := b.st.Debit(b.sub, b.unit, b.inflight)
+	if err := b.st.Sync(); err != nil {
+		// Not durable: keep the reservation for the retry.
+		return bal, applied
+	}
+	b.inflight = 0
+	return bal, applied
+}
+
+// CreditPayment records the funds V collected from the subscriber.
+func (b *Billing) CreditPayment(cents int64) (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, applied := b.st.Credit(b.sub, cents, b.st.NextToken(b.sub))
+	b.st.Sync()
+	return bal, applied
+}
+
+// Balance returns the card's current balance.
+func (b *Billing) Balance() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, _ := b.st.Balance(b.sub)
+	return bal
+}

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"ipmedia/internal/store"
+)
+
+// TestPrepaidStoreDebits: the scenario's billing events move the
+// stored balance, and the balance survives a clean store restart.
+func TestPrepaidStoreDebits(t *testing.T) {
+	p, err := NewPrepaid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.BindStore(st, 30)
+	if err := st.SetBalance("C", 100); err != nil {
+		t.Fatal(err)
+	}
+	if prof, ok := st.Lookup("C"); !ok || prof.Features[0] != "prepaid" {
+		t.Fatalf("C's profile = %+v, %v", prof, ok)
+	}
+
+	p.FundsExhausted() // debit 30
+	if got := b.Balance(); got != 70 {
+		t.Fatalf("balance after cycle = %d, want 70", got)
+	}
+	p.Paid() // V collected one unit
+	if got := b.Balance(); got != 100 {
+		t.Fatalf("balance after payment = %d, want 100", got)
+	}
+	st.Close()
+
+	st2, err := store.Open(dir, store.Options{FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	b.Rebind(st2)
+	if got := b.Balance(); got != 100 {
+		t.Fatalf("balance after restart = %d, want 100", got)
+	}
+}
+
+// TestPrepaidStoreCrashNoDoubleDebit is the satellite guarantee: a
+// crash at any point between issuing a debit and acknowledging it, the
+// retry applies the debit exactly once — never zero-and-charged, never
+// twice.
+func TestPrepaidStoreCrashNoDoubleDebit(t *testing.T) {
+	p, err := NewPrepaid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	dir := t.TempDir()
+	seed, err := store.Open(dir, store.Options{FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.BindStore(seed, 30)
+	if err := seed.SetBalance("C", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	seed.Crash()
+
+	// Crash case 1: the debit is issued but the WAL record never
+	// reaches disk — a one-hour fsync window means nothing becomes
+	// durable on its own, so the crash deterministically loses it. The
+	// reserved token survives in the billing layer.
+	st, err := store.Open(dir, store.Options{FsyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Rebind(st)
+	tok := st.NextToken("C")
+	b.mu.Lock()
+	b.inflight = tok
+	b.mu.Unlock()
+	if bal, applied := st.Debit("C", 30, tok); !applied || bal != 70 {
+		t.Fatalf("issued debit: bal=%d applied=%v", bal, applied)
+	}
+	st.Crash() // power cut before the fsync window closes: debit lost
+
+	st2, err := store.Open(dir, store.Options{FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Rebind(st2)
+	if bal, _ := st2.Balance("C"); bal != 100 {
+		t.Fatalf("pre-retry balance = %d, want 100 (debit was lost)", bal)
+	}
+	// The retry re-issues the same reserved token: applies exactly once.
+	if bal, applied := b.DebitCycle(); !applied || bal != 70 {
+		t.Fatalf("retried debit: bal=%d applied=%v", bal, applied)
+	}
+
+	// Crash case 2: the debit IS durable, but the crash lands before
+	// the billing layer hears the acknowledgment. The retry with the
+	// same token must be a no-op.
+	tok2 := st2.NextToken("C")
+	if bal, applied := st2.Debit("C", 30, tok2); !applied || bal != 40 {
+		t.Fatalf("second debit: bal=%d applied=%v", bal, applied)
+	}
+	if err := st2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st2.Crash() // crash after durability, before the ack reached billing
+
+	st3, err := store.Open(dir, store.Options{FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	b.Rebind(st3)
+	b.mu.Lock()
+	b.inflight = tok2 // the reservation the crash stranded
+	b.mu.Unlock()
+	if bal, applied := b.DebitCycle(); applied || bal != 40 {
+		t.Fatalf("retry of durable debit: bal=%d applied=%v — double debit!", bal, applied)
+	}
+	if got := b.Balance(); got != 40 {
+		t.Fatalf("final balance = %d, want 40", got)
+	}
+
+	// And the scenario path still works against the recovered store.
+	p.FundsExhausted()
+	if got := b.Balance(); got != 10 {
+		t.Fatalf("balance after live cycle = %d, want 10", got)
+	}
+}

@@ -1,0 +1,204 @@
+package store
+
+import "bytes"
+
+// btreeMinItems is the B-tree minimum degree t: every node except the
+// root holds between t-1 and 2t-1 items. 16 keeps nodes around a cache
+// line's worth of slice headers while staying shallow (three levels
+// carry ~30k keys).
+const btreeMinItems = 16
+
+const btreeMaxItems = 2*btreeMinItems - 1
+
+// kv is one key/value entry. A nil value is a tombstone: the key was
+// deleted but its slot not yet reclaimed.
+type kv struct {
+	k, v []byte
+}
+
+// BTree is the classic in-memory B-tree backend: data in every node,
+// preemptive splits on the way down (CLRS). Deletions are cheap
+// tombstones — the store's workloads (registry upserts, CDR appends)
+// delete rarely — and the tree rebuilds itself compactly once dead
+// entries outnumber live ones.
+type BTree struct {
+	root *btreeNode
+	live int
+	dead int
+}
+
+type btreeNode struct {
+	items    []kv
+	children []*btreeNode // nil for leaves; else len(items)+1
+}
+
+// NewBTree creates an empty B-tree index.
+func NewBTree() *BTree { return &BTree{root: &btreeNode{}} }
+
+// Kind implements Index.
+func (t *BTree) Kind() string { return "btree" }
+
+// Len implements Index.
+func (t *BTree) Len() int { return t.live }
+
+// find locates key within n.items: the index holding it (found=true)
+// or the child index to descend into.
+func (n *btreeNode) find(key []byte) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.items[mid].k, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && bytes.Equal(n.items[lo].k, key) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Get implements Index.
+func (t *BTree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for n != nil {
+		i, found := n.find(key)
+		if found {
+			v := n.items[i].v
+			return v, v != nil
+		}
+		if n.children == nil {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+	return nil, false
+}
+
+// Put implements Index. Key and value are copied.
+func (t *BTree) Put(key, value []byte) {
+	if t.root != nil && len(t.root.items) == btreeMaxItems {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	t.put(t.root, key, value)
+}
+
+func (t *BTree) put(n *btreeNode, key, value []byte) {
+	for {
+		i, found := n.find(key)
+		if found {
+			if n.items[i].v == nil {
+				t.live++
+				t.dead--
+			}
+			n.items[i].v = cloneValue(value)
+			return
+		}
+		if n.children == nil {
+			n.items = append(n.items, kv{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = kv{k: append([]byte(nil), key...), v: cloneValue(value)}
+			t.live++
+			return
+		}
+		if len(n.children[i].items) == btreeMaxItems {
+			n.splitChild(i)
+			continue // the median moved up; re-find at this node
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at index i, hoisting its median
+// item into n.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeMaxItems / 2
+	median := child.items[mid]
+	right := &btreeNode{items: append([]kv(nil), child.items[mid+1:]...)}
+	if child.children != nil {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, kv{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete implements Index: the entry becomes a tombstone, and the tree
+// rebuilds once tombstones dominate.
+func (t *BTree) Delete(key []byte) bool {
+	n := t.root
+	for n != nil {
+		i, found := n.find(key)
+		if found {
+			if n.items[i].v == nil {
+				return false
+			}
+			n.items[i].v = nil
+			t.live--
+			t.dead++
+			if t.dead > t.live && t.dead > 2*btreeMaxItems {
+				t.rebuild()
+			}
+			return true
+		}
+		if n.children == nil {
+			return false
+		}
+		n = n.children[i]
+	}
+	return false
+}
+
+// rebuild reinserts the live entries into a fresh tree, reclaiming
+// tombstones.
+func (t *BTree) rebuild() {
+	old := *t
+	t.root = &btreeNode{}
+	t.live, t.dead = 0, 0
+	old.Ascend(func(k, v []byte) bool {
+		t.Put(k, v)
+		return true
+	})
+}
+
+// Ascend implements Index.
+func (t *BTree) Ascend(fn func(key, value []byte) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *btreeNode) ascend(fn func(key, value []byte) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, it := range n.items {
+		if n.children != nil && !n.children[i].ascend(fn) {
+			return false
+		}
+		if it.v != nil && !fn(it.k, it.v) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return n.children[len(n.items)].ascend(fn)
+	}
+	return true
+}
+
+// cloneValue copies v, preserving the present-but-empty distinction:
+// a non-nil empty value stays non-nil (nil is reserved for tombstones).
+func cloneValue(v []byte) []byte {
+	if len(v) == 0 {
+		return []byte{} // never nil: nil is reserved for tombstones
+	}
+	return append([]byte(nil), v...)
+}

@@ -1,0 +1,268 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The conformance suite: every backend must behave identically to a
+// plain map with sorted iteration. Each test runs against all three
+// backends via Backends().
+
+func forEachBackend(t *testing.T, fn func(t *testing.T, idx Index)) {
+	t.Helper()
+	for _, kind := range Backends() {
+		t.Run(kind, func(t *testing.T) {
+			idx, err := NewIndex(kind)
+			if err != nil {
+				t.Fatalf("NewIndex(%q): %v", kind, err)
+			}
+			if idx.Kind() != kind {
+				t.Fatalf("Kind() = %q, want %q", idx.Kind(), kind)
+			}
+			fn(t, idx)
+		})
+	}
+}
+
+func TestConformanceCRUD(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, idx Index) {
+		if _, ok := idx.Get([]byte("missing")); ok {
+			t.Fatal("Get on empty index reported a hit")
+		}
+		if idx.Len() != 0 {
+			t.Fatalf("empty Len = %d", idx.Len())
+		}
+
+		idx.Put([]byte("alice"), []byte("profile-a"))
+		idx.Put([]byte("bob"), []byte("profile-b"))
+		if got := idx.Len(); got != 2 {
+			t.Fatalf("Len = %d, want 2", got)
+		}
+		v, ok := idx.Get([]byte("alice"))
+		if !ok || string(v) != "profile-a" {
+			t.Fatalf("Get(alice) = %q, %v", v, ok)
+		}
+
+		// Overwrite is last-wins and does not grow the index.
+		idx.Put([]byte("alice"), []byte("profile-a2"))
+		if got := idx.Len(); got != 2 {
+			t.Fatalf("Len after overwrite = %d, want 2", got)
+		}
+		v, _ = idx.Get([]byte("alice"))
+		if string(v) != "profile-a2" {
+			t.Fatalf("Get after overwrite = %q", v)
+		}
+
+		// Empty (non-nil) values are real values, not deletions.
+		idx.Put([]byte("empty"), []byte{})
+		v, ok = idx.Get([]byte("empty"))
+		if !ok || v == nil || len(v) != 0 {
+			t.Fatalf("empty value: got %v, %v", v, ok)
+		}
+
+		if !idx.Delete([]byte("bob")) {
+			t.Fatal("Delete(bob) reported no-op")
+		}
+		if _, ok := idx.Get([]byte("bob")); ok {
+			t.Fatal("Get(bob) hit after Delete")
+		}
+		if idx.Delete([]byte("bob")) {
+			t.Fatal("second Delete(bob) reported a deletion")
+		}
+		if idx.Delete([]byte("never-existed")) {
+			t.Fatal("Delete of absent key reported a deletion")
+		}
+		if got := idx.Len(); got != 2 { // alice + empty
+			t.Fatalf("final Len = %d, want 2", got)
+		}
+	})
+}
+
+func TestConformanceAscendOrder(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, idx Index) {
+		keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+		for _, k := range keys {
+			idx.Put([]byte(k), []byte("v-"+k))
+		}
+		idx.Delete([]byte("bravo"))
+
+		var got []string
+		idx.Ascend(func(k, v []byte) bool {
+			got = append(got, string(k))
+			if want := "v-" + string(k); string(v) != want {
+				t.Fatalf("Ascend value for %q = %q, want %q", k, v, want)
+			}
+			return true
+		})
+		want := []string{"alpha", "charlie", "delta", "echo"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("Ascend order = %v, want %v", got, want)
+		}
+
+		// Early termination stops iteration.
+		n := 0
+		idx.Ascend(func(k, v []byte) bool { n++; return n < 2 })
+		if n != 2 {
+			t.Fatalf("Ascend visited %d after stop, want 2", n)
+		}
+	})
+}
+
+func TestConformanceOwnership(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, idx Index) {
+		// The index must copy key and value on Put: mutating the
+		// caller's buffers afterwards must not corrupt stored state.
+		k := []byte("key")
+		v := []byte("value")
+		idx.Put(k, v)
+		k[0], v[0] = 'X', 'X'
+		got, ok := idx.Get([]byte("key"))
+		if !ok || string(got) != "value" {
+			t.Fatalf("stored value corrupted by caller mutation: %q, %v", got, ok)
+		}
+		if _, ok := idx.Get([]byte("Xey")); ok {
+			t.Fatal("mutated key buffer leaked into the index")
+		}
+	})
+}
+
+func TestConformancePrefixHelpers(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, idx Index) {
+		for _, k := range []string{"p/alice", "p/bob", "b/alice", "c/1", "p/zed"} {
+			idx.Put([]byte(k), []byte(k))
+		}
+		var got []string
+		ascendPrefix(idx, []byte("p/"), func(k, v []byte) bool {
+			got = append(got, string(k))
+			return true
+		})
+		want := []string{"p/alice", "p/bob", "p/zed"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("ascendPrefix = %v, want %v", got, want)
+		}
+	})
+}
+
+// TestConformanceRandomOps drives each backend with a deterministic
+// random workload and cross-checks every observable against a plain
+// map reference model — the strongest equivalence check the suite has.
+func TestConformanceRandomOps(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, idx Index) {
+		rng := rand.New(rand.NewSource(42))
+		ref := map[string][]byte{}
+		key := func() []byte {
+			return []byte(fmt.Sprintf("key-%03d", rng.Intn(200)))
+		}
+		const ops = 20000
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // put
+				k, v := key(), []byte(fmt.Sprintf("val-%d", i))
+				idx.Put(k, v)
+				ref[string(k)] = v
+			case 5, 6: // get
+				k := key()
+				got, ok := idx.Get(k)
+				want, wok := ref[string(k)]
+				if ok != wok || (ok && !bytes.Equal(got, want)) {
+					t.Fatalf("op %d: Get(%s) = %q,%v want %q,%v", i, k, got, ok, want, wok)
+				}
+			case 7, 8: // delete
+				k := key()
+				_, wok := ref[string(k)]
+				if got := idx.Delete(k); got != wok {
+					t.Fatalf("op %d: Delete(%s) = %v, want %v", i, k, got, wok)
+				}
+				delete(ref, string(k))
+			case 9: // len
+				if got := idx.Len(); got != len(ref) {
+					t.Fatalf("op %d: Len = %d, want %d", i, got, len(ref))
+				}
+			}
+		}
+
+		// Final full comparison, including iteration order.
+		var wantKeys []string
+		for k := range ref {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		var gotKeys []string
+		idx.Ascend(func(k, v []byte) bool {
+			gotKeys = append(gotKeys, string(k))
+			if !bytes.Equal(v, ref[string(k)]) {
+				t.Fatalf("final Ascend: value mismatch at %s", k)
+			}
+			return true
+		})
+		if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
+			t.Fatalf("final key sets differ:\n got %v\nwant %v", gotKeys, wantKeys)
+		}
+	})
+}
+
+// TestConformanceLargeSequential loads each backend with enough
+// sequential keys to force internal restructuring (B-tree splits, log
+// compaction thresholds, scan compaction checkpoints).
+func TestConformanceLargeSequential(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, idx Index) {
+		const n = 10000
+		for i := 0; i < n; i++ {
+			k := []byte(fmt.Sprintf("cdr/%08d", i))
+			idx.Put(k, []byte(fmt.Sprintf("record-%d", i)))
+		}
+		if got := idx.Len(); got != n {
+			t.Fatalf("Len = %d, want %d", got, n)
+		}
+		// Spot-check lookups across the range.
+		for i := 0; i < n; i += 997 {
+			k := []byte(fmt.Sprintf("cdr/%08d", i))
+			v, ok := idx.Get(k)
+			if !ok || string(v) != fmt.Sprintf("record-%d", i) {
+				t.Fatalf("Get(%s) = %q, %v", k, v, ok)
+			}
+		}
+		// Iteration is dense and ordered.
+		i := 0
+		idx.Ascend(func(k, v []byte) bool {
+			if want := fmt.Sprintf("cdr/%08d", i); string(k) != want {
+				t.Fatalf("Ascend[%d] = %s, want %s", i, k, want)
+			}
+			i++
+			return true
+		})
+		if i != n {
+			t.Fatalf("Ascend visited %d, want %d", i, n)
+		}
+
+		// Churn: overwrite and delete half, forcing compaction paths.
+		for i := 0; i < n; i += 2 {
+			k := []byte(fmt.Sprintf("cdr/%08d", i))
+			if i%4 == 0 {
+				idx.Delete(k)
+			} else {
+				idx.Put(k, []byte("updated"))
+			}
+		}
+		wantLen := n - (n+3)/4
+		if got := idx.Len(); got != wantLen {
+			t.Fatalf("Len after churn = %d, want %d", got, wantLen)
+		}
+		if _, ok := idx.Get([]byte(fmt.Sprintf("cdr/%08d", 0))); ok {
+			t.Fatal("deleted key still present")
+		}
+		if v, ok := idx.Get([]byte(fmt.Sprintf("cdr/%08d", 2))); !ok || string(v) != "updated" {
+			t.Fatalf("updated key = %q, %v", v, ok)
+		}
+	})
+}
+
+func TestNewIndexUnknown(t *testing.T) {
+	if _, err := NewIndex("bogus"); err == nil {
+		t.Fatal("NewIndex(bogus) succeeded")
+	}
+}

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+type replayed struct {
+	typ  byte
+	body []byte
+}
+
+func replayAll(t *testing.T, data []byte) ([]replayed, int64) {
+	t.Helper()
+	var recs []replayed
+	off, err := replayWAL(bytes.NewReader(data), func(typ byte, body []byte) error {
+		recs = append(recs, replayed{typ, append([]byte(nil), body...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay returned error for corrupt-tolerant scan: %v", err)
+	}
+	return recs, off
+}
+
+// FuzzWALReplay fuzzes the full recovery path: arbitrary bytes must
+// replay without panic to a well-formed prefix; that prefix must be
+// stable under re-replay (recovery idempotence); records surviving a
+// replay must round-trip through the record codecs; and flipping any
+// single byte of a valid log must never disturb the records framed
+// entirely before the flip.
+func FuzzWALReplay(f *testing.F) {
+	var seed []byte
+	seed = appendWALRecord(seed, recProfile, appendProfile(nil, &Profile{Name: "alice", Features: []string{"cf", "prepaid"}}))
+	seed = appendWALRecord(seed, recAdjust, appendAdjust(nil, &adjust{Name: "alice", Delta: -25, Token: 7}))
+	seed = appendWALRecord(seed, recCDR, appendCDR(nil, &CDR{Seq: 1, Local: "a", Peer: "b", Channel: "ch", SetupNS: 10, TornNS: 99}))
+	f.Add(seed, uint16(0))
+	f.Add(seed[:len(seed)-3], uint16(5)) // torn tail
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 1}, uint16(3)) // absurd length field
+
+	f.Fuzz(func(t *testing.T, data []byte, flip uint16) {
+		// Arbitrary input: replay stops cleanly at some good prefix.
+		recs, off := replayAll(t, data)
+		if off < 0 || off > int64(len(data)) {
+			t.Fatalf("good prefix %d outside [0,%d]", off, len(data))
+		}
+
+		// Idempotence: replaying just the good prefix reproduces it.
+		recs2, off2 := replayAll(t, data[:off])
+		if off2 != off || len(recs2) != len(recs) {
+			t.Fatalf("re-replay diverged: off %d→%d, records %d→%d", off, off2, len(recs), len(recs2))
+		}
+		for i := range recs {
+			if recs[i].typ != recs2[i].typ || !bytes.Equal(recs[i].body, recs2[i].body) {
+				t.Fatalf("re-replay record %d differs", i)
+			}
+		}
+
+		// Codec round-trip for every record the store would accept.
+		var rebuilt []byte
+		var ends []int // frame end offset per record
+		for _, r := range recs {
+			switch r.typ {
+			case recProfile:
+				p, err := decodeProfile(r.body)
+				if err != nil {
+					break // store would reject it at apply time; fine
+				}
+				enc := appendProfile(nil, &p)
+				p2, err := decodeProfile(enc)
+				if err != nil {
+					t.Fatalf("re-decode profile: %v", err)
+				}
+				if p2.Name != p.Name || len(p2.Features) != len(p.Features) {
+					t.Fatalf("profile round-trip: %+v vs %+v", p, p2)
+				}
+			case recAdjust:
+				a, err := decodeAdjust(r.body)
+				if err != nil {
+					break
+				}
+				a2, err := decodeAdjust(appendAdjust(nil, &a))
+				if err != nil || a2 != a {
+					t.Fatalf("adjust round-trip: %+v vs %+v (%v)", a, a2, err)
+				}
+			case recCDR:
+				c, err := decodeCDR(r.body)
+				if err != nil {
+					break
+				}
+				c2, err := decodeCDR(appendCDR(nil, &c))
+				if err != nil || c2 != c {
+					t.Fatalf("cdr round-trip: %+v vs %+v (%v)", c, c2, err)
+				}
+			}
+			rebuilt = appendWALRecord(rebuilt, r.typ, r.body)
+			ends = append(ends, len(rebuilt))
+		}
+
+		// The rebuilt log replays completely and identically.
+		recs3, off3 := replayAll(t, rebuilt)
+		if off3 != int64(len(rebuilt)) || len(recs3) != len(recs) {
+			t.Fatalf("rebuilt log: off=%d/%d records=%d/%d", off3, len(rebuilt), len(recs3), len(recs))
+		}
+
+		// Single-byte corruption: records framed entirely before the
+		// flipped byte always survive, byte-identical.
+		if len(rebuilt) > 0 {
+			pos := int(flip) % len(rebuilt)
+			mut := append([]byte(nil), rebuilt...)
+			mut[pos] ^= 0xA5
+			intact := 0
+			for _, e := range ends {
+				if e <= pos {
+					intact++
+				}
+			}
+			got, _ := replayAll(t, mut)
+			if len(got) < intact {
+				t.Fatalf("flip at %d destroyed %d of %d records before it", pos, intact-len(got), intact)
+			}
+			for i := 0; i < intact; i++ {
+				if got[i].typ != recs[i].typ || !bytes.Equal(got[i].body, recs[i].body) {
+					t.Fatalf("flip at %d altered record %d before it", pos, i)
+				}
+			}
+		}
+	})
+}

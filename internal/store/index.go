@@ -1,0 +1,100 @@
+// Package store is the durable state layer of the system: a subscriber
+// registry consulted on every signaling-channel setup, an append-heavy
+// call-detail-record (CDR) log fed by every teardown, and prepaid
+// balances debited idempotently — all behind pluggable index backends
+// and a write-ahead log with fsync batching and crash recovery.
+//
+// The package follows the telemetry package's nil-safe discipline:
+// every method of a nil *Store is a no-op (the "store disabled" path
+// costs nothing and allocates nothing), so instrumented runtimes never
+// branch on a "store enabled" flag.
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Index is a point-lookup index over byte-string keys, the pluggable
+// heart of the store. Implementations are single-writer: the Store
+// serializes all access under its own mutex, so backends need no
+// internal locking.
+//
+// Ownership: Put copies key and value, so callers may reuse their
+// buffers. Get and Ascend expose the backend's internal value bytes,
+// valid only until the next mutation — decode or copy before the next
+// Put/Delete.
+type Index interface {
+	// Kind names the backend ("btree", "log", "scan").
+	Kind() string
+	// Get returns the value stored under key.
+	Get(key []byte) (value []byte, ok bool)
+	// Put stores value under key, replacing any existing value.
+	Put(key, value []byte)
+	// Delete removes key, reporting whether it was present.
+	Delete(key []byte) bool
+	// Len returns the number of live keys.
+	Len() int
+	// Ascend calls fn for every key in ascending byte order until fn
+	// returns false.
+	Ascend(fn func(key, value []byte) bool)
+}
+
+// Backends lists the registered index backends, in the order the
+// benchmarks report them: the balanced tree, the log-structured hash,
+// and the no-index scan baseline.
+func Backends() []string { return []string{"btree", "log", "scan"} }
+
+// NewIndex constructs an index backend by kind.
+func NewIndex(kind string) (Index, error) {
+	switch kind {
+	case "btree":
+		return NewBTree(), nil
+	case "log":
+		return NewLogIndex(), nil
+	case "scan":
+		return NewScanIndex(), nil
+	default:
+		return nil, fmt.Errorf("store: unknown index backend %q (have %v)", kind, Backends())
+	}
+}
+
+// sortedKeys returns the map's keys in ascending byte order, shared by
+// the backends whose natural layout is unordered.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// prefixEnd returns the smallest key greater than every key with the
+// given prefix, or nil if the prefix is all 0xff.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] < 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// ascendPrefix iterates the index entries whose keys start with prefix,
+// in ascending order.
+func ascendPrefix(idx Index, prefix []byte, fn func(key, value []byte) bool) {
+	end := prefixEnd(prefix)
+	idx.Ascend(func(k, v []byte) bool {
+		if bytes.Compare(k, prefix) < 0 {
+			return true
+		}
+		if end != nil && bytes.Compare(k, end) >= 0 {
+			return false
+		}
+		return fn(k, v)
+	})
+}

@@ -1,0 +1,124 @@
+package store
+
+import "encoding/binary"
+
+// LogIndex is the hash/LSM-style log-structured backend: every Put
+// appends an immutable record to an in-memory arena and a hash
+// directory points each key at its latest version, exactly the shape
+// of a log-structured merge store's memtable + hash index. Writes are
+// sequential appends (the CDR workload's best case), point lookups are
+// one hash probe plus one arena read, and ordered scans pay the
+// LSM-style price of sorting the key set on demand. Superseded
+// versions are garbage; the arena compacts itself once garbage
+// outweighs live data.
+type LogIndex struct {
+	arena   []byte
+	dir     map[string]int // key -> offset of latest record in arena
+	garbage int            // bytes held by superseded versions
+}
+
+// logCompactMin is the arena size below which compaction is not worth
+// the copy, regardless of the garbage ratio.
+const logCompactMin = 1 << 16
+
+// NewLogIndex creates an empty log-structured index.
+func NewLogIndex() *LogIndex {
+	return &LogIndex{dir: map[string]int{}}
+}
+
+// Kind implements Index.
+func (l *LogIndex) Kind() string { return "log" }
+
+// Len implements Index.
+func (l *LogIndex) Len() int { return len(l.dir) }
+
+// record layout in the arena: klen uvarint | vlen uvarint | key | value.
+// Tombstones are never stored — a delete simply drops the directory
+// entry and counts the dead record as garbage.
+
+// appendRecord appends a record and returns its offset.
+func (l *LogIndex) appendRecord(key, value []byte) int {
+	off := len(l.arena)
+	l.arena = binary.AppendUvarint(l.arena, uint64(len(key)))
+	l.arena = binary.AppendUvarint(l.arena, uint64(len(value)))
+	l.arena = append(l.arena, key...)
+	l.arena = append(l.arena, value...)
+	return off
+}
+
+// readRecord decodes the record at off.
+func (l *LogIndex) readRecord(off int) (key, value []byte) {
+	klen, n := binary.Uvarint(l.arena[off:])
+	off += n
+	vlen, n := binary.Uvarint(l.arena[off:])
+	off += n
+	key = l.arena[off : off+int(klen)]
+	off += int(klen)
+	return key, l.arena[off : off+int(vlen)]
+}
+
+// recordSize returns the encoded size of the record at off.
+func (l *LogIndex) recordSize(off int) int {
+	klen, n := binary.Uvarint(l.arena[off:])
+	vlen, m := binary.Uvarint(l.arena[off+n:])
+	return n + m + int(klen) + int(vlen)
+}
+
+// Get implements Index.
+func (l *LogIndex) Get(key []byte) ([]byte, bool) {
+	off, ok := l.dir[string(key)] // no allocation: map lookup by converted key
+	if !ok {
+		return nil, false
+	}
+	_, v := l.readRecord(off)
+	return v, true
+}
+
+// Put implements Index.
+func (l *LogIndex) Put(key, value []byte) {
+	if old, ok := l.dir[string(key)]; ok {
+		l.garbage += l.recordSize(old)
+	}
+	l.dir[string(key)] = l.appendRecord(key, value)
+	l.maybeCompact()
+}
+
+// Delete implements Index.
+func (l *LogIndex) Delete(key []byte) bool {
+	off, ok := l.dir[string(key)]
+	if !ok {
+		return false
+	}
+	l.garbage += l.recordSize(off)
+	delete(l.dir, string(key))
+	l.maybeCompact()
+	return true
+}
+
+// maybeCompact rewrites the arena with only live records once garbage
+// outweighs them.
+func (l *LogIndex) maybeCompact() {
+	if len(l.arena) < logCompactMin || l.garbage*2 < len(l.arena) {
+		return
+	}
+	fresh := &LogIndex{
+		arena: make([]byte, 0, len(l.arena)-l.garbage),
+		dir:   make(map[string]int, len(l.dir)),
+	}
+	for k, off := range l.dir {
+		_, v := l.readRecord(off)
+		fresh.dir[k] = fresh.appendRecord([]byte(k), v)
+	}
+	*l = *fresh
+}
+
+// Ascend implements Index: the directory's keys are sorted on demand —
+// the log-structured layout has no inherent order.
+func (l *LogIndex) Ascend(fn func(key, value []byte) bool) {
+	for _, k := range sortedKeys(l.dir) {
+		key, v := l.readRecord(l.dir[k])
+		if !fn(key, v) {
+			return
+		}
+	}
+}

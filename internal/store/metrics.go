@@ -1,0 +1,32 @@
+package store
+
+// Telemetry instrument names exported by this package.
+const (
+	// MetricLookups counts registry lookups (hits and misses).
+	MetricLookups = "store.lookups"
+	// MetricLookupMiss counts registry lookups that found no profile
+	// and fell back to the default profile — the defined degraded
+	// behavior for unknown subscribers.
+	MetricLookupMiss = "store.lookup_miss"
+	// MetricCDRAppends counts call-detail records accepted for append.
+	MetricCDRAppends = "store.cdr_appends"
+	// MetricDebits counts balance adjustments that actually applied
+	// (idempotent re-issues of an already-applied token do not count).
+	MetricDebits = "store.debits_applied"
+	// MetricWALFsyncs counts WAL fsync batches. Under load this stays
+	// far below the record count — that gap is the fsync batching.
+	MetricWALFsyncs = "store.wal_fsyncs"
+	// MetricWALRecords counts records made durable by the WAL.
+	MetricWALRecords = "store.wal_records"
+	// MetricWALBytes counts bytes written to the WAL.
+	MetricWALBytes = "store.wal_bytes"
+	// MetricReplayRecords counts records replayed during crash
+	// recovery, summed over every Open in the process.
+	MetricReplayRecords = "store.replay_records"
+	// MetricLookupLatency is the registry point-lookup latency
+	// histogram.
+	MetricLookupLatency = "store.lookup_latency"
+	// MetricAppendLatency is the CDR append latency histogram (the
+	// in-memory accept, not the fsync — durability is batched).
+	MetricAppendLatency = "store.append_latency"
+)

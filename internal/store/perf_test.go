@@ -1,0 +1,134 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func openBench(b *testing.B, opts Options) *Store {
+	b.Helper()
+	if opts.FsyncInterval == 0 {
+		opts.FsyncInterval = time.Millisecond
+	}
+	st, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return st
+}
+
+// BenchmarkStoreLookupCached is the production hot path: the setup-time
+// registry lookup served from the read cache. The claim gated by
+// TestStoreZeroAlloc is 0 allocs/op.
+func BenchmarkStoreLookupCached(b *testing.B) {
+	st := openBench(b, Options{})
+	if err := st.PutProfile(Profile{Name: "dev-1", Features: []string{"cf"}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Lookup("dev-1"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkStoreLookupBackend measures the index backends themselves
+// (cache disabled): the OLTP-ish point-lookup workload.
+func BenchmarkStoreLookupBackend(b *testing.B) {
+	for _, kind := range Backends() {
+		b.Run(kind, func(b *testing.B) {
+			st := openBench(b, Options{Backend: kind, NoCache: true})
+			const n = 1024
+			for i := 0; i < n; i++ {
+				if err := st.PutProfile(Profile{Name: fmt.Sprintf("dev-%04d", i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			names := make([]string, n)
+			for i := range names {
+				names[i] = fmt.Sprintf("dev-%04d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.Lookup(names[i%n]); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreAppendCDR measures the write-heavy CDR workload per
+// backend (in-memory accept; durability is group-committed off-path).
+func BenchmarkStoreAppendCDR(b *testing.B) {
+	for _, kind := range Backends() {
+		b.Run(kind, func(b *testing.B) {
+			st := openBench(b, Options{Backend: kind})
+			c := CDR{Local: "dev-1", Peer: "dev-2", Channel: "ch0", SetupNS: 1, TornNS: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.AppendCDR(c); !ok {
+					b.Fatal("append refused")
+				}
+			}
+		})
+	}
+}
+
+// TestStoreZeroAlloc is the CI alloc-gate for the two paths the live
+// runtime rides on every call: the disabled (nil-store) path and the
+// cached registry lookup. Both must be allocation-free so wiring the
+// store into setup/teardown cannot regress the runtime's own 0
+// allocs/op dispatch gate.
+func TestStoreZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+
+	t.Run("disabled path", func(t *testing.T) {
+		var st *Store
+		b := (*Binder)(nil)
+		if a := testing.AllocsPerRun(1000, func() {
+			st.Lookup("dev-1")
+			st.AppendCDR(CDR{Local: "a", Peer: "b", Channel: "c"})
+			b.ChannelSetup("a", "b", "c")
+			b.ChannelTeardown("a", "b", "c", time.Time{})
+		}); a != 0 {
+			t.Fatalf("disabled path allocates %.1f allocs/op, want 0", a)
+		}
+	})
+
+	t.Run("unbound binder", func(t *testing.T) {
+		b := NewBinder(nil)
+		if a := testing.AllocsPerRun(1000, func() {
+			b.ChannelSetup("a", "b", "c")
+			b.ChannelTeardown("a", "b", "c", time.Time{})
+		}); a != 0 {
+			t.Fatalf("unbound binder allocates %.1f allocs/op, want 0", a)
+		}
+	})
+
+	t.Run("cached lookup", func(t *testing.T) {
+		st, err := Open(t.TempDir(), Options{FsyncInterval: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		if err := st.PutProfile(Profile{Name: "dev-1", Features: []string{"cf"}}); err != nil {
+			t.Fatal(err)
+		}
+		if a := testing.AllocsPerRun(1000, func() {
+			if _, ok := st.Lookup("dev-1"); !ok {
+				t.Fatal("miss")
+			}
+		}); a != 0 {
+			t.Fatalf("cached lookup allocates %.1f allocs/op, want 0", a)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports whether the race detector is active; zero-alloc
+// assertions are skipped under it because the detector's instrumentation
+// allocates.
+const raceEnabled = true

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"bytes"
+	"sort"
+)
+
+// ScanIndex is the no-index baseline: Put appends to a plain record
+// log and Get scans it backwards until the newest version of the key
+// turns up. Appends are as cheap as they can possibly be — the
+// write-heavy CDR workload's degenerate optimum — and every lookup
+// pays O(n), which is precisely the comparison the benchmark exists to
+// make.
+type ScanIndex struct {
+	recs    []kv // append order; v == nil is a tombstone
+	checkAt int  // next log length at which to consider compaction
+}
+
+// NewScanIndex creates an empty append-scan baseline index.
+func NewScanIndex() *ScanIndex { return &ScanIndex{checkAt: 1 << 12} }
+
+// Kind implements Index.
+func (s *ScanIndex) Kind() string { return "scan" }
+
+// Get implements Index: scan backwards, latest version wins.
+func (s *ScanIndex) Get(key []byte) ([]byte, bool) {
+	for i := len(s.recs) - 1; i >= 0; i-- {
+		if bytes.Equal(s.recs[i].k, key) {
+			v := s.recs[i].v
+			return v, v != nil
+		}
+	}
+	return nil, false
+}
+
+// Put implements Index: a pure append.
+func (s *ScanIndex) Put(key, value []byte) {
+	s.recs = append(s.recs, kv{k: append([]byte(nil), key...), v: cloneValue(value)})
+	s.maybeCompact()
+}
+
+// Delete implements Index: a tombstone append, if the key is live.
+func (s *ScanIndex) Delete(key []byte) bool {
+	if _, ok := s.Get(key); !ok {
+		return false
+	}
+	s.recs = append(s.recs, kv{k: append([]byte(nil), key...)})
+	s.maybeCompact()
+	return true
+}
+
+// Len implements Index: the baseline has no directory, so counting is
+// a full dedup scan.
+func (s *ScanIndex) Len() int {
+	n := 0
+	s.latest(func(kv) bool { n++; return true })
+	return n
+}
+
+// Ascend implements Index: dedup, sort, iterate.
+func (s *ScanIndex) Ascend(fn func(key, value []byte) bool) {
+	var live []kv
+	s.latest(func(e kv) bool { live = append(live, e); return true })
+	sort.Slice(live, func(i, j int) bool { return bytes.Compare(live[i].k, live[j].k) < 0 })
+	for _, e := range live {
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
+}
+
+// latest visits the newest live version of every key, in no particular
+// order.
+func (s *ScanIndex) latest(fn func(kv) bool) {
+	seen := make(map[string]bool, len(s.recs))
+	for i := len(s.recs) - 1; i >= 0; i-- {
+		e := s.recs[i]
+		if seen[string(e.k)] {
+			continue
+		}
+		seen[string(e.k)] = true
+		if e.v != nil && !fn(e) {
+			return
+		}
+	}
+}
+
+// maybeCompact bounds the log under update- or delete-heavy use: once
+// the log has doubled past the last checkpoint and superseded versions
+// outnumber live ones, the survivors are rewritten in place. Appends
+// of distinct keys — the CDR case — only ever pay the (cheap, rare)
+// liveness count.
+func (s *ScanIndex) maybeCompact() {
+	if len(s.recs) < s.checkAt {
+		return
+	}
+	var fresh []kv
+	seen := make(map[string]bool, len(s.recs))
+	for i := len(s.recs) - 1; i >= 0; i-- {
+		e := s.recs[i]
+		if seen[string(e.k)] {
+			continue
+		}
+		seen[string(e.k)] = true
+		if e.v != nil {
+			fresh = append(fresh, e)
+		}
+	}
+	if len(fresh)*2 > len(s.recs) {
+		s.checkAt = len(s.recs) * 2
+		return
+	}
+	// fresh is newest-first; reverse so relative recency survives the
+	// rewrite.
+	for i, j := 0, len(fresh)-1; i < j; i, j = i+1, j-1 {
+		fresh[i], fresh[j] = fresh[j], fresh[i]
+	}
+	s.recs = fresh
+	s.checkAt = max(len(s.recs)*2, 1<<12)
+}

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func walFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(t.TempDir(), "wal.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestWALAppendSyncReplay(t *testing.T) {
+	f := walFile(t)
+	path := f.Name()
+	w := newWAL(f, time.Millisecond, nil)
+	records := [][]byte{[]byte("alpha"), []byte("bravo"), []byte("charlie")}
+	for i, r := range records {
+		seq, ok := w.append(byte(i+1), r)
+		if !ok || seq != uint64(i+1) {
+			t.Fatalf("append %d: seq=%d ok=%v", i, seq, ok)
+		}
+	}
+	if err := w.sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := w.durableCount(); got != 3 {
+		t.Fatalf("durableCount = %d, want 3", got)
+	}
+	if err := w.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTypes []byte
+	var gotBodies [][]byte
+	off, err := replayWAL(bytes.NewReader(data), func(typ byte, body []byte) error {
+		gotTypes = append(gotTypes, typ)
+		gotBodies = append(gotBodies, append([]byte(nil), body...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if off != int64(len(data)) {
+		t.Fatalf("good prefix = %d, file = %d", off, len(data))
+	}
+	if len(gotBodies) != 3 {
+		t.Fatalf("replayed %d records", len(gotBodies))
+	}
+	for i, r := range records {
+		if gotTypes[i] != byte(i+1) || !bytes.Equal(gotBodies[i], r) {
+			t.Fatalf("record %d: type=%d body=%q", i, gotTypes[i], gotBodies[i])
+		}
+	}
+}
+
+func TestWALReplayStopsAtCorruptTail(t *testing.T) {
+	var log []byte
+	log = appendWALRecord(log, 1, []byte("good-one"))
+	goodLen := len(log)
+	log = appendWALRecord(log, 2, []byte("good-two"))
+	goodLen2 := len(log)
+	log = appendWALRecord(log, 3, []byte("doomed"))
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantOff int64
+		wantN   int
+	}{
+		{"intact", func(b []byte) []byte { return b }, int64(len(log)), 3},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-3] }, int64(goodLen2), 2},
+		{"truncated header", func(b []byte) []byte { return b[:goodLen2+4] }, int64(goodLen2), 2},
+		{"flipped body byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0xFF
+			return c
+		}, int64(goodLen2), 2},
+		{"flipped mid-log byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[goodLen+walHeaderSize] ^= 0xFF // corrupts record two's type byte
+			return c
+		}, int64(goodLen), 1},
+		{"zero length field", func(b []byte) []byte {
+			c := append([]byte(nil), b[:goodLen]...)
+			return append(c, make([]byte, walHeaderSize)...)
+		}, int64(goodLen), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 0
+			off, err := replayWAL(bytes.NewReader(tc.mutate(log)), func(byte, []byte) error {
+				n++
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if off != tc.wantOff || n != tc.wantN {
+				t.Fatalf("off=%d n=%d, want off=%d n=%d", off, n, tc.wantOff, tc.wantN)
+			}
+		})
+	}
+}
+
+func TestWALCrashDropsUnsynced(t *testing.T) {
+	f := walFile(t)
+	path := f.Name()
+	// Session one makes "acked" durable and closes cleanly.
+	w1 := newWAL(f, time.Millisecond, nil)
+	w1.append(1, []byte("acked"))
+	if err := w1.sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := w1.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Session two buffers "in-flight" under a window that never elapses,
+	// then crashes: deterministically, the record is never written.
+	f2, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Seek(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	w := newWAL(f2, time.Hour, nil)
+	w.append(2, []byte("in-flight"))
+	w.crash()
+
+	if _, ok := w.append(3, []byte("after-crash")); ok {
+		t.Fatal("append succeeded after crash")
+	}
+	if err := w.sync(); err == nil {
+		t.Fatal("sync succeeded after crash")
+	}
+
+	data, _ := os.ReadFile(path)
+	n := 0
+	if _, err := replayWAL(bytes.NewReader(data), func(typ byte, body []byte) error {
+		n++
+		if typ != 1 || string(body) != "acked" {
+			t.Fatalf("unexpected survivor: type=%d body=%q", typ, body)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records after crash, want 1 (the acked one)", n)
+	}
+}
+
+// TestWALFsyncBatching checks group commit actually groups: many
+// appends inside one window must reach durability with far fewer
+// fsyncs than records.
+func TestWALFsyncBatching(t *testing.T) {
+	f := walFile(t)
+	w := newWAL(f, 5*time.Millisecond, nil)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, ok := w.append(1, []byte("cdr")); !ok {
+			t.Fatalf("append %d failed", i)
+		}
+	}
+	if err := w.sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := w.durableCount(); got != n {
+		t.Fatalf("durable = %d, want %d", got, n)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALCloseFlushesTail(t *testing.T) {
+	f := walFile(t)
+	path := f.Name()
+	w := newWAL(f, time.Hour, nil) // window never elapses on its own
+	w.append(1, []byte("tail"))
+	if err := w.close(); err != nil { // close must flush without waiting the window
+		t.Fatalf("close: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	n := 0
+	replayWAL(bytes.NewReader(data), func(byte, []byte) error { n++; return nil })
+	if n != 1 {
+		t.Fatalf("close lost the tail: replayed %d records, want 1", n)
+	}
+}
+
+func TestWALOnDurableCallback(t *testing.T) {
+	f := walFile(t)
+	var types []byte
+	done := make(chan struct{}, 8)
+	w := newWAL(f, time.Millisecond, func(typ byte) {
+		types = append(types, typ) // flusher goroutine only; sync() below orders it
+		done <- struct{}{}
+	})
+	w.append(recCDR, []byte("a"))
+	w.append(recProfile, []byte("b"))
+	if err := w.sync(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	<-done
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 2 || types[0] != recCDR || types[1] != recProfile {
+		t.Fatalf("onDurable saw %v", types)
+	}
+}
