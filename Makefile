@@ -42,21 +42,25 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # alloc-gate asserts the zero-alloc claims: the steady-state event
-# dispatch path (box), the media fast path — packet marshal, transmit
-# staging, and wire delivery — the reliable layer's steady-state send
-# (stamp, retain, ack bookkeeping), and the store's disabled path and
-# cached registry lookup allocate nothing.
+# dispatch path (box) both standalone and through a cluster shard, the
+# media fast path — packet marshal, transmit staging, and wire delivery
+# — the reliable layer's steady-state send (stamp, retain, ack
+# bookkeeping), and the store's disabled path and cached registry
+# lookup allocate nothing.
 alloc-gate:
-	$(GO) test -run='TestRunnerEventZeroAlloc' ./internal/box
+	$(GO) test -run='TestRunnerEventZeroAlloc|TestClusterEventZeroAlloc' ./internal/box
 	$(GO) test -run='TestMediaZeroAlloc' ./internal/media
 	$(GO) test -run='TestRelSendSteadyStateZeroAlloc' ./internal/transport
 	$(GO) test -run='TestStoreZeroAlloc' ./internal/store
 
 # storm-smoke drives 500 concurrent call lifecycles for 5 seconds over
 # the in-memory network: a shutdown-under-load and liveness check, not
-# a measurement.
+# a measurement. The second leg reruns it on a 4-shard cluster over
+# ring-port channels at GOMAXPROCS=4 with the give-up gate armed, so
+# every CI run re-proves the sharded runtime under load.
 storm-smoke:
 	$(GO) run ./cmd/callstorm -paths 500 -servers 4 -mode link -net mem -hold 250ms -duration 5s
+	GOMAXPROCS=4 $(GO) run ./cmd/callstorm -paths 500 -servers 4 -mode link -net ring -shards 4 -hold 250ms -duration 5s -gate
 
 # media-smoke blasts the in-memory media plane for ~2 seconds: a
 # pipeline liveness check, not a measurement.
@@ -68,9 +72,12 @@ media-smoke:
 # with one mid-storm partition, while the Section V formulas are
 # checked live. It exits nonzero on any bounded-time formula
 # violation, a wedged path after drain, a give-up rate over budget, or
-# a leaked goroutine.
+# a leaked goroutine. The second leg reruns the same profile with the
+# population multiplexed onto 2 cluster shards, so the formulas are
+# re-proved against the sharded runtime too.
 chaos-smoke:
 	$(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -duration 20s -seed 1
+	GOMAXPROCS=4 $(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -shards 2 -duration 10s -seed 1
 
 # store-smoke is the durable-state gate: a quick storestorm run so all
 # three index backends re-prove the conformance/durability gates (every
@@ -86,7 +93,7 @@ store-smoke:
 # percentiles, retransmit/reconnect counts, give-up rate — under the
 # standard fault profile, written to BENCH_chaos.json.
 bench-chaos:
-	$(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -duration 30s -delayrate 0.05 -reorder 0.02 -seed 1 -crash -out BENCH_chaos.json
+	$(GO) run ./cmd/chaosstorm -paths 24 -servers 3 -shards 2 -duration 30s -delayrate 0.05 -reorder 0.02 -seed 1 -crash -out BENCH_chaos.json
 
 # bench-store records the store numbers: point-lookup and CDR-append
 # rates per index backend (registry cache off, so the index itself is
@@ -103,11 +110,18 @@ bench-store:
 bench-media:
 	$(GO) run ./cmd/mediastorm -agents 8 -duration 3s -out BENCH_media.json
 
-# bench-runtime records the live-runtime scaling numbers: 10k
-# concurrent open/hold/flowLink/close lifecycles over the in-memory
-# network, written to BENCH_runtime.json.
+# bench-runtime records the live-runtime scaling curve: concurrent
+# open/hold/flowLink/close lifecycles over in-process ring channels,
+# swept at GOMAXPROCS (and shard count) 1, 2, 4, 8, written to
+# BENCH_runtime.json. The calls_per_sec_speedup_vs_1 map is the
+# tentpole ratio. The offered load (1200 paths at 1 s hold) is sized to
+# sit just under one core's saturated capacity (~2100 calls/s) so every
+# leg completes on a single-CPU host; when every leg sustains the
+# offered rate, read the curve from ns_per_event and the setup latency
+# quantiles instead of raw calls/s. On a host with >= 4 real cores,
+# raise -paths to 10000 to measure the saturated speedup directly.
 bench-runtime:
-	$(GO) run ./cmd/callstorm -paths 10000 -servers 8 -mode link -net mem -hold 1s -ramp 120s -duration 15s -out BENCH_runtime.json
+	$(GO) run ./cmd/callstorm -paths 1200 -servers 8 -mode link -net ring -hold 1s -stagger 15s -ramp 60s -duration 15s -sweep 1,2,4,8 -out BENCH_runtime.json
 
 # bench-mc records the before/after checker numbers: the twelve-model
 # suite at workers 1 vs 4, written to BENCH_mc.json. Forcing 4 (rather

@@ -11,9 +11,16 @@
 // open/hold/flowLink/close goal set end to end; in hold mode clients
 // land directly on holdSlot devices.
 //
+// With -shards N the whole population runs on a box.Cluster of N
+// runtime shards (per-shard inboxes, timer wheels, and inline ring
+// draining) instead of one goroutine per box; -sweep "1,2,4,8" runs
+// one measurement leg per GOMAXPROCS/shard-count value and emits the
+// scaling curve as a single JSON document.
+//
 // Usage:
 //
-//	callstorm [-paths N] [-servers K] [-mode link|hold] [-net mem|tcp]
+//	callstorm [-paths N] [-servers K] [-mode link|hold] [-net mem|ring|tcp]
+//	          [-shards N] [-sweep 1,2,4,8] [-gate]
 //	          [-ramp 30s] [-duration 10s] [-hold 500ms] [-out BENCH_runtime.json]
 package main
 
@@ -25,6 +32,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,6 +54,19 @@ type stormStats struct {
 	holding   atomic.Int64 // paths currently flowing-and-held
 }
 
+type stormConfig struct {
+	paths    int
+	servers  int
+	shards   int // 0: one standalone runner per box
+	mode     string
+	netKind  string
+	ramp     time.Duration
+	duration time.Duration
+	hold     time.Duration
+	stagger  time.Duration
+	giveup   time.Duration
+}
+
 type result struct {
 	Date       string `json:"date"`
 	GoMaxProcs int    `json:"gomaxprocs"`
@@ -55,6 +76,7 @@ type result struct {
 	Net      string `json:"net"`
 	Paths    int    `json:"paths"`
 	Servers  int    `json:"servers"`
+	Shards   int    `json:"shards"`
 	HoldMS   int64  `json:"hold_ms"`
 	WindowMS int64  `json:"window_ms"`
 
@@ -80,43 +102,132 @@ type result struct {
 	SetupP99MS float64 `json:"setup_latency_p99_ms"`
 }
 
+// sweepResult is the scaling-curve artifact: one leg per
+// GOMAXPROCS/shard count, plus the calls/s speedups relative to the
+// 1-shard leg of the same run.
+type sweepResult struct {
+	Date    string             `json:"date"`
+	NumCPU  int                `json:"num_cpu"`
+	Mode    string             `json:"mode"`
+	Net     string             `json:"net"`
+	Paths   int                `json:"paths"`
+	Servers int                `json:"servers"`
+	Legs    []result           `json:"gomaxprocs_curve"`
+	Speedup map[string]float64 `json:"calls_per_sec_speedup_vs_1"`
+}
+
 func main() {
-	paths := flag.Int("paths", 1000, "concurrent call lifecycles (paths)")
-	servers := flag.Int("servers", 4, "server boxes")
-	mode := flag.String("mode", "link", "server behavior: link (relay+flowLink) or hold (direct holdSlot)")
-	netKind := flag.String("net", "mem", "transport: mem or tcp (loopback)")
-	ramp := flag.Duration("ramp", 60*time.Second, "max time to wait for all paths to reach flowing once")
-	duration := flag.Duration("duration", 10*time.Second, "steady-state measurement window")
-	hold := flag.Duration("hold", 500*time.Millisecond, "mean hold time per call")
-	stagger := flag.Duration("stagger", 0, "spread each path's first dial uniformly over this window (0: dial immediately)")
-	giveup := flag.Duration("giveup", 10*time.Second, "abandon and redial a call that has not flowed after this long")
+	cfg := stormConfig{}
+	flag.IntVar(&cfg.paths, "paths", 1000, "concurrent call lifecycles (paths)")
+	flag.IntVar(&cfg.servers, "servers", 4, "server boxes")
+	flag.IntVar(&cfg.shards, "shards", 0, "run on a cluster of this many runtime shards (0: one goroutine per box)")
+	flag.StringVar(&cfg.mode, "mode", "link", "server behavior: link (relay+flowLink) or hold (direct holdSlot)")
+	flag.StringVar(&cfg.netKind, "net", "mem", "transport: mem, ring (in-process SPSC rings), or tcp (loopback)")
+	flag.DurationVar(&cfg.ramp, "ramp", 60*time.Second, "max time to wait for all paths to reach flowing once")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "steady-state measurement window")
+	flag.DurationVar(&cfg.hold, "hold", 500*time.Millisecond, "mean hold time per call")
+	flag.DurationVar(&cfg.stagger, "stagger", 0, "spread each path's first dial uniformly over this window (0: dial immediately)")
+	flag.DurationVar(&cfg.giveup, "giveup", 10*time.Second, "abandon and redial a call that has not flowed after this long")
+	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS/shard counts; run one leg per value (e.g. 1,2,4,8)")
+	gate := flag.Bool("gate", false, "exit nonzero if any leg recorded giveups")
 	out := flag.String("out", "", "write the result JSON here (empty: stdout only)")
 	flag.Parse()
 
-	// Telemetry must be live before the first runner (and the shared
-	// wheel) resolve their instruments.
-	reg := telemetry.Enable()
+	var blob []byte
+	giveups := int64(0)
+	if *sweep == "" {
+		res := runStorm(cfg)
+		giveups = res.Giveups
+		blob, _ = json.MarshalIndent(res, "", "  ")
+	} else {
+		sr := sweepResult{
+			Date:    time.Now().Format("2006-01-02"),
+			NumCPU:  runtime.NumCPU(),
+			Mode:    cfg.mode,
+			Net:     cfg.netKind,
+			Paths:   cfg.paths,
+			Servers: cfg.servers,
+			Speedup: map[string]float64{},
+		}
+		prev := runtime.GOMAXPROCS(0)
+		for _, f := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "callstorm: bad -sweep entry %q\n", f)
+				os.Exit(2)
+			}
+			legCfg := cfg
+			legCfg.shards = n
+			runtime.GOMAXPROCS(n)
+			fmt.Fprintf(os.Stderr, "callstorm: === sweep leg: GOMAXPROCS=%d shards=%d ===\n", n, n)
+			res := runStorm(legCfg)
+			giveups += res.Giveups
+			sr.Legs = append(sr.Legs, res)
+			runtime.GC() // drop the leg's population before the next one
+		}
+		runtime.GOMAXPROCS(prev)
+		if len(sr.Legs) > 0 && sr.Legs[0].CallsPerSec > 0 {
+			base := sr.Legs[0].CallsPerSec
+			for _, leg := range sr.Legs {
+				sr.Speedup[strconv.Itoa(leg.GoMaxProcs)] = leg.CallsPerSec / base
+			}
+		}
+		blob, _ = json.MarshalIndent(sr, "", "  ")
+	}
+
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "callstorm:", err)
+			os.Exit(1)
+		}
+	}
+	if *gate && giveups > 0 {
+		fmt.Fprintf(os.Stderr, "callstorm: GATE FAILED: %d giveups (want 0)\n", giveups)
+		os.Exit(1)
+	}
+}
+
+// runStorm runs one full measurement: fresh telemetry registry, fresh
+// network, fresh box population, ramp, steady window, clean shutdown.
+func runStorm(cfg stormConfig) result {
+	// A fresh registry per leg so sweep legs do not bleed counters or
+	// histogram mass into each other. It must be live before the first
+	// runner resolves its instruments.
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
 
 	var network transport.Network
-	switch *netKind {
+	switch cfg.netKind {
 	case "mem":
 		network = transport.NewMemNetwork()
+	case "ring":
+		network = transport.NewRingMemNetwork()
 	case "tcp":
 		network = transport.TCPNetwork{}
 	default:
-		fmt.Fprintf(os.Stderr, "callstorm: unknown -net %q\n", *netKind)
+		fmt.Fprintf(os.Stderr, "callstorm: unknown -net %q\n", cfg.netKind)
 		os.Exit(2)
+	}
+
+	var cluster *box.Cluster
+	newRunner := box.NewRunner
+	if cfg.shards > 0 {
+		cluster = box.NewCluster(network, cfg.shards)
+		newRunner = func(b *box.Box, _ transport.Network) *box.Runner {
+			return cluster.Runner(b)
+		}
 	}
 
 	stats := &stormStats{}
 
 	// Servers first, so every client dial lands on a listener.
-	devAddrs := listenAll(network, *netKind, "dev", *servers, func(i int) *box.Box {
+	devAddrs := listenAll(network, newRunner, cfg.netKind, "dev", cfg.servers, func(i int) *box.Box {
 		return box.New(fmt.Sprintf("dev%d", i), devProfile(fmt.Sprintf("dev%d", i), 20000+i))
 	})
 	targets := devAddrs
-	if *mode == "link" {
-		relayAddrs := listenAll(network, *netKind, "relay", *servers, func(i int) *box.Box {
+	if cfg.mode == "link" {
+		relayAddrs := listenAll(network, newRunner, cfg.netKind, "relay", cfg.servers, func(i int) *box.Box {
 			b := box.New(fmt.Sprintf("relay%d", i), core.ServerProfile{Name: fmt.Sprintf("relay%d", i)})
 			b.Hook = relayHook(devAddrs, i)
 			return b
@@ -124,27 +235,27 @@ func main() {
 		targets = relayAddrs
 	}
 
-	// Clients: one runner per path, each cycling its lifecycle program.
-	fmt.Fprintf(os.Stderr, "callstorm: starting %d paths against %d %s servers over %s...\n",
-		*paths, *servers, *mode, *netKind)
+	// Clients: one box per path, each cycling its lifecycle program.
+	fmt.Fprintf(os.Stderr, "callstorm: starting %d paths against %d %s servers over %s (shards=%d)...\n",
+		cfg.paths, cfg.servers, cfg.mode, cfg.netKind, cfg.shards)
 	rng := rand.New(rand.NewSource(1))
-	clients := make([]*box.Runner, *paths)
+	clients := make([]*box.Runner, cfg.paths)
 	for i := range clients {
 		name := fmt.Sprintf("cli%d", i)
 		b := box.New(name, devProfile(name, 30000+i))
-		r := box.NewRunner(b, network)
+		r := newRunner(b, network)
 		r.OnError = func(err error) { fmt.Fprintf(os.Stderr, "callstorm: %s: %v\n", name, err) }
-		r.SetProgram(clientProgram(stats, targets[i%len(targets)], *hold, *stagger, *giveup, rng.Int63()))
+		r.SetProgram(clientProgram(stats, targets[i%len(targets)], cfg.hold, cfg.stagger, cfg.giveup, rng.Int63()))
 		clients[i] = r
 	}
 
 	// Ramp: every path flowing at least once.
-	rampDeadline := time.Now().Add(*ramp)
-	for stats.setups.Load() < int64(*paths) && time.Now().Before(rampDeadline) {
+	rampDeadline := time.Now().Add(cfg.ramp)
+	for stats.setups.Load() < int64(cfg.paths) && time.Now().Before(rampDeadline) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	fmt.Fprintf(os.Stderr, "callstorm: ramp done, %d/%d paths set up; measuring %v...\n",
-		stats.setups.Load(), *paths, *duration)
+		stats.setups.Load(), cfg.paths, cfg.duration)
 
 	// Steady window.
 	mEvents := telemetry.C(box.MetricLoopIterations)
@@ -155,7 +266,7 @@ func main() {
 	events0 := int64(mEvents.Value())
 	completed0 := stats.completed.Load()
 	t0 := time.Now()
-	for end := t0.Add(*duration); time.Now().Before(end); {
+	for end := t0.Add(cfg.duration); time.Now().Before(end); {
 		time.Sleep(100 * time.Millisecond)
 		if g := runtime.NumGoroutine(); g > goroPeak {
 			goroPeak = g
@@ -175,11 +286,12 @@ func main() {
 		Date:       time.Now().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
-		Mode:       *mode,
-		Net:        *netKind,
-		Paths:      *paths,
-		Servers:    *servers,
-		HoldMS:     hold.Milliseconds(),
+		Mode:       cfg.mode,
+		Net:        cfg.netKind,
+		Paths:      cfg.paths,
+		Servers:    cfg.servers,
+		Shards:     cfg.shards,
+		HoldMS:     cfg.hold.Milliseconds(),
 		WindowMS:   elapsed.Milliseconds(),
 
 		PathsHeldPeak: heldPeak,
@@ -205,25 +317,22 @@ func main() {
 		res.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(events)
 	}
 
-	blob, _ := json.MarshalIndent(res, "", "  ")
-	fmt.Println(string(blob))
-	if *out != "" {
-		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "callstorm:", err)
-			os.Exit(1)
-		}
-	}
-
 	// Clean shutdown under load is part of what the harness exercises.
-	stopAll(clients)
-	if res.PathsHeldPeak < int64(*paths)/2 {
-		fmt.Fprintf(os.Stderr, "callstorm: WARNING: held only %d of %d paths concurrently\n",
-			res.PathsHeldPeak, *paths)
+	if cluster != nil {
+		cluster.Stop()
+	} else {
+		stopAll(clients)
 	}
+	if res.PathsHeldPeak < int64(cfg.paths)/2 {
+		fmt.Fprintf(os.Stderr, "callstorm: WARNING: held only %d of %d paths concurrently\n",
+			res.PathsHeldPeak, cfg.paths)
+	}
+	return res
 }
 
 // listenAll starts n server boxes and returns their dial addresses.
-func listenAll(network transport.Network, netKind, prefix string, n int, build func(i int) *box.Box) []string {
+func listenAll(network transport.Network, newRunner func(*box.Box, transport.Network) *box.Runner,
+	netKind, prefix string, n int, build func(i int) *box.Box) []string {
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		addr := fmt.Sprintf("%s%d", prefix, i)
@@ -237,7 +346,7 @@ func listenAll(network transport.Network, netKind, prefix string, n int, build f
 			addr = l.Addr().String()
 			l.Close()
 		}
-		r := box.NewRunner(build(i), network)
+		r := newRunner(build(i), network)
 		if err := r.Listen(addr, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "callstorm:", err)
 			os.Exit(1)
@@ -255,24 +364,44 @@ func devProfile(name string, port int) *core.EndpointProfile {
 // relayHook splices every incoming call onward to a device box with a
 // flowLink, and propagates teardowns to the spliced leg. It runs on
 // the relay's loop goroutine.
+//
+// Spliced-leg names are pooled: accepted channel names are minted
+// fresh per call (in0, in1, ...), so deriving the out-leg name from
+// the in name ("out-"+in) allocated a new string per call, forever.
+// Instead the hook keeps a free list of out names ("o-K"); a storm's
+// steady state cycles a bounded set of strings and allocates none.
 func relayHook(devAddrs []string, seed int) func(*box.Ctx, *box.Event) {
 	next := seed
+	outOf := map[string]string{} // live in-channel -> its spliced out name
+	var free []string            // out names returned by torn-down calls
+	minted := 0
 	return func(ctx *box.Ctx, ev *box.Event) {
 		if ev.Kind != box.EvEnvelope || !ev.Env.IsMeta() {
 			return
 		}
 		in := ev.Channel
-		if strings.HasPrefix(in, "out-") {
+		if strings.HasPrefix(in, "o-") {
 			return // events on spliced legs are the flowLink's business
 		}
 		switch ev.Env.Meta.Kind {
 		case sig.MetaSetup:
-			out := "out-" + in
+			var out string
+			if n := len(free); n > 0 {
+				out, free = free[n-1], free[:n-1]
+			} else {
+				out = "o-" + strconv.Itoa(minted)
+				minted++
+			}
+			outOf[in] = out
 			ctx.Dial(out, devAddrs[next%len(devAddrs)])
 			next++
 			ctx.SetGoal(core.NewFlowLink(box.TunnelSlot(in, 0), box.TunnelSlot(out, 0)))
 		case sig.MetaTeardown:
-			ctx.Teardown("out-" + in)
+			if out, ok := outOf[in]; ok {
+				delete(outOf, in)
+				free = append(free, out)
+				ctx.Teardown(out)
+			}
 		}
 	}
 }

@@ -73,6 +73,7 @@ type result struct {
 	Net         string  `json:"net"`
 	Paths       int     `json:"paths"`
 	Servers     int     `json:"servers"`
+	Shards      int     `json:"shards"`
 	DurationMS  int64   `json:"duration_ms"`
 	Drop        float64 `json:"drop_rate"`
 	Dup         float64 `json:"dup_rate"`
@@ -127,6 +128,7 @@ type result struct {
 func main() {
 	paths := flag.Int("paths", 24, "concurrent call lifecycles (paths)")
 	servers := flag.Int("servers", 3, "holding device boxes")
+	shards := flag.Int("shards", 0, "run boxes on a cluster of this many runtime shards (0: one goroutine per box)")
 	netKind := flag.String("net", "mem", "base transport under the fault layer: mem or tcp")
 	duration := flag.Duration("duration", 20*time.Second, "storm window before drain")
 	hold := flag.Duration("hold", 300*time.Millisecond, "mean hold time per call")
@@ -217,6 +219,19 @@ func main() {
 		GiveUpAfter: *giveup,
 	})
 
+	// With -shards the whole population shares a cluster's shard loops
+	// and per-shard timer wheels; the chaos gates (formula violations,
+	// drain, goroutine leaks) then certify the sharded runtime, not just
+	// the one-goroutine-per-box layout.
+	var cluster *box.Cluster
+	newRunner := box.NewRunner
+	if *shards > 0 {
+		cluster = box.NewCluster(network, *shards)
+		newRunner = func(b *box.Box, _ transport.Network) *box.Runner {
+			return cluster.Runner(b)
+		}
+	}
+
 	mon := pathmon.New()
 	stats := &stormStats{}
 
@@ -250,7 +265,7 @@ func main() {
 			}
 			mon.RetargetTunnel(from, box.TunnelSlot(ch, 0), devName, box.TunnelSlot(ev.Channel, 0))
 		}
-		r := box.NewRunner(b, network)
+		r := newRunner(b, network)
 		if err := r.Listen(addr, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "chaosstorm:", err)
 			os.Exit(1)
@@ -268,7 +283,7 @@ func main() {
 	for i := range clients {
 		name := fmt.Sprintf("cli%d", i)
 		b := box.New(name, devProfile(name, 30000+i))
-		r := box.NewRunner(b, network)
+		r := newRunner(b, network)
 		if binder != nil {
 			// Bind before the program starts dialing, so every channel's
 			// setup and teardown is accounted.
@@ -345,12 +360,15 @@ func main() {
 	}
 
 	// Shut everything down and check nothing leaked: no pump, redial,
-	// or delayed-send goroutine may outlive the storm.
+	// shard loop, or delayed-send goroutine may outlive the storm.
 	for _, r := range clients {
 		r.Stop()
 	}
 	for _, r := range devs {
 		r.Stop()
+	}
+	if cluster != nil {
+		cluster.Stop() // shard loops and per-shard wheels
 	}
 	fn.Stop()
 
@@ -406,6 +424,7 @@ func main() {
 		Net:         *netKind,
 		Paths:       *paths,
 		Servers:     *servers,
+		Shards:      *shards,
 		DurationMS:  duration.Milliseconds(),
 		Drop:        *drop,
 		Dup:         *dup,

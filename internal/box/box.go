@@ -162,6 +162,8 @@ type Box struct {
 	spare    []Output // recycled output buffer (see Recycle)
 	frames   []*frame
 	chanVer  uint64
+	dirty    []string // channels mutated since ResetDirtyChannels
+	track    bool     // record dirty channel names (runtime-driven boxes only)
 	goalCtrs map[string]*telemetry.Counter
 }
 
@@ -254,6 +256,28 @@ func (b *Box) ChanVersion() uint64 { return b.chanVer }
 func (b *Box) AddChannel(name string, initiator bool) {
 	b.chans[name] = &chanInfo{name: name, initiator: initiator}
 	b.chanVer++
+	b.markDirty(name)
+}
+
+// TrackDirtyChannels turns on dirty-channel recording: every channel
+// add or destroy also records the channel name until the next
+// ResetDirtyChannels. Runtimes use the names for keyed waiter wakeups.
+// Tracking is opt-in so drivers that never reset (the simulator, the
+// model checker) do not accumulate an unbounded list.
+func (b *Box) TrackDirtyChannels() { b.track = true }
+
+// DirtyChannels returns the channels mutated since the last reset. The
+// slice is owned by the box: it is only valid until the next Handle,
+// and callers must not retain it.
+func (b *Box) DirtyChannels() []string { return b.dirty }
+
+// ResetDirtyChannels clears the dirty list, keeping its backing array.
+func (b *Box) ResetDirtyChannels() { b.dirty = b.dirty[:0] }
+
+func (b *Box) markDirty(name string) {
+	if b.track {
+		b.dirty = append(b.dirty, name)
+	}
 }
 
 // ensureSlot creates the slot (and its default goal) on first use.
@@ -336,6 +360,7 @@ func asRaw(g core.Goal) (core.RawGoal, bool) {
 func (b *Box) destroyChannel(name string) {
 	delete(b.chans, name)
 	b.chanVer++
+	b.markDirty(name)
 	var widowed []string
 	for sn := range b.slots {
 		ch, _, ok := slotChannel(sn)

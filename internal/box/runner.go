@@ -1,13 +1,22 @@
-// Runner: the live runtime for a box. One goroutine owns the box core;
-// transports, timers, and external callers feed it through a typed
-// actor inbox. The same box core also runs under the discrete-event
-// simulator and the model checker without a Runner.
+// Runner: the live runtime for a box. A runtime shard owns a set of
+// boxes: one loop goroutine drives their cores, one hierarchical timer
+// wheel serves their protocol timers, and one MPSC inbox feeds them
+// events from transports, timers, and external callers. The same box
+// core also runs under the discrete-event simulator and the model
+// checker without a Runner.
+//
+// Standalone runners (NewRunner) get a private shard — one box, one
+// loop — and share a package-wide timer wheel. A Cluster partitions
+// many boxes across N shards by consistent hash of box name, giving
+// each core its own inbox, wheel, and channel state so hot dispatch
+// never takes a cross-core lock (see cluster.go).
 //
 // The runtime is built for footprint: events cross the inbox as typed
 // records (no per-event closure), bursts of envelopes cross it as one
-// batch, protocol timers share the process-wide hierarchical timer
-// wheel, and the box's output buffer is recycled between events — so
-// steady-state envelope dispatch allocates nothing.
+// batch, in-process channels are SPSC rings drained inline by the
+// consumer's shard (no pump goroutine per port), and the box's output
+// buffer is recycled between events — so steady-state envelope
+// dispatch allocates nothing.
 package box
 
 import (
@@ -30,7 +39,8 @@ const (
 	// counters, e.g. "box.goal_invocations.flowLink".
 	MetricGoalInvocationsPrefix = "box.goal_invocations."
 	// MetricInboxDepth gauges events queued to runner loops but not yet
-	// dispatched, summed over all runners in the process.
+	// dispatched, summed over all shards in the process. Cluster shards
+	// additionally expose "runner.inbox_depth.s<N>" per shard.
 	MetricInboxDepth = "runner.inbox_depth"
 )
 
@@ -42,6 +52,19 @@ const (
 	pumpBatchMax = 64
 )
 
+// Ring draining: envelopes moved per TryRecvBatch call, and the
+// fairness cap — after this many envelopes from one ring in one inbox
+// item, the shard loop re-posts the drain and serves other boxes.
+const (
+	ringDrainBatch = 64
+	ringDrainMax   = 256
+)
+
+// Caches of per-channel setup metas and per-timer fire closures are
+// capped so a pathological churn of unique names cannot grow a runner
+// without bound. Real boxes hold a handful of channels and timers.
+const runnerCacheCap = 512
+
 // itemKind discriminates inbox items.
 type itemKind uint8
 
@@ -49,45 +72,58 @@ const (
 	itemEvent itemKind = iota // one box event
 	itemBatch                 // a burst of envelopes for one channel
 	itemRun                   // runtime-internal work, run outside the box
+	itemRing                  // drain an inline (SPSC ring) port
+	itemStop                  // finish a runner: cleanup, release Stop
 )
 
-// inboxItem is one unit of work for the runner loop. Events and
-// batches go through the box core; run items execute directly on the
-// loop goroutine (they may call handle themselves, e.g. port-loss
-// cleanup, which must not nest inside an in-progress Handle).
+// inboxItem is one unit of work for a shard loop. Events and batches
+// go through the box core; run items execute directly on the loop
+// goroutine (they may call handle themselves, e.g. port-loss cleanup,
+// which must not nest inside an in-progress Handle). Every item names
+// the runner it belongs to: shards multiplex many runners over one
+// loop.
 type inboxItem struct {
 	kind  itemKind
-	ev    Event           // itemEvent payload; ev.Channel also labels itemBatch
-	batch []sig.Envelope  // itemBatch payload, owned by the pump
-	ack   chan<- struct{} // itemBatch: signaled when the batch is processed
-	run   func()          // itemRun payload
-	done  chan struct{}   // itemEvent: signaled after dispatch (Do)
+	r     *Runner
+	ev    Event               // itemEvent payload; ev.Channel also labels itemBatch/itemRing
+	batch []sig.Envelope      // itemBatch payload, owned by the pump
+	ack   chan<- struct{}     // itemBatch: signaled when the batch is processed
+	run   func()              // itemRun payload
+	ring  transport.InlinePort // itemRing payload
+	done  chan struct{}       // itemEvent: signaled after dispatch (Do)
 }
 
-// inbox is the runner's MPSC queue: producers append under a mutex,
+// inbox is the shard's MPSC queue: producers append under a mutex,
 // the loop swaps the whole pending slice out in one drain. The two
 // slices ping-pong, so steady state runs with zero queue allocation
 // and one lock round-trip per burst rather than per event.
+//
+// The inbox mutex is also the runner-liveness lock: each runner's
+// closed flag is read by push and written by pushStop under it, so a
+// successful push is always processed before the runner's stop item,
+// and nothing is enqueued after it.
 type inbox struct {
-	mu     sync.Mutex
-	cond   sync.Cond
-	items  []inboxItem
-	closed bool
-	depth  *telemetry.Gauge
+	mu         sync.Mutex
+	cond       sync.Cond
+	items      []inboxItem
+	closed     bool
+	depth      *telemetry.Gauge // process-wide aggregate
+	depthShard *telemetry.Gauge // per-shard (nil for standalone shards)
 }
 
-func newInbox() *inbox {
-	q := &inbox{depth: telemetry.G(MetricInboxDepth)}
+func newInbox(shardGauge *telemetry.Gauge) *inbox {
+	q := &inbox{depth: telemetry.G(MetricInboxDepth), depthShard: shardGauge}
 	q.cond.L = &q.mu
 	return q
 }
 
-// push enqueues it, reporting false if the inbox is closed. The
-// closed check and the append happen under one lock with drain, so a
-// successful push is always processed before the loop exits.
+// push enqueues it, reporting false if the inbox — or the item's
+// runner — is closed. The checks and the append happen under one lock
+// with drain, so a successful push is always processed before the
+// loop (or the runner) exits.
 func (q *inbox) push(it inboxItem) bool {
 	q.mu.Lock()
-	if q.closed {
+	if q.closed || (it.r != nil && it.r.closed) {
 		q.mu.Unlock()
 		return false
 	}
@@ -97,6 +133,7 @@ func (q *inbox) push(it inboxItem) bool {
 	}
 	q.mu.Unlock()
 	q.depth.Inc()
+	q.depthShard.Inc()
 	return true
 }
 
@@ -120,6 +157,7 @@ func (q *inbox) drain(recycled []inboxItem) ([]inboxItem, bool) {
 	q.items = recycled[:0]
 	q.mu.Unlock()
 	q.depth.Add(int64(-len(batch)))
+	q.depthShard.Add(int64(-len(batch)))
 	return batch, true
 }
 
@@ -130,23 +168,83 @@ func (q *inbox) close() {
 	q.mu.Unlock()
 }
 
+// shard is one slice of the runtime: a loop goroutine, an inbox, and a
+// timer wheel, serving every runner placed on it. Standalone runners
+// own a private shard (id -1); Cluster shards are numbered and export
+// per-shard depth gauges.
+type shard struct {
+	id    int
+	inbox *inbox
+	wheel *timerwheel.Wheel
+	wg    sync.WaitGroup
+
+	mLoop *telemetry.Counter
+
+	// ringBuf is the loop-goroutine-only scratch buffer for draining
+	// inline ports.
+	ringBuf [ringDrainBatch]sig.Envelope
+}
+
+func newShard(id int, wheel *timerwheel.Wheel) *shard {
+	var g *telemetry.Gauge
+	if id >= 0 {
+		g = telemetry.G(MetricInboxDepth + ".s" + strconv.Itoa(id))
+	}
+	s := &shard{
+		id:    id,
+		inbox: newInbox(g),
+		wheel: wheel,
+		mLoop: telemetry.C(MetricLoopIterations),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *shard) loop() {
+	defer s.wg.Done()
+	var batch []inboxItem
+	for {
+		var ok bool
+		batch, ok = s.inbox.drain(batch)
+		if !ok {
+			return
+		}
+		n := 0
+		for i := range batch {
+			n += batch[i].r.execute(&batch[i])
+		}
+		// One counter round-trip per drain, not per event: under load a
+		// drain carries a burst, and the shared atomic would otherwise
+		// bounce between every core on every dispatch.
+		s.mLoop.Add(uint64(n))
+	}
+}
+
+func (s *shard) close() { s.inbox.close() }
+
 // donePool recycles the completion channels Do blocks on.
 var donePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
-// Runner drives one Box over a transport.Network.
+// Runner drives one Box over a transport.Network, multiplexed onto a
+// runtime shard.
 type Runner struct {
-	box   *Box
-	net   transport.Network
-	wheel *timerwheel.Wheel
+	box *Box
+	net transport.Network
+	sh  *shard
 
-	inbox    *inbox
+	closed   bool // guarded by sh.inbox.mu; set by pushStop
 	stopc    chan struct{}
+	stopDone chan struct{}
 	stopOnce sync.Once
-	wg       sync.WaitGroup
+	ownShard bool
+	wg       sync.WaitGroup // pumps and accept goroutines
 
 	// loop-goroutine-only state
 	ports     map[string]transport.Port
 	timers    map[string]*timerwheel.Timer
+	timerFns  map[string]func()
+	setupMeta map[string]*sig.Meta
 	acceptN   int
 	chanVer   uint64 // box.ChanVersion after the last dispatched item
 	lifecycle Lifecycle
@@ -158,10 +256,9 @@ type Runner struct {
 	trace func(WireEvent)
 
 	waitMu  sync.Mutex
-	waiters []chan struct{} // closed when the channel table changes
+	waiters map[string][]chan struct{} // per-channel-name AwaitChannel waiters
 
-	mLoop   *telemetry.Counter // runner loop iterations
-	mTracer *telemetry.Tracer  // envelope send/recv trace
+	mTracer *telemetry.Tracer // envelope send/recv trace
 
 	// OnError, if set, observes box errors as they happen (testing).
 	OnError func(error)
@@ -197,70 +294,112 @@ func (r *Runner) traceEvent(dir, channel string, env sig.Envelope) {
 	}
 }
 
-// NewRunner wraps b for live execution over net. All runners in the
-// process share one timer wheel and one goroutine apiece; ports add a
-// pump goroutine each.
+// NewRunner wraps b for live execution over net on a private shard:
+// one loop goroutine for this box, timers on the package-wide solo
+// wheel. Boxes that should share cores and wheels belong on a Cluster.
 func NewRunner(b *Box, net transport.Network) *Runner {
-	r := &Runner{
-		box:     b,
-		net:     net,
-		wheel:   timerwheel.Default(),
-		inbox:   newInbox(),
-		stopc:   make(chan struct{}),
-		ports:   map[string]transport.Port{},
-		timers:  map[string]*timerwheel.Timer{},
-		mLoop:   telemetry.C(MetricLoopIterations),
-		mTracer: telemetry.T(),
+	return newRunner(b, net, newShard(-1, soloWheel()), true)
+}
+
+func newRunner(b *Box, net transport.Network, sh *shard, own bool) *Runner {
+	b.TrackDirtyChannels()
+	return &Runner{
+		box:       b,
+		net:       net,
+		sh:        sh,
+		ownShard:  own,
+		stopc:     make(chan struct{}),
+		stopDone:  make(chan struct{}),
+		ports:     map[string]transport.Port{},
+		timers:    map[string]*timerwheel.Timer{},
+		timerFns:  map[string]func(){},
+		setupMeta: map[string]*sig.Meta{},
+		mTracer:   telemetry.T(),
 	}
-	r.wg.Add(1)
-	go r.loop()
-	return r
 }
 
 // Box returns the underlying box. Touch it only via Do.
 func (r *Runner) Box() *Box { return r.box }
 
-func (r *Runner) loop() {
-	defer r.wg.Done()
-	var batch []inboxItem
-	for {
-		var ok bool
-		batch, ok = r.inbox.drain(batch)
-		if !ok {
-			r.closeAll()
-			return
-		}
-		for i := range batch {
-			r.execute(&batch[i])
-		}
-	}
-}
+// Shard reports the shard index this runner is placed on; -1 for a
+// standalone runner.
+func (r *Runner) Shard() int { return r.sh.id }
 
-// execute dispatches one inbox item. Loop goroutine only.
-func (r *Runner) execute(it *inboxItem) {
+// execute dispatches one inbox item and returns the number of loop
+// iterations (box events) it amounted to. Shard loop goroutine only.
+func (r *Runner) execute(it *inboxItem) int {
+	n := 0
 	switch it.kind {
 	case itemEvent:
-		r.mLoop.Inc()
+		n = 1
 		r.handle(it.ev)
 		if it.done != nil {
 			it.done <- struct{}{}
 		}
 	case itemBatch:
+		n = len(it.batch)
 		for _, e := range it.batch {
-			r.mLoop.Inc()
 			r.handle(Event{Kind: EvEnvelope, Channel: it.ev.Channel, Env: e})
 		}
 		it.ack <- struct{}{}
 	case itemRun:
-		r.mLoop.Inc()
+		n = 1
 		it.run()
+	case itemRing:
+		n = r.drainRing(it.ev.Channel, it.ring)
+	case itemStop:
+		r.closeAll()
+		close(r.stopDone)
 	}
 	if v := r.box.ChanVersion(); v != r.chanVer {
 		r.chanVer = v
-		r.notifyWaiters()
+		r.notifyChanged()
 	}
+	return n
 }
 
+// drainRing moves pending envelopes out of an inline port and through
+// the box, up to the fairness cap; past the cap it re-posts itself so
+// one busy channel cannot starve the shard's other boxes. Loop
+// goroutine only.
+func (r *Runner) drainRing(channel string, ip transport.InlinePort) int {
+	if r.ports[channel] != transport.Port(ip) {
+		// Stale notification: the channel was torn down or redialed
+		// after this item was posted.
+		return 0
+	}
+	buf := r.sh.ringBuf[:]
+	events := 0
+	for events < ringDrainMax {
+		n, ok := ip.TryRecvBatch(buf)
+		if n == 0 {
+			if !ok {
+				r.portLost(channel, ip)
+			}
+			// Empty ring: the readiness edge was re-armed by
+			// TryRecvBatch, so the next push re-posts us.
+			return events
+		}
+		for i := 0; i < n; i++ {
+			r.handle(Event{Kind: EvEnvelope, Channel: channel, Env: buf[i]})
+			buf[i] = sig.Envelope{}
+			if r.ports[channel] != transport.Port(ip) {
+				// The box tore this channel down mid-burst; the rest of
+				// the ring is for a dead channel.
+				return events + i + 1
+			}
+		}
+		events += n
+	}
+	// Fairness cap hit with the ring possibly non-empty and the edge
+	// NOT re-armed: hand the loop back and queue another drain.
+	r.sh.inbox.push(inboxItem{kind: itemRing, r: r,
+		ev: Event{Kind: EvEnvelope, Channel: channel}, ring: ip})
+	return events
+}
+
+// closeAll is the runner's loop-side cleanup, executed by its stop
+// item (or inline by Stop when the shard loop is already gone).
 func (r *Runner) closeAll() {
 	for _, p := range r.ports {
 		p.Close()
@@ -269,19 +408,59 @@ func (r *Runner) closeAll() {
 		t.Stop()
 	}
 	r.lcFlush()
-	r.notifyWaiters()
+	r.notifyAllWaiters()
 }
 
-// Stop shuts the runner down and waits for the loop, pumps, and accept
-// goroutines to exit. Work already queued is processed first; pushes
+// pushStop marks the runner closed and enqueues its stop item in one
+// critical section: everything pushed before is processed first,
+// nothing lands after. pushed reports whether the item was enqueued;
+// already reports the runner was closed beforehand (a concurrent Stop
+// owns the item).
+func (r *Runner) pushStop() (pushed, already bool) {
+	q := r.sh.inbox
+	q.mu.Lock()
+	if r.closed {
+		q.mu.Unlock()
+		return false, true
+	}
+	r.closed = true
+	if q.closed {
+		q.mu.Unlock()
+		return false, false
+	}
+	q.items = append(q.items, inboxItem{kind: itemStop, r: r})
+	if len(q.items) == 1 {
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+	q.depth.Inc()
+	q.depthShard.Inc()
+	return true, false
+}
+
+// Stop shuts the runner down and waits for its cleanup, pumps, and
+// accept goroutines. Work already queued is processed first; pushes
 // that lose the race with Stop are refused, so concurrent Connect,
 // Listen, and pump deliveries cannot strand work or touch a drained
-// loop.
+// loop. On a shared (Cluster) shard the loop itself keeps running for
+// the other boxes; a standalone runner's private shard exits.
 func (r *Runner) Stop() {
 	r.stopOnce.Do(func() {
 		close(r.stopc)
-		r.inbox.close()
+		pushed, already := r.pushStop()
+		if !pushed && !already {
+			// The shard loop is gone (inbox closed before this runner
+			// stopped), so no stop item will ever execute. With the loop
+			// dead its state is safe to clean from here.
+			r.closeAll()
+			close(r.stopDone)
+		}
 	})
+	<-r.stopDone
+	if r.ownShard {
+		r.sh.close()
+		r.sh.wg.Wait()
+	}
 	r.wg.Wait()
 }
 
@@ -311,12 +490,14 @@ func (r *Runner) fail(err error) {
 	}
 }
 
-// Do runs f inside the box goroutine and waits for it to finish. It is
-// the only safe way to inspect or mutate box state from outside. If
-// the runner is stopped, f does not run.
+// Do runs f inside the box's shard loop and waits for it to finish. It
+// is the only safe way to inspect or mutate box state from outside. If
+// the runner is stopped, f does not run. Do must not be called from
+// box or program code: a loop goroutine blocking on a runner of its
+// own shard would wait on itself.
 func (r *Runner) Do(f func(ctx *Ctx)) {
 	donec := donePool.Get().(chan struct{})
-	if !r.inbox.push(inboxItem{kind: itemEvent, ev: Event{Kind: EvCall, Call: f}, done: donec}) {
+	if !r.sh.inbox.push(inboxItem{kind: itemEvent, r: r, ev: Event{Kind: EvCall, Call: f}, done: donec}) {
 		donePool.Put(donec)
 		return
 	}
@@ -337,7 +518,7 @@ func (r *Runner) SetProgram(p *Program) {
 
 // Inject delivers an event as if it came from a transport, for tests.
 func (r *Runner) Inject(ev Event) {
-	r.inbox.push(inboxItem{kind: itemEvent, ev: ev})
+	r.sh.inbox.push(inboxItem{kind: itemEvent, r: r, ev: ev})
 }
 
 // handle runs one event through the box and processes its outputs.
@@ -360,6 +541,40 @@ func (r *Runner) handle(ev Event) {
 	r.fail(err)
 }
 
+// setupMetaFor returns the (immutable) setup meta announcing this box
+// on the named channel. Dial-heavy workloads redial the same channel
+// names constantly; caching the meta and its attrs map keeps redial
+// from allocating. Loop goroutine only.
+func (r *Runner) setupMetaFor(channel string) *sig.Meta {
+	if m := r.setupMeta[channel]; m != nil {
+		return m
+	}
+	m := &sig.Meta{Kind: sig.MetaSetup,
+		Attrs: map[string]string{"from": r.box.Name(), "chan": channel}}
+	if len(r.setupMeta) < runnerCacheCap {
+		r.setupMeta[channel] = m
+	}
+	return m
+}
+
+// timerFnFor returns the inbox-posting fire closure for the named
+// timer, cached so re-arming a recurring timer does not allocate a new
+// closure per arm. Loop goroutine only.
+func (r *Runner) timerFnFor(name string) func() {
+	if fn := r.timerFns[name]; fn != nil {
+		return fn
+	}
+	fn := func() {
+		// Wheel goroutine: just post; the box's pendingT set makes
+		// stale fires (cancel racing this post) harmless.
+		r.sh.inbox.push(inboxItem{kind: itemEvent, r: r, ev: Event{Kind: EvTimer, Timer: name}})
+	}
+	if len(r.timerFns) < runnerCacheCap {
+		r.timerFns[name] = fn
+	}
+	return fn
+}
+
 // process executes box outputs. Loop goroutine only.
 func (r *Runner) process(outs []Output) {
 	for _, o := range outs {
@@ -373,15 +588,21 @@ func (r *Runner) process(outs []Output) {
 			p, err := r.net.Dial(o.Addr)
 			if err != nil {
 				// The intended far endpoint is unreachable: synthesize
-				// the unavailable meta-signal for the program.
-				r.handle(Event{Kind: EvEnvelope, Channel: o.Channel,
-					Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaUnavailable}}})
+				// the unavailable meta-signal for the program. Through the
+				// inbox, not inline — a program that redials straight from
+				// its unavailable transition would otherwise recurse
+				// process→handle→process unboundedly while the target is
+				// down (e.g. its listener stopping first during cluster
+				// shutdown), and the refused-after-stop push is what ends
+				// the cycle once this runner is closed.
+				r.sh.inbox.push(inboxItem{kind: itemEvent, r: r,
+					ev: Event{Kind: EvEnvelope, Channel: o.Channel,
+						Env: sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaUnavailable}}}})
 				continue
 			}
 			r.addPort(o.Channel, p)
 			r.lcSetup(o.Channel, o.Addr)
-			p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup,
-				Attrs: map[string]string{"from": r.box.Name(), "chan": o.Channel}}})
+			p.Send(sig.Envelope{Meta: r.setupMetaFor(o.Channel)})
 		case OutTeardown:
 			r.lcTeardown(o.Channel)
 			if p := r.ports[o.Channel]; p != nil {
@@ -393,12 +614,7 @@ func (r *Runner) process(outs []Output) {
 			if t := r.timers[o.Timer]; t != nil {
 				t.Stop()
 			}
-			name := o.Timer
-			r.timers[name] = r.wheel.Schedule(o.Dur, func() {
-				// Wheel goroutine: just post; the box's pendingT set makes
-				// stale fires (cancel racing this post) harmless.
-				r.inbox.push(inboxItem{kind: itemEvent, ev: Event{Kind: EvTimer, Timer: name}})
-			})
+			r.timers[o.Timer] = r.sh.wheel.Schedule(o.Dur, r.timerFnFor(o.Timer))
 		case OutTimerCancel:
 			if t := r.timers[o.Timer]; t != nil {
 				t.Stop()
@@ -412,10 +628,21 @@ func (r *Runner) process(outs []Output) {
 	}
 }
 
-// addPort registers a connected port and starts its pump. Loop
-// goroutine only.
+// addPort registers a connected port. Inline (SPSC ring) ports are
+// drained by the shard loop on readiness notifications — no goroutine;
+// everything else gets a pump. Loop goroutine only.
 func (r *Runner) addPort(channel string, p transport.Port) {
 	r.ports[channel] = p
+	if ip, ok := p.(transport.InlinePort); ok {
+		ip.SetReady(func() {
+			// Producer's goroutine, one edge per empty→non-empty
+			// transition. A refused push means the runner stopped; its
+			// cleanup closes the port.
+			r.sh.inbox.push(inboxItem{kind: itemRing, r: r,
+				ev: Event{Kind: EvEnvelope, Channel: channel}, ring: ip})
+		})
+		return
+	}
 	r.wg.Add(1)
 	go r.pump(channel, p)
 }
@@ -446,7 +673,7 @@ func (r *Runner) pump(channel string, p transport.Port) {
 			if n == len(bufs[cur]) && want < pumpBatchMax {
 				want *= 2 // saturated drain: the port is bursty, scale up
 			}
-			if !r.inbox.push(inboxItem{kind: itemBatch,
+			if !r.sh.inbox.push(inboxItem{kind: itemBatch, r: r,
 				ev: Event{Kind: EvEnvelope, Channel: channel}, batch: bufs[cur][:n], ack: ack}) {
 				return
 			}
@@ -455,7 +682,7 @@ func (r *Runner) pump(channel string, p transport.Port) {
 		}
 	} else {
 		for e := range p.Recv() {
-			if !r.inbox.push(inboxItem{kind: itemEvent,
+			if !r.sh.inbox.push(inboxItem{kind: itemEvent, r: r,
 				ev: Event{Kind: EvEnvelope, Channel: channel, Env: e}}) {
 				return
 			}
@@ -464,7 +691,7 @@ func (r *Runner) pump(channel string, p transport.Port) {
 	// Transport gone without a teardown: synthesize one so the box
 	// cleans up. Run items execute outside the box core because
 	// portLost re-enters handle.
-	r.inbox.push(inboxItem{kind: itemRun, run: func() { r.portLost(channel, p) }})
+	r.sh.inbox.push(inboxItem{kind: itemRun, r: r, run: func() { r.portLost(channel, p) }})
 }
 
 // portLost is the loop-side cleanup when a transport disappears. Loop
@@ -500,7 +727,7 @@ func (r *Runner) Listen(addr string, nameFor func(n int) string) error {
 				return
 			}
 			port := p
-			ok := r.inbox.push(inboxItem{kind: itemRun, run: func() {
+			ok := r.sh.inbox.push(inboxItem{kind: itemRun, r: r, run: func() {
 				n := r.acceptN
 				r.acceptN++
 				name := "in" + strconv.Itoa(n)
@@ -525,21 +752,69 @@ func (r *Runner) Listen(addr string, nameFor func(n int) string) error {
 	return nil
 }
 
-// notifyWaiters wakes every AwaitChannel waiter.
-func (r *Runner) notifyWaiters() {
-	r.waitMu.Lock()
-	ws := r.waiters
-	r.waiters = nil
-	r.waitMu.Unlock()
-	for _, w := range ws {
-		close(w)
+// notifyChanged wakes the AwaitChannel waiters of exactly the channels
+// the last dispatch touched. With 100k boxes redialing on a host,
+// waking every waiter in the process on every table change melts into
+// a thundering herd; per-key wakeups keep AwaitChannel O(changes).
+// Loop goroutine only.
+func (r *Runner) notifyChanged() {
+	names := r.box.DirtyChannels()
+	if len(names) == 0 {
+		// Version moved without named dirt (tracking toggled off):
+		// fall back to waking everyone rather than missing a waiter.
+		r.notifyAllWaiters()
+		return
 	}
+	r.waitMu.Lock()
+	for _, name := range names {
+		if ws := r.waiters[name]; len(ws) > 0 {
+			for _, w := range ws {
+				close(w)
+			}
+			delete(r.waiters, name)
+		}
+	}
+	r.waitMu.Unlock()
+	r.box.ResetDirtyChannels()
+}
+
+// notifyAllWaiters wakes every AwaitChannel waiter (runner shutdown,
+// or a table change without attribution).
+func (r *Runner) notifyAllWaiters() {
+	r.waitMu.Lock()
+	for name, ws := range r.waiters {
+		for _, w := range ws {
+			close(w)
+		}
+		delete(r.waiters, name)
+	}
+	r.waitMu.Unlock()
+}
+
+// unwait removes a waiter that stopped waiting (found its channel, or
+// timed out) so abandoned registrations do not pile up on hot names.
+func (r *Runner) unwait(name string, w chan struct{}) {
+	r.waitMu.Lock()
+	ws := r.waiters[name]
+	for i, c := range ws {
+		if c == w {
+			ws[i] = ws[len(ws)-1]
+			ws[len(ws)-1] = nil
+			r.waiters[name] = ws[:len(ws)-1]
+			break
+		}
+	}
+	if len(r.waiters[name]) == 0 {
+		delete(r.waiters, name)
+	}
+	r.waitMu.Unlock()
 }
 
 // AwaitChannel waits until the box has a channel with the given name
 // (e.g. an accepted incoming channel) and reports whether it appeared
-// before the timeout. Waiting is notification-based: the loop wakes
-// waiters whenever the channel table changes.
+// before the timeout. Waiting is notification-based and keyed: the
+// loop wakes exactly the waiters of channels whose table entries
+// changed.
 func (r *Runner) AwaitChannel(name string, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -547,16 +822,21 @@ func (r *Runner) AwaitChannel(name string, timeout time.Duration) bool {
 		// check and the wait cannot be missed.
 		w := make(chan struct{})
 		r.waitMu.Lock()
-		r.waiters = append(r.waiters, w)
+		if r.waiters == nil {
+			r.waiters = map[string][]chan struct{}{}
+		}
+		r.waiters[name] = append(r.waiters[name], w)
 		r.waitMu.Unlock()
 
 		has := false
 		r.Do(func(*Ctx) { has = r.box.HasChannel(name) })
 		if has {
+			r.unwait(name, w)
 			return true
 		}
 		d := time.Until(deadline)
 		if d <= 0 {
+			r.unwait(name, w)
 			return false
 		}
 		t := time.NewTimer(d)
@@ -564,9 +844,11 @@ func (r *Runner) AwaitChannel(name string, timeout time.Duration) bool {
 		case <-w:
 			t.Stop()
 		case <-t.C:
+			r.unwait(name, w)
 			return false
 		case <-r.stopc:
 			t.Stop()
+			r.unwait(name, w)
 			return false
 		}
 	}
@@ -590,8 +872,7 @@ func (r *Runner) Connect(channel, addr string) error {
 		r.box.AddChannel(channel, true)
 		r.addPort(channel, p)
 		r.lcSetup(channel, addr)
-		p.Send(sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup,
-			Attrs: map[string]string{"from": r.box.Name(), "chan": channel}}})
+		p.Send(sig.Envelope{Meta: r.setupMetaFor(channel)})
 	})
 	return err
 }

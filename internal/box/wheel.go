@@ -1,0 +1,26 @@
+package box
+
+import (
+	"sync"
+
+	"ipmedia/internal/timerwheel"
+)
+
+// soloWheel is the timer wheel shared by standalone runners — those
+// built with NewRunner rather than placed on a Cluster. Cluster shards
+// each own a wheel (one timer goroutine per core, no cross-core timer
+// contention); standalone runners are the long tail of tests and small
+// tools, and one lazily started wheel for all of them keeps NewRunner
+// cheap without resurrecting a process-global singleton in the
+// timerwheel package itself.
+var (
+	soloWheelOnce sync.Once
+	soloWheelW    *timerwheel.Wheel
+)
+
+func soloWheel() *timerwheel.Wheel {
+	soloWheelOnce.Do(func() {
+		soloWheelW = timerwheel.NewNamed(timerwheel.DefaultTick, "solo")
+	})
+	return soloWheelW
+}

@@ -15,6 +15,7 @@
 package telemetry
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -109,16 +110,48 @@ func (g *Gauge) HighWater() int64 {
 	return g.hwm.Load()
 }
 
-// latencyBounds are the histogram bucket upper bounds in nanoseconds:
-// a base-2 exponential ladder from 1µs to ~8.6s. Latencies above the
-// last bound land in the overflow bucket.
+// Histogram bucket layout: a base-2 octave ladder from 1µs to ~8.6s,
+// with each octave split into 4 linear sub-buckets. A plain power-of-2
+// ladder put every call-setup latency between 268ms and 537ms into one
+// bucket, so the reported p50 read exactly 2^29 ns (536.870912ms)
+// regardless of where the mass actually sat; quarter-octave buckets
+// plus linear interpolation inside the bucket (see Snapshot) bound the
+// quantile error at a few percent instead of a factor of two.
+const (
+	histMinExp = 10 // first bucket: everything ≤ 2^10 ns (1µs)
+	histMaxExp = 33 // last bound: 2^33 ns (~8.6s); beyond is overflow
+	histSubs   = 4  // linear sub-buckets per octave (power of two)
+)
+
+// latencyBounds are the bucket upper bounds in nanoseconds: index 0 is
+// the ≤1µs catch-all, then 4 bounds per octave at 2^k·{1.25, 1.5,
+// 1.75, 2.0} up to 2^33.
 var latencyBounds = func() []int64 {
-	b := make([]int64, 0, 24)
-	for ns := int64(1 << 10); ns <= 1<<33; ns <<= 1 {
-		b = append(b, ns)
+	b := make([]int64, 0, 1+(histMaxExp-histMinExp)*histSubs)
+	b = append(b, 1<<histMinExp)
+	for k := histMinExp; k < histMaxExp; k++ {
+		lo, step := int64(1)<<k, int64(1)<<(k-2)
+		for j := int64(1); j <= histSubs; j++ {
+			b = append(b, lo+j*step)
+		}
 	}
 	return b
 }()
+
+// bucketIndex maps a latency to its bucket in O(1) with bit math
+// (the sub-bucketed ladder is too long for the old linear scan).
+func bucketIndex(ns int64) int {
+	if ns <= 1<<histMinExp {
+		return 0
+	}
+	if ns > 1<<histMaxExp {
+		return len(latencyBounds) // overflow bucket
+	}
+	// ns in (2^k, 2^(k+1)]: octave k, then which quarter of it.
+	k := bits.Len64(uint64(ns-1)) - 1
+	j := int((ns - 1 - int64(1)<<k) >> (k - 2))
+	return 1 + (k-histMinExp)*histSubs + j
+}
 
 // Histogram is a fixed-bucket latency histogram. Observations are
 // lock-free; Snapshot is a consistent-enough read for monitoring (each
@@ -140,11 +173,7 @@ func (h *Histogram) Observe(d time.Duration) {
 		return
 	}
 	ns := int64(d)
-	i := 0
-	for i < len(latencyBounds) && ns > latencyBounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
+	h.counts[bucketIndex(ns)].Add(1)
 	h.sum.Add(ns)
 	h.n.Add(1)
 }
@@ -173,9 +202,12 @@ type HistSnapshot struct {
 	P99   time.Duration
 }
 
-// Snapshot summarizes the histogram. Quantiles are reported as the
-// upper bound of the bucket containing the quantile, so they are
-// conservative (never under-report).
+// Snapshot summarizes the histogram. Quantiles interpolate linearly
+// within the bucket containing the quantile point, assuming samples
+// are uniformly spread across the bucket; with quarter-octave buckets
+// that bounds the error at ~6% of the value. The overflow bucket has
+// no upper bound, so quantiles landing there report twice the last
+// bound.
 func (h *Histogram) Snapshot() HistSnapshot {
 	var s HistSnapshot
 	if h == nil {
@@ -194,19 +226,25 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	s.Avg = s.Sum / time.Duration(total)
 	q := func(p float64) time.Duration {
-		target := uint64(p * float64(total))
-		if target == 0 {
+		target := p * float64(total)
+		if target < 1 {
 			target = 1
 		}
 		var cum uint64
 		for i, c := range counts {
-			cum += c
-			if cum >= target {
-				if i < len(latencyBounds) {
-					return time.Duration(latencyBounds[i])
+			if float64(cum+c) >= target && c > 0 {
+				if i >= len(latencyBounds) {
+					return time.Duration(latencyBounds[len(latencyBounds)-1]) * 2
 				}
-				return time.Duration(latencyBounds[len(latencyBounds)-1]) * 2
+				var lo int64
+				if i > 0 {
+					lo = latencyBounds[i-1]
+				}
+				hi := latencyBounds[i]
+				frac := (target - float64(cum)) / float64(c)
+				return time.Duration(lo + int64(frac*float64(hi-lo)))
 			}
+			cum += c
 		}
 		return s.Sum
 	}

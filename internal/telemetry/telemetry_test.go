@@ -88,6 +88,72 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileAccuracy pins quantile accuracy to a few
+// percent. The regression it guards: with plain power-of-2 buckets,
+// every setup latency between 268ms and 537ms collapsed into one
+// bucket and p50 read exactly 536.870912ms (2^29 ns) no matter the
+// workload. Quarter-octave sub-buckets plus in-bucket interpolation
+// must recover the real location of the mass.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	// 700 samples at 300ms, 300 at 900ms: p50 is in the 300ms mass,
+	// p95 in the 900ms mass — both well inside an octave.
+	for i := 0; i < 700; i++ {
+		h.Observe(300 * time.Millisecond)
+	}
+	for i := 0; i < 300; i++ {
+		h.Observe(900 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	within := func(name string, got, want time.Duration, tol float64) {
+		t.Helper()
+		lo := time.Duration(float64(want) * (1 - tol))
+		hi := time.Duration(float64(want) * (1 + tol))
+		if got < lo || got > hi {
+			t.Fatalf("%s = %v, want within %.0f%% of %v", name, got, tol*100, want)
+		}
+	}
+	within("p50", s.P50, 300*time.Millisecond, 0.10)
+	within("p95", s.P95, 900*time.Millisecond, 0.10)
+	if s.P50 == time.Duration(1<<29) {
+		t.Fatalf("p50 reads exactly 2^29 ns: bucket upper bound leaked through again")
+	}
+
+	// A point mass must read close to itself at every quantile.
+	r2 := NewRegistry()
+	h2 := r2.Histogram("h2")
+	for i := 0; i < 1000; i++ {
+		h2.Observe(100 * time.Millisecond)
+	}
+	s2 := h2.Snapshot()
+	within("point-mass p50", s2.P50, 100*time.Millisecond, 0.10)
+	within("point-mass p99", s2.P99, 100*time.Millisecond, 0.10)
+}
+
+// TestHistogramBucketIndex checks the O(1) bit-math bucketing against
+// the bounds table it indexes into.
+func TestHistogramBucketIndex(t *testing.T) {
+	for _, ns := range []int64{1, 1023, 1024, 1025, 1280, 1281, 1 << 20,
+		1<<20 + 1, 300_000_000, 1 << 33, 1<<33 + 1, 1 << 40} {
+		i := bucketIndex(ns)
+		if i < len(latencyBounds) && ns > latencyBounds[i] {
+			t.Fatalf("ns=%d: bucket %d has bound %d < ns", ns, i, latencyBounds[i])
+		}
+		if i > 0 && i <= len(latencyBounds) && ns <= latencyBounds[i-1] {
+			t.Fatalf("ns=%d: belongs below bucket %d (prev bound %d)", ns, i, latencyBounds[i-1])
+		}
+		if i == len(latencyBounds) && ns <= latencyBounds[len(latencyBounds)-1] {
+			t.Fatalf("ns=%d: sent to overflow but fits the table", ns)
+		}
+	}
+	for i, b := range latencyBounds {
+		if got := bucketIndex(b); got != i {
+			t.Fatalf("bound %d (index %d) buckets to %d", b, i, got)
+		}
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("h")

@@ -15,8 +15,13 @@
 // never fires early; it can fire up to one tick late, which is well
 // inside protocol timeout tolerances.
 //
-// All Runners in a process share Default(), so a host with 100k live
-// boxes still runs one timer goroutine.
+// There is deliberately no process-global wheel: a single shared wheel
+// serializes every timer arm/cancel in the process behind one mutex,
+// which is exactly the cross-core contention the sharded box runtime
+// exists to avoid. Each runtime shard owns a wheel (NewNamed, so its
+// pending count is observable per shard), and subsystems that need a
+// wheel outside any shard (the transport reliability layer, standalone
+// runners) keep one package-scoped wheel each.
 package timerwheel
 
 import (
@@ -27,7 +32,10 @@ import (
 )
 
 // MetricPending is the gauge tracking timers currently armed in every
-// wheel of the process (with its high-water mark).
+// wheel of the process (with its high-water mark). A wheel created
+// with NewNamed additionally tracks its own armed count under
+// MetricPending + "." + label, so per-shard wheels are observable
+// individually.
 const MetricPending = "timerwheel.pending"
 
 const (
@@ -67,6 +75,7 @@ func (t *Timer) Stop() bool {
 	t.list = nil
 	w.pending--
 	w.gauge.Dec()
+	w.labelGauge.Dec()
 	return true
 }
 
@@ -119,7 +128,8 @@ type Wheel struct {
 	slots   [numLevels][numSlots]timerList
 	pending int
 
-	gauge *telemetry.Gauge
+	gauge      *telemetry.Gauge // process-wide aggregate (nil-safe)
+	labelGauge *telemetry.Gauge // per-wheel labeled gauge (nil unless NewNamed)
 
 	wake      chan struct{}
 	done      chan struct{}
@@ -128,6 +138,14 @@ type Wheel struct {
 
 // New starts a wheel with the given tick granularity.
 func New(tick time.Duration) *Wheel {
+	return NewNamed(tick, "")
+}
+
+// NewNamed starts a wheel whose armed-timer count is additionally
+// tracked under its own labeled gauge (MetricPending + "." + label).
+// Runtime shards use this so a hot shard's timer population is
+// distinguishable from its siblings'. An empty label is New.
+func NewNamed(tick time.Duration, label string) *Wheel {
 	if tick <= 0 {
 		tick = DefaultTick
 	}
@@ -138,26 +156,15 @@ func New(tick time.Duration) *Wheel {
 		wake:  make(chan struct{}, 1),
 		done:  make(chan struct{}),
 	}
+	if label != "" {
+		w.labelGauge = telemetry.G(MetricPending + "." + label)
+	}
 	go w.run()
 	return w
 }
 
-var (
-	defaultOnce  sync.Once
-	defaultWheel *Wheel
-)
-
-// Default returns the process-wide shared wheel, creating it (with
-// DefaultTick) on first use. Enable telemetry before the first call if
-// the pending gauge should be recorded.
-func Default() *Wheel {
-	defaultOnce.Do(func() { defaultWheel = New(DefaultTick) })
-	return defaultWheel
-}
-
-// Close stops the wheel goroutine. Pending timers never fire. The
-// shared Default wheel is never closed; Close exists for tests and
-// embedded wheels.
+// Close stops the wheel goroutine. Pending timers never fire. Close
+// exists for tests, embedded wheels, and runtime shards tearing down.
 func (w *Wheel) Close() {
 	w.closeOnce.Do(func() { close(w.done) })
 }
@@ -211,6 +218,7 @@ func (w *Wheel) Schedule(d time.Duration, fn func()) *Timer {
 	w.insert(t)
 	w.pending++
 	w.gauge.Inc()
+	w.labelGauge.Inc()
 	w.mu.Unlock()
 	w.poke()
 	return t
@@ -302,6 +310,7 @@ func (w *Wheel) advance(target uint64, out []*Timer) []*Timer {
 			t.next, t.prev, t.list = nil, nil, nil
 			w.pending--
 			w.gauge.Dec()
+			w.labelGauge.Dec()
 			out = append(out, t)
 			t = next
 		}

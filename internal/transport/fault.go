@@ -76,7 +76,7 @@ func NewFaultNetwork(under Network, prof FaultProfile) *FaultNetwork {
 	n := &FaultNetwork{
 		under:  under,
 		prof:   prof.withDefaults(),
-		wheel:  timerwheel.Default(),
+		wheel:  procWheel(),
 		ports:  map[*faultPort]struct{}{},
 		faults: telemetry.C(MetricFaultsInjected),
 	}

@@ -122,7 +122,7 @@ func NewRelNetwork(under Network, cfg RelConfig) *RelNetwork {
 	return &RelNetwork{
 		under:      under,
 		cfg:        cfg.withDefaults(),
-		wheel:      timerwheel.Default(),
+		wheel:      procWheel(),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		reconnects: telemetry.C(MetricReconnects),
 		giveups:    telemetry.C(MetricGiveups),

@@ -1,0 +1,342 @@
+// SPSC ring ports: the cross-shard seam of the sharded box runtime.
+//
+// A ring port is one end of an in-process signaling channel whose
+// receive side is a bounded single-producer/single-consumer ring
+// (Vyukov sequence slots) drained *inline* by the owning runtime shard
+// instead of a per-port pump goroutine. Delivery is edge-triggered:
+// the producer raises one readiness notification (SetReady callback)
+// when the ring goes empty→non-empty, the consumer drains with
+// TryRecvBatch until empty, and the notification flag is re-armed on
+// the way out. A port therefore costs no goroutine, no per-envelope
+// channel handoff, and — in steady state — no lock on either side.
+//
+// The SPSC contract: exactly one goroutine sends on a given port
+// (for runner-owned ports this is the owning shard loop) and exactly
+// one drains it (the peer's shard loop, via the readiness callback).
+// Sends never block: when the ring is momentarily full the envelope
+// overflows into a mutex-guarded spill list that the consumer drains
+// after the ring, preserving FIFO order (a producer that has spilled
+// keeps spilling until the consumer has emptied the spill, so ring
+// entries are always older than spill entries).
+//
+// Placement-agnosticism is the point: a runner's channel may be
+// same-shard (the notification lands in the producer's own inbox),
+// cross-shard (it lands in another shard's inbox), or remote TCP (a
+// classic pump port) — the runner cannot tell, and the box above
+// certainly cannot.
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ipmedia/internal/sig"
+	"ipmedia/internal/telemetry"
+)
+
+// ringCap is the per-direction ring capacity. Signaling channels carry
+// a handful of envelopes per call phase, so the ring is small; bursts
+// beyond it take the spill path rather than growing the footprint of
+// the hundred thousand idle channels a loaded host holds.
+const ringCap = 32
+
+// ringSlot is one Vyukov sequence slot.
+type ringSlot struct {
+	seq atomic.Uint64
+	env sig.Envelope
+}
+
+// spscRing is the receive side of one direction of a ring channel.
+type spscRing struct {
+	mask  uint64
+	slots []ringSlot
+	head  atomic.Uint64 // next index to pop; consumer-owned
+	tail  atomic.Uint64 // next index to push; producer-owned
+
+	mu     sync.Mutex
+	spill  []sig.Envelope // FIFO overflow, always younger than ring content
+	spillN atomic.Int64   // len(spill), readable without the lock
+	closed atomic.Bool
+
+	notified atomic.Bool            // an edge notification is outstanding
+	ready    atomic.Pointer[func()] // consumer's readiness callback
+	done     chan struct{}          // closed when the ring closes
+}
+
+func newSPSCRing(capacity int) *spscRing {
+	// Round up to a power of two for mask indexing.
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &spscRing{mask: uint64(n - 1), slots: make([]ringSlot, n), done: make(chan struct{})}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush appends e if the ring has room. Producer goroutine only.
+func (r *spscRing) tryPush(e sig.Envelope) bool {
+	t := r.tail.Load()
+	s := &r.slots[t&r.mask]
+	if s.seq.Load() != t {
+		return false // consumer has not freed this slot yet
+	}
+	s.env = e
+	s.seq.Store(t + 1)
+	r.tail.Store(t + 1)
+	return true
+}
+
+// tryPop removes the oldest ring entry. Consumer goroutine only.
+func (r *spscRing) tryPop() (sig.Envelope, bool) {
+	h := r.head.Load()
+	s := &r.slots[h&r.mask]
+	if s.seq.Load() != h+1 {
+		return sig.Envelope{}, false
+	}
+	e := s.env
+	s.env = sig.Envelope{} // drop Meta references promptly
+	s.seq.Store(h + uint64(len(r.slots)))
+	r.head.Store(h + 1)
+	return e, true
+}
+
+// nonEmpty reports whether data is pending. Consumer goroutine only
+// (it reads the consumer-owned head).
+func (r *spscRing) nonEmpty() bool {
+	h := r.head.Load()
+	return r.slots[h&r.mask].seq.Load() == h+1 || r.spillN.Load() > 0
+}
+
+// push enqueues e, spilling when the ring is full or a spill is
+// already in progress (FIFO across the ring/spill boundary). Producer
+// goroutine only.
+func (r *spscRing) push(e sig.Envelope) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	if r.spillN.Load() == 0 && r.tryPush(e) {
+		r.notify()
+		return nil
+	}
+	r.mu.Lock()
+	if r.closed.Load() {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.spill = append(r.spill, e)
+	r.spillN.Store(int64(len(r.spill)))
+	r.mu.Unlock()
+	r.notify()
+	return nil
+}
+
+// notify raises the edge notification if none is outstanding. It may
+// run on the producer goroutine (push, close) or the consumer's
+// (setReady catching up); the CAS makes duplicates harmless — an
+// extra wake-up finds an empty ring and returns.
+func (r *spscRing) notify() {
+	if r.notified.CompareAndSwap(false, true) {
+		if fn := r.ready.Load(); fn != nil {
+			(*fn)()
+		}
+		// No callback registered yet: the flag stays raised and
+		// setReady delivers the wake-up on registration.
+	}
+}
+
+// setReady installs the consumer's readiness callback. If data, a
+// close, or an undelivered notification is already pending, the
+// callback fires immediately (on this goroutine). Consumer only.
+func (r *spscRing) setReady(fn func()) {
+	r.ready.Store(&fn)
+	if r.notified.Load() || r.nonEmpty() || r.closed.Load() {
+		r.notified.Store(true)
+		fn()
+	}
+}
+
+// tryRecvBatch moves up to len(buf) pending envelopes into buf without
+// blocking. It returns (0, true) when the ring is empty but open —
+// the notification edge has been re-armed, so the producer's next push
+// wakes the consumer — and (0, false) once the ring is closed and
+// fully drained. Consumer goroutine only.
+func (r *spscRing) tryRecvBatch(buf []sig.Envelope) (int, bool) {
+	for {
+		n := 0
+		for n < len(buf) {
+			e, ok := r.tryPop()
+			if !ok {
+				break
+			}
+			buf[n] = e
+			n++
+		}
+		if n < len(buf) && r.spillN.Load() > 0 {
+			r.mu.Lock()
+			k := copy(buf[n:], r.spill)
+			rest := copy(r.spill, r.spill[k:])
+			for i := rest; i < len(r.spill); i++ {
+				r.spill[i] = sig.Envelope{}
+			}
+			r.spill = r.spill[:rest]
+			r.spillN.Store(int64(rest))
+			r.mu.Unlock()
+			n += k
+		}
+		if n > 0 {
+			return n, true
+		}
+		// Empty: disarm the edge, then re-check. Data that raced in is
+		// either claimed by re-arming the flag ourselves (continue
+		// draining) or the producer won the CAS and its notification
+		// is already in flight (safe to report empty).
+		r.notified.Store(false)
+		if r.nonEmpty() {
+			if r.notified.CompareAndSwap(false, true) {
+				continue
+			}
+			return 0, true
+		}
+		if r.closed.Load() {
+			if r.nonEmpty() {
+				continue // late data slipped in before the close
+			}
+			return 0, false
+		}
+		return 0, true
+	}
+}
+
+func (r *spscRing) close() {
+	r.mu.Lock()
+	if r.closed.Load() {
+		r.mu.Unlock()
+		return
+	}
+	r.closed.Store(true)
+	r.mu.Unlock()
+	close(r.done)
+	r.notify()
+}
+
+// InlinePort is a Port whose receive side is drained inline by the
+// consumer's scheduler instead of a pump goroutine. SetReady registers
+// an edge-triggered readiness callback — invoked from the producer's
+// goroutine whenever the receive side goes empty→non-empty (and on
+// close), so it must be cheap and non-blocking (runtime shards post an
+// inbox notification). TryRecvBatch never blocks; ok is false once the
+// port is closed and drained. SetReady and Recv are mutually
+// exclusive ways to consume a port.
+type InlinePort interface {
+	Port
+	SetReady(fn func())
+	TryRecvBatch(buf []sig.Envelope) (n int, ok bool)
+}
+
+// ringPort is one end of an SPSC ring channel.
+type ringPort struct {
+	peerName string
+	recv     *spscRing // our receive side
+	send     *spscRing // peer's receive side
+	once     sync.Once
+
+	framesOut *telemetry.Counter
+	framesIn  *telemetry.Counter
+
+	recvOnce sync.Once
+	out      chan sig.Envelope
+}
+
+// RingPipe creates an in-memory SPSC ring channel and returns its two
+// ports. Each end must be sent on by one goroutine and drained by one
+// goroutine (see the package comment); box runners satisfy this by
+// construction. aName and bName label the ends for diagnostics.
+func RingPipe(aName, bName string) (Port, Port) {
+	return ringPipe(aName, bName, ringCap)
+}
+
+func ringPipe(aName, bName string, capacity int) (Port, Port) {
+	framesIn := telemetry.C(MetricFramesIn)
+	framesOut := telemetry.C(MetricFramesOut)
+	ra, rb := newSPSCRing(capacity), newSPSCRing(capacity)
+	a := &ringPort{peerName: bName, recv: ra, send: rb, framesOut: framesOut, framesIn: framesIn}
+	b := &ringPort{peerName: aName, recv: rb, send: ra, framesOut: framesOut, framesIn: framesIn}
+	return a, b
+}
+
+func (p *ringPort) Send(e sig.Envelope) error {
+	if err := p.send.push(e); err != nil {
+		return err
+	}
+	p.framesOut.Inc()
+	return nil
+}
+
+// SetReady implements InlinePort.
+func (p *ringPort) SetReady(fn func()) { p.recv.setReady(fn) }
+
+// TryRecvBatch implements InlinePort.
+func (p *ringPort) TryRecvBatch(buf []sig.Envelope) (int, bool) {
+	n, ok := p.recv.tryRecvBatch(buf)
+	if n > 0 {
+		p.framesIn.Add(uint64(n))
+	}
+	return n, ok
+}
+
+// Recv is the channel-based compatibility path for consumers that do
+// not drain inline; it starts one pump goroutine on first use. A port
+// must be consumed through either Recv or SetReady/TryRecvBatch, not
+// both, and a Recv consumer must keep draining until the channel
+// closes — envelopes already accepted by the ring are delivered, not
+// dropped, so an abandoned reader strands the pump.
+func (p *ringPort) Recv() <-chan sig.Envelope {
+	p.recvOnce.Do(func() {
+		p.out = make(chan sig.Envelope)
+		wake := make(chan struct{}, 1)
+		p.recv.setReady(func() {
+			select {
+			case wake <- struct{}{}:
+			default:
+			}
+		})
+		go p.recvPump(wake)
+	})
+	return p.out
+}
+
+func (p *ringPort) recvPump(wake chan struct{}) {
+	defer close(p.out)
+	var buf [16]sig.Envelope
+	for {
+		n, ok := p.recv.tryRecvBatch(buf[:])
+		for i := 0; i < n; i++ {
+			p.out <- buf[i]
+			p.framesIn.Inc()
+			buf[i] = sig.Envelope{}
+		}
+		if n == 0 {
+			if !ok {
+				return
+			}
+			select {
+			case <-wake:
+			case <-p.recv.done:
+				// Final drain pass above via tryRecvBatch.
+			}
+		}
+	}
+}
+
+func (p *ringPort) Close() error {
+	p.once.Do(func() {
+		p.send.close()
+		p.recv.close()
+	})
+	return nil
+}
+
+func (p *ringPort) Peer() string { return p.peerName }

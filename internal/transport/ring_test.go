@@ -1,0 +1,274 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"ipmedia/internal/sig"
+)
+
+// drainInline consumes a ring port through the InlinePort path the way
+// a runtime shard does: an edge-triggered readiness callback posting to
+// a wake channel, then TryRecvBatch until empty.
+func drainInline(t *testing.T, p Port, out chan<- sig.Envelope, done *sync.WaitGroup) {
+	t.Helper()
+	ip, ok := p.(InlinePort)
+	if !ok {
+		t.Fatalf("port %T is not an InlinePort", p)
+	}
+	wake := make(chan struct{}, 1)
+	ip.SetReady(func() {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	})
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		var buf [8]sig.Envelope
+		for range wake {
+			for {
+				n, open := ip.TryRecvBatch(buf[:])
+				for i := 0; i < n; i++ {
+					out <- buf[i]
+				}
+				if n == 0 {
+					if !open {
+						close(out)
+						return
+					}
+					break // edge re-armed; wait for the next wake
+				}
+			}
+		}
+	}()
+}
+
+// TestRingFIFOThroughSpill pushes far more envelopes than the ring
+// holds, forcing the spill path, and checks strict FIFO on the far end.
+func TestRingFIFOThroughSpill(t *testing.T) {
+	a, b := ringPipe("a", "b", 4) // tiny ring: most envelopes spill
+	const total = 10000
+
+	out := make(chan sig.Envelope, total)
+	var wg sync.WaitGroup
+	drainInline(t, b, out, &wg)
+
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := a.Send(sig.Envelope{Seq: uint32(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+		a.Close()
+	}()
+
+	for i := 0; i < total; i++ {
+		e, ok := <-out
+		if !ok {
+			t.Fatalf("channel closed after %d of %d envelopes", i, total)
+		}
+		if e.Seq != uint32(i) {
+			t.Fatalf("out of order: got seq %d at position %d", e.Seq, i)
+		}
+	}
+	wg.Wait()
+}
+
+// TestRingBidirectional checks the two directions are independent and
+// both flow, using the Recv compatibility pump on one side and inline
+// draining on the other.
+func TestRingBidirectional(t *testing.T) {
+	a, b := RingPipe("a", "b")
+	if a.Peer() != "b" || b.Peer() != "a" {
+		t.Fatalf("peer names: a.Peer=%q b.Peer=%q", a.Peer(), b.Peer())
+	}
+
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			a.Send(sig.Envelope{Seq: uint32(i)})
+		}
+	}()
+	go func() {
+		for i := 0; i < n; i++ {
+			b.Send(sig.Envelope{Seq: uint32(1000 + i)})
+		}
+	}()
+
+	for i := 0; i < n; i++ {
+		e := <-b.Recv()
+		if e.Seq != uint32(i) {
+			t.Fatalf("a->b out of order at %d: seq %d", i, e.Seq)
+		}
+	}
+	for i := 0; i < n; i++ {
+		e := <-a.Recv()
+		if e.Seq != uint32(1000+i) {
+			t.Fatalf("b->a out of order at %d: seq %d", i, e.Seq)
+		}
+	}
+}
+
+// TestRingCloseSemantics: Send after close fails with ErrClosed, the
+// peer's Recv channel closes, and envelopes sent before the close are
+// still delivered.
+func TestRingCloseSemantics(t *testing.T) {
+	a, b := RingPipe("a", "b")
+	for i := 0; i < 3; i++ {
+		if err := a.Send(sig.Envelope{Seq: uint32(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	a.Close()
+	if err := a.Send(sig.Envelope{Seq: 99}); err != ErrClosed {
+		t.Fatalf("send after close: got %v, want ErrClosed", err)
+	}
+	if err := b.Send(sig.Envelope{Seq: 99}); err != ErrClosed {
+		t.Fatalf("peer send after close: got %v, want ErrClosed", err)
+	}
+	got := 0
+	for range b.Recv() {
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("delivered %d pre-close envelopes, want 3", got)
+	}
+}
+
+// TestRingInlineCloseDrains: closing while the consumer is mid-drain
+// still delivers everything already pushed, then reports closed.
+func TestRingInlineCloseDrains(t *testing.T) {
+	a, b := ringPipe("a", "b", 4)
+	const total = 64
+	for i := 0; i < total; i++ {
+		if err := a.Send(sig.Envelope{Seq: uint32(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	a.Close()
+
+	ip := b.(InlinePort)
+	var buf [8]sig.Envelope
+	got := 0
+	for {
+		n, open := ip.TryRecvBatch(buf[:])
+		for i := 0; i < n; i++ {
+			if buf[i].Seq != uint32(got) {
+				t.Fatalf("out of order: seq %d at position %d", buf[i].Seq, got)
+			}
+			got++
+		}
+		if n == 0 {
+			if open {
+				t.Fatalf("ring reports open after close with %d/%d drained", got, total)
+			}
+			break
+		}
+	}
+	if got != total {
+		t.Fatalf("drained %d envelopes, want %d", got, total)
+	}
+}
+
+// TestRingSetReadyAfterData: a callback registered when data is already
+// pending must fire immediately, not wait for the next push.
+func TestRingSetReadyAfterData(t *testing.T) {
+	a, b := RingPipe("a", "b")
+	if err := a.Send(sig.Envelope{Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 1)
+	b.(InlinePort).SetReady(func() { fired <- struct{}{} })
+	select {
+	case <-fired:
+	default:
+		t.Fatal("SetReady with pending data did not fire immediately")
+	}
+	var buf [1]sig.Envelope
+	n, _ := b.(InlinePort).TryRecvBatch(buf[:])
+	if n != 1 || buf[0].Seq != 7 {
+		t.Fatalf("got n=%d seq=%d", n, buf[0].Seq)
+	}
+}
+
+// TestRingMemNetwork dials through a ring-port MemNetwork end to end.
+func TestRingMemNetwork(t *testing.T) {
+	net := NewRingMemNetwork()
+	l, err := net.Listen("callee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	accepted := make(chan Port, 1)
+	go func() {
+		p, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- p
+	}()
+
+	dialed, err := net.Dial("callee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := <-accepted
+	if _, ok := dialed.(InlinePort); !ok {
+		t.Fatalf("ring network dialed a %T, want InlinePort", dialed)
+	}
+	if _, ok := far.(InlinePort); !ok {
+		t.Fatalf("ring network accepted a %T, want InlinePort", far)
+	}
+	if err := dialed.Send(sig.Envelope{Seq: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if e := <-far.Recv(); e.Seq != 42 {
+		t.Fatalf("got seq %d, want 42", e.Seq)
+	}
+	dialed.Close()
+}
+
+// TestMemNetworkStripes exercises concurrent Listen/Dial/Close across
+// many addresses to shake out races in the striped registry.
+func TestMemNetworkStripes(t *testing.T) {
+	net := NewMemNetwork()
+	var wg sync.WaitGroup
+	addrs := []string{"a", "bb", "ccc", "dddd", "eeeee", "ffffff", "g0", "h1", "i2", "j3"}
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			l, err := net.Listen(addr)
+			if err != nil {
+				t.Errorf("listen %q: %v", addr, err)
+				return
+			}
+			go func() {
+				for {
+					p, err := l.Accept()
+					if err != nil {
+						return
+					}
+					p.Close()
+				}
+			}()
+			for i := 0; i < 50; i++ {
+				p, err := net.Dial(addr)
+				if err != nil {
+					t.Errorf("dial %q: %v", addr, err)
+					return
+				}
+				p.Close()
+			}
+			l.Close()
+			if _, err := net.Dial(addr); err == nil {
+				t.Errorf("dial %q after close succeeded", addr)
+			}
+		}(addr)
+	}
+	wg.Wait()
+}

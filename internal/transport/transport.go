@@ -272,21 +272,63 @@ func (p *memPort) Close() error {
 
 func (p *memPort) Peer() string { return p.peerName }
 
-// MemNetwork is an in-process Network: addresses are plain strings in a
-// shared registry.
-type MemNetwork struct {
+// memStripeCount is the number of independent listener-registry
+// stripes in a MemNetwork. With one registry mutex, every Dial and
+// Listen in the process serializes on a single lock — the mem fabric
+// becomes the bottleneck the moment runners are sharded across cores.
+// Striping by address hash keeps dial storms from different shards on
+// different locks.
+const memStripeCount = 16
+
+type memStripe struct {
 	mu        sync.Mutex
 	listeners map[string]*memListener
 }
 
-// NewMemNetwork creates an empty in-process network.
+// MemNetwork is an in-process Network: addresses are plain strings in
+// a lock-striped registry. With ring ports enabled (NewRingMemNetwork)
+// dialed channels are SPSC ring channels drained inline by box
+// runners; otherwise they are classic queue pipes.
+type MemNetwork struct {
+	rings   bool
+	stripes [memStripeCount]memStripe
+}
+
+// NewMemNetwork creates an empty in-process network with queue-pipe
+// channels.
 func NewMemNetwork() *MemNetwork {
-	return &MemNetwork{listeners: map[string]*memListener{}}
+	n := &MemNetwork{}
+	for i := range n.stripes {
+		n.stripes[i].listeners = map[string]*memListener{}
+	}
+	return n
+}
+
+// NewRingMemNetwork creates an in-process network whose channels are
+// SPSC ring ports (see RingPipe): no pump goroutine per port, inline
+// shard draining. Each port end must have a single sending goroutine —
+// true for channels owned by box runners, not necessarily for layered
+// transports (the reliability layer also sends from timer callbacks),
+// which should stay on NewMemNetwork.
+func NewRingMemNetwork() *MemNetwork {
+	n := NewMemNetwork()
+	n.rings = true
+	return n
+}
+
+// stripe maps an address to its registry stripe (FNV-1a).
+func (n *MemNetwork) stripe(addr string) *memStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint32(addr[i])
+		h *= 16777619
+	}
+	return &n.stripes[h%memStripeCount]
 }
 
 type memListener struct {
 	addr   string
-	net    *MemNetwork
+	stripe *memStripe
 	accept chan Port
 	once   sync.Once
 	done   chan struct{}
@@ -294,25 +336,32 @@ type memListener struct {
 
 // Listen implements Network.
 func (n *MemNetwork) Listen(addr string) (Listener, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.listeners[addr]; ok {
+	s := n.stripe(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.listeners[addr]; ok {
 		return nil, fmt.Errorf("transport: address %q already in use", addr)
 	}
-	l := &memListener{addr: addr, net: n, accept: make(chan Port, 16), done: make(chan struct{})}
-	n.listeners[addr] = l
+	l := &memListener{addr: addr, stripe: s, accept: make(chan Port, 16), done: make(chan struct{})}
+	s.listeners[addr] = l
 	return l, nil
 }
 
 // Dial implements Network.
 func (n *MemNetwork) Dial(addr string) (Port, error) {
-	n.mu.Lock()
-	l, ok := n.listeners[addr]
-	n.mu.Unlock()
+	s := n.stripe(addr)
+	s.mu.Lock()
+	l, ok := s.listeners[addr]
+	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: no listener at %q", addr)
 	}
-	near, far := Pipe(addr, "dialer")
+	var near, far Port
+	if n.rings {
+		near, far = RingPipe(addr, "dialer")
+	} else {
+		near, far = Pipe(addr, "dialer")
+	}
 	select {
 	case l.accept <- far:
 		telemetry.C(MetricDials).Inc()
@@ -338,9 +387,9 @@ func (l *memListener) Accept() (Port, error) {
 func (l *memListener) Close() error {
 	l.once.Do(func() {
 		close(l.done)
-		l.net.mu.Lock()
-		delete(l.net.listeners, l.addr)
-		l.net.mu.Unlock()
+		l.stripe.mu.Lock()
+		delete(l.stripe.listeners, l.addr)
+		l.stripe.mu.Unlock()
 	})
 	return nil
 }

@@ -1,0 +1,25 @@
+package transport
+
+import (
+	"sync"
+
+	"ipmedia/internal/timerwheel"
+)
+
+// procWheel is the transport layer's shared timer wheel: retransmit
+// and redial timers (RelNetwork), fault delays and sever schedules
+// (FaultNetwork). These layers sit below box placement — one wheel for
+// the whole transport stack is the right granularity, and it keeps the
+// timerwheel package free of a process-global singleton that the box
+// runtime's per-shard wheels would have to fight.
+var (
+	procWheelOnce sync.Once
+	procWheelW    *timerwheel.Wheel
+)
+
+func procWheel() *timerwheel.Wheel {
+	procWheelOnce.Do(func() {
+		procWheelW = timerwheel.NewNamed(timerwheel.DefaultTick, "transport")
+	})
+	return procWheelW
+}
