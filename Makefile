@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke chaos-smoke bench-chaos alloc-gate store-smoke bench-store
+.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke ts-smoke chaos-smoke bench-chaos alloc-gate store-smoke bench-store
 
 # ci is the gate: static checks, build, the full test suite under the
 # race detector, the parallel-vs-sequential checker agreement test,
@@ -11,7 +11,7 @@ GO ?= go
 # load, a short in-memory media-storm so the media pipeline does, and
 # a seeded chaos-storm so the fault-recovery story is re-proved on
 # every run.
-ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke chaos-smoke store-smoke
+ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke ts-smoke chaos-smoke store-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalEnvelope -fuzztime=10s ./internal/sig
 	$(GO) test -run='^$$' -fuzz=FuzzEncoderEquivalence -fuzztime=10s ./internal/sig
 	$(GO) test -run='^$$' -fuzz=FuzzPacket -fuzztime=10s ./internal/media
+	$(GO) test -run='^$$' -fuzz=FuzzTSPacket -fuzztime=10s ./internal/ts
+	$(GO) test -run='^$$' -fuzz=FuzzPES -fuzztime=10s ./internal/ts
 	$(GO) test -run='^$$' -fuzz=FuzzSlotRetransmit -fuzztime=10s ./internal/slot
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store
 
@@ -44,12 +46,14 @@ bench:
 # alloc-gate asserts the zero-alloc claims: the steady-state event
 # dispatch path (box) both standalone and through a cluster shard, the
 # media fast path — packet marshal, transmit staging, and wire delivery
-# — the reliable layer's steady-state send (stamp, retain, ack
-# bookkeeping), and the store's disabled path and cached registry
-# lookup allocate nothing.
+# — the MPEG-TS container layer (PES mux, PSI generation, demux
+# validation) and the framed fast path end to end, the reliable
+# layer's steady-state send (stamp, retain, ack bookkeeping), and the
+# store's disabled path and cached registry lookup allocate nothing.
 alloc-gate:
 	$(GO) test -run='TestRunnerEventZeroAlloc|TestClusterEventZeroAlloc' ./internal/box
-	$(GO) test -run='TestMediaZeroAlloc' ./internal/media
+	$(GO) test -run='TestMediaZeroAlloc|TestTSFramingZeroAlloc' ./internal/media
+	$(GO) test -run='TestTSZeroAlloc' ./internal/ts
 	$(GO) test -run='TestRelSendSteadyStateZeroAlloc' ./internal/transport
 	$(GO) test -run='TestStoreZeroAlloc' ./internal/store
 
@@ -66,6 +70,13 @@ storm-smoke:
 # pipeline liveness check, not a measurement.
 media-smoke:
 	$(GO) run ./cmd/mediastorm -plane mem -agents 16 -duration 2s
+
+# ts-smoke is the MPEG-TS integrity gate: 8 paced TS flows (well under
+# capacity, so the wire is clean) for 2 seconds, exiting nonzero on any
+# CRC error, continuity discontinuity, or framing drop. Saturated runs
+# legitimately lose datagrams; this paced run must not.
+ts-smoke:
+	$(GO) run ./cmd/tsstorm -agents 8 -rate 50 -duration 2s -gate
 
 # chaos-smoke is the seeded resilience gate: ~30 seconds of call
 # lifecycles over a wire that drops 5% and duplicates 2% of envelopes
@@ -104,9 +115,12 @@ bench-store:
 	$(GO) run ./cmd/storestorm -keys 5000 -lookups 200000 -cdrs 50000 -out BENCH_store.json
 
 # bench-media records the media-plane numbers: the in-memory carrier,
-# the seed dial-per-packet UDP loop, and the persistent-socket batched
-# pipeline at equal agent count, written to BENCH_media.json. The
-# udp_speedup_vs_legacy field is the tentpole ratio.
+# the seed dial-per-packet UDP loop, the persistent-socket batched
+# pipeline, and the framed legs — the same pipeline carrying 1316-byte
+# opaque payloads vs. full MPEG-TS bursts — at equal agent count,
+# written to BENCH_media.json. udp_speedup_vs_legacy is the pipeline
+# ratio; ts_pps_ratio_vs_opaque is the container's cost (acceptance:
+# ≥0.85, i.e. at most a 15% pps penalty).
 bench-media:
 	$(GO) run ./cmd/mediastorm -agents 8 -duration 3s -out BENCH_media.json
 

@@ -11,14 +11,26 @@
 // persistent-socket batched pipeline (udp, driven by per-agent
 // pacers). The udp/udp_legacy ratio is the tentpole number.
 //
+// The framed legs measure what the MPEG-TS container costs on the
+// same pipeline: udp_ts muxes and demux-validates a 7×188-byte TS
+// burst per packet, udp_opaque moves the same 1316 bytes with no
+// container — the fair baseline, since the header-only legs above
+// send ~30-byte datagrams. ts_pps_ratio_vs_opaque is the acceptance
+// number (≥0.85 = at most a 15% pps penalty).
+//
 // Usage:
 //
 //	mediastorm [-agents N] [-plane all|mem|udp|legacy] [-rate PPS]
-//	           [-duration 3s] [-batch auto|on|off] [-out BENCH_media.json]
+//	           [-framing none|ts|opaque] [-duration 3s]
+//	           [-batch auto|on|off] [-out BENCH_media.json]
+//
+// -framing selects the payload for the explicit -plane udp run;
+// -plane all always appends the udp_opaque and udp_ts legs.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -32,9 +44,11 @@ import (
 )
 
 type runResult struct {
-	Plane   string `json:"plane"` // mem | udp_legacy | udp
+	Plane   string `json:"plane"` // mem | udp_legacy | udp | udp_opaque | udp_ts
 	BatchIO bool   `json:"batch_io"`
-	Agents  int    `json:"agents"` // flowing pairs
+	Agents  int    `json:"agents"`  // flowing pairs
+	Framing string `json:"framing"` // none | opaque | ts
+	Payload int    `json:"payload_bytes"`
 
 	WindowMS     int64  `json:"window_ms"`
 	Sent         uint64 `json:"packets_sent"`
@@ -42,6 +56,10 @@ type runResult struct {
 	Clipped      uint64 `json:"packets_clipped"`
 	Unexpected   uint64 `json:"packets_unexpected"`
 	DecodeErrors uint64 `json:"decode_errors"`
+
+	// The actual offered rate, from packets really sent — not the -rate
+	// target, which a saturated sender may never reach.
+	RatePerFlowPPS float64 `json:"rate_per_flow_pps"`
 
 	PPSOut          float64 `json:"pps_out"`
 	PPSIn           float64 `json:"pps_in"`
@@ -51,6 +69,12 @@ type runResult struct {
 	JitterP50US float64 `json:"jitter_p50_us"`
 	JitterP95US float64 `json:"jitter_p95_us"`
 	JitterP99US float64 `json:"jitter_p99_us"`
+
+	// Framed-leg integrity counters (zero on a clean paced wire;
+	// saturation loss surfaces here as discontinuities).
+	FramingErrors       uint64 `json:"framing_errors,omitempty"`
+	TSCRCErrors         uint64 `json:"ts_crc_errors,omitempty"`
+	TSCCDiscontinuities uint64 `json:"ts_cc_discontinuities,omitempty"`
 }
 
 type report struct {
@@ -59,22 +83,30 @@ type report struct {
 	NumCPU         int    `json:"num_cpu"`
 	BatchSupported bool   `json:"batch_io_supported"`
 	Agents         int    `json:"agents"`
-	RatePerFlow    int    `json:"rate_per_flow_pps"`
+	RateTarget     int    `json:"rate_per_flow_target_pps"` // the -rate flag; per-run rate_per_flow_pps is the actual
 
 	Runs []runResult `json:"runs"`
 
 	UDPSpeedupVsLegacy float64 `json:"udp_speedup_vs_legacy"`
 	MemSpeedupVsLegacy float64 `json:"mem_speedup_vs_legacy"`
+	// udp_ts pps over udp_opaque pps at the same payload size: the
+	// container's cost. Acceptance is ≥0.85 (≤15% penalty).
+	TSPPSRatioVsOpaque float64 `json:"ts_pps_ratio_vs_opaque,omitempty"`
 }
 
 func main() {
 	agents := flag.Int("agents", 32, "flowing media paths (transmitter/receiver pairs)")
 	plane := flag.String("plane", "all", "carriers to measure: all, mem, udp, legacy")
 	rate := flag.Int("rate", 0, "per-flow target pps on the paced UDP run (0: saturate)")
+	framing := flag.String("framing", "none", "payload framing for the -plane udp run: none, ts, opaque")
 	duration := flag.Duration("duration", 3*time.Second, "measurement window per carrier")
 	batch := flag.String("batch", "auto", "UDP batched syscall path: auto, on, off")
 	out := flag.String("out", "", "write the result JSON here (empty: stdout only)")
 	flag.Parse()
+
+	if _, ok := media.NewFramingFactory(*framing); !ok {
+		fatalf("unknown framing %q", *framing)
+	}
 
 	rep := report{
 		Date:           time.Now().Format("2006-01-02"),
@@ -82,7 +114,7 @@ func main() {
 		NumCPU:         runtime.NumCPU(),
 		BatchSupported: media.NewUDPPlane().BatchIO(),
 		Agents:         *agents,
-		RatePerFlow:    *rate,
+		RateTarget:     *rate,
 	}
 
 	want := func(name string) bool { return *plane == "all" || *plane == name }
@@ -90,13 +122,19 @@ func main() {
 		rep.Runs = append(rep.Runs, runMem(*agents, *duration))
 	}
 	if want("legacy") || (*plane == "all") {
-		rep.Runs = append(rep.Runs, runUDP(*agents, *duration, *rate, *batch, true))
+		rep.Runs = append(rep.Runs, runUDP(*agents, *duration, *rate, *batch, true, "none"))
 	}
 	if want("udp") {
-		rep.Runs = append(rep.Runs, runUDP(*agents, *duration, *rate, *batch, false))
+		rep.Runs = append(rep.Runs, runUDP(*agents, *duration, *rate, *batch, false, *framing))
+	}
+	if *plane == "all" {
+		// The framed-vs-opaque pair: equal payload sizes, so the ratio
+		// isolates the container's mux+demux cost.
+		rep.Runs = append(rep.Runs, runUDP(*agents, *duration, *rate, *batch, false, "opaque"))
+		rep.Runs = append(rep.Runs, runUDP(*agents, *duration, *rate, *batch, false, "ts"))
 	}
 
-	var legacy, udp, mem float64
+	var legacy, udp, mem, udpTS, udpOpaque float64
 	for _, r := range rep.Runs {
 		switch r.Plane {
 		case "udp_legacy":
@@ -105,11 +143,18 @@ func main() {
 			udp = r.PPSOut
 		case "mem":
 			mem = r.PPSOut
+		case "udp_ts":
+			udpTS = r.PPSOut
+		case "udp_opaque":
+			udpOpaque = r.PPSOut
 		}
 	}
 	if legacy > 0 {
 		rep.UDPSpeedupVsLegacy = udp / legacy
 		rep.MemSpeedupVsLegacy = mem / legacy
+	}
+	if udpOpaque > 0 {
+		rep.TSPPSRatioVsOpaque = udpTS / udpOpaque
 	}
 
 	blob, _ := json.MarshalIndent(rep, "", "  ")
@@ -160,7 +205,8 @@ func runMem(n int, dur time.Duration) runResult {
 	}
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&ms1)
-	res := collect("mem", false, n, elapsed, txs, nil)
+	res := collect("mem", false, n, elapsed, txs, nil, nil)
+	res.Framing = "none"
 	if res.Sent > 0 {
 		res.AllocsPerPacket = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Sent)
 	}
@@ -169,8 +215,9 @@ func runMem(n int, dur time.Duration) runResult {
 
 // runUDP streams media through n loopback pairs: the seed
 // dial-per-packet loop when legacy, otherwise per-agent pacers over
-// the persistent-socket batched pipeline.
-func runUDP(n int, dur time.Duration, rate int, batch string, legacy bool) runResult {
+// the persistent-socket batched pipeline. framing selects the payload
+// each packet carries ("none" for the header-only legs).
+func runUDP(n int, dur time.Duration, rate int, batch string, legacy bool, framing string) runResult {
 	reg := freshTelemetry()
 	p := media.NewUDPPlane()
 	defer p.Close()
@@ -184,15 +231,22 @@ func runUDP(n int, dur time.Duration, rate int, batch string, legacy bool) runRe
 	if legacy {
 		name = "udp_legacy"
 	}
+	factory, _ := media.NewFramingFactory(framing)
+	if factory != nil {
+		name += "_" + framing
+		p.SetFraming(factory)
+	}
 
 	ports := freePorts(2 * n)
 	txs := make([]*media.Agent, n)
+	rxs := make([]*media.Agent, n)
 	for i := 0; i < n; i++ {
 		tx := p.Agent(fmt.Sprintf("tx%04d", i), media.AddrPort{Addr: "127.0.0.1", Port: ports[2*i]})
 		rx := p.Agent(fmt.Sprintf("rx%04d", i), media.AddrPort{Addr: "127.0.0.1", Port: ports[2*i+1]})
 		tx.SetSending(rx.Origin(), sig.G711)
 		rx.SetExpecting(tx.Origin(), sig.G711, true)
 		txs[i] = tx
+		rxs[i] = rx
 	}
 	if errs := p.Errs(); len(errs) > 0 {
 		fatalf("udp setup: %v", errs[0])
@@ -228,33 +282,49 @@ func runUDP(n int, dur time.Duration, rate int, batch string, legacy bool) runRe
 	runtime.ReadMemStats(&ms1)
 	// Let in-flight datagrams drain before the final receive counts.
 	time.Sleep(200 * time.Millisecond)
-	res := collect(name, p.BatchIO() && !legacy, n, elapsed, txs, reg)
+	res := collect(name, p.BatchIO() && !legacy, n, elapsed, txs, rxs, reg)
+	res.Framing = framing
+	if factory != nil {
+		res.Payload = factory().PayloadSize()
+	}
 	if res.Sent > 0 {
 		res.AllocsPerPacket = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Sent)
 	}
-	if errs := p.Errs(); len(errs) > 0 {
-		fatalf("%s run: %v", name, errs[0])
+	for _, err := range p.Errs() {
+		// A framed saturated run legitimately loses datagrams (counted as
+		// discontinuities); only non-framing errors are fatal.
+		if errors.Is(err, media.ErrFraming) {
+			continue
+		}
+		fatalf("%s run: %v", name, err)
 	}
 	return res
 }
 
 // collect sums the pair stats into one carrier result. reg supplies
-// decode-error and jitter numbers for the UDP runs (nil for mem).
-func collect(name string, batchIO bool, n int, elapsed time.Duration, txs []*media.Agent, reg *telemetry.Registry) runResult {
+// decode-error and jitter numbers for the UDP runs (nil for mem);
+// rxs (when given) supplies per-receiver framing-error counts.
+func collect(name string, batchIO bool, n int, elapsed time.Duration, txs, rxs []*media.Agent, reg *telemetry.Registry) runResult {
 	res := runResult{Plane: name, BatchIO: batchIO, Agents: n, WindowMS: elapsed.Milliseconds()}
 	for _, tx := range txs {
 		res.Sent += tx.Stats().Sent
+	}
+	for _, rx := range rxs {
+		res.FramingErrors += rx.Stats().FramingErrors
 	}
 	snap := telemetry.Default().Snapshot()
 	in := snap.Counters[media.MetricPacketsIn]
 	res.Clipped = snap.Counters[media.MetricClipped]
 	res.DecodeErrors = snap.Counters[media.MetricDecodeErrors]
+	res.TSCRCErrors = snap.Counters[media.MetricTSCRCErrors]
+	res.TSCCDiscontinuities = snap.Counters[media.MetricTSCCDiscontinuities]
 	// The harness wires no strangers, so everything received is either
 	// accepted or clipped.
 	res.Accepted = in - res.Clipped
 	secs := elapsed.Seconds()
 	res.PPSOut = float64(res.Sent) / secs
 	res.PPSIn = float64(in) / secs
+	res.RatePerFlowPPS = res.PPSOut / float64(n)
 	if in > 0 {
 		res.ClipRate = float64(res.Clipped) / float64(in)
 	}

@@ -18,6 +18,10 @@ import (
 func main() {
 	net := ipmedia.NewMemNetwork()
 	plane := ipmedia.NewMediaPlane()
+	// Every agent carries real MPEG-TS: each packet is a 7×188-byte
+	// burst (PES + PTS/PCR, periodic PAT/PMT), demux-validated at every
+	// receiver — including the bridge's legs, which mix the streams.
+	plane.SetFraming(func() ipmedia.MediaFraming { return ipmedia.NewTSFraming() })
 
 	bridge, err := ipmedia.NewBridge("bridge", net, plane)
 	if err != nil {
@@ -79,10 +83,17 @@ func main() {
 	})
 	fmt.Printf("  caller hears %v\n", bridge.Hears("in1"))
 
-	plane.Tick(30)
-	fmt.Println("\npacket stats after 30 periods:")
+	plane.Tick(130)
+	fmt.Println("\npacket stats after 130 periods of MPEG-TS audio:")
 	for _, d := range devs {
-		fmt.Printf("  %-10s %+v\n", d.Name(), d.Agent().Stats())
+		s := d.Agent().Stats()
+		ts := d.Agent().Framing().(*ipmedia.TSFraming).DemuxStats()
+		fmt.Printf("  %-10s %+v\n", d.Name(), s)
+		fmt.Printf("             ts: %d packets, %d PSI sections, %d errors\n",
+			ts.Packets, ts.PSISections, ts.Errors())
+		if ts.Errors() != 0 {
+			log.Fatalf("%s received corrupted TS: %+v", d.Name(), ts)
+		}
 	}
 }
 

@@ -16,13 +16,16 @@ import (
 
 // Datagram format:
 //
-//	u16 addrLen | addr | u16 port | u16 codecLen | codec | u64 seq
+//	u16 addrLen | addr | u16 port | u16 codecLen | codec | u64 seq | payload
 //
-// maxDatagram is the stride of the staging and receive arenas: any
-// packet whose addr+codec fit comfortably (every address this system
-// produces) encodes without allocation; an oversized packet merely
-// spills into a fresh allocation.
-const maxDatagram = 512
+// Everything after the fixed header is the framing payload — empty for
+// header-only stand-in packets, a 7×188-byte MPEG-TS burst under the
+// TS framing. maxDatagram is the stride of the staging and receive
+// arenas: sized so a whole framed datagram (header + TSPayloadSize)
+// fits, it lets the sendmmsg batcher stage complete framed datagrams
+// without allocation; an oversized packet merely spills into a fresh
+// allocation.
+const maxDatagram = 1536
 
 var (
 	errShortDatagram  = errors.New("media: short datagram")
@@ -31,10 +34,11 @@ var (
 )
 
 // AppendPacket appends the wire encoding of pkt to dst and returns the
-// extended buffer. Only From, Codec, and Seq travel on the wire: the
-// destination is the datagram's UDP address.
+// extended buffer. From, Codec, Seq, and the payload travel on the
+// wire: the destination is the datagram's UDP address.
 func AppendPacket(dst []byte, pkt Packet) []byte {
-	return appendPacketFields(dst, pkt.From, pkt.Codec, pkt.Seq)
+	dst = appendPacketFields(dst, pkt.From, pkt.Codec, pkt.Seq)
+	return append(dst, pkt.Payload...)
 }
 
 func appendPacketFields(dst []byte, from AddrPort, codec sig.Codec, seq uint64) []byte {
@@ -54,20 +58,21 @@ func appendPacketFields(dst []byte, from AddrPort, codec sig.Codec, seq uint64) 
 
 // marshalPacket is the allocating convenience form of AppendPacket.
 func marshalPacket(pkt Packet) []byte {
-	return AppendPacket(make([]byte, 0, 2+len(pkt.From.Addr)+2+2+len(pkt.Codec)+8), pkt)
+	return AppendPacket(make([]byte, 0, 2+len(pkt.From.Addr)+2+2+len(pkt.Codec)+8+len(pkt.Payload)), pkt)
 }
 
 // splitPacket validates the wire header and returns views into b: the
-// address and codec remain byte slices aliasing the datagram, so the
-// caller may compare them against expected values without allocating.
-func splitPacket(b []byte) (addr []byte, port int, codec []byte, seq uint64, err error) {
+// address, codec, and payload remain byte slices aliasing the
+// datagram, so the caller may compare and check them without
+// allocating.
+func splitPacket(b []byte) (addr []byte, port int, codec []byte, seq uint64, payload []byte, err error) {
 	if len(b) < 2 {
-		return nil, 0, nil, 0, errShortDatagram
+		return nil, 0, nil, 0, nil, errShortDatagram
 	}
 	n := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if len(b) < n+4 {
-		return nil, 0, nil, 0, errTruncatedAddr
+		return nil, 0, nil, 0, nil, errTruncatedAddr
 	}
 	addr = b[:n]
 	b = b[n:]
@@ -76,23 +81,28 @@ func splitPacket(b []byte) (addr []byte, port int, codec []byte, seq uint64, err
 	n = int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if len(b) < n+8 {
-		return nil, 0, nil, 0, errTruncatedCodec
+		return nil, 0, nil, 0, nil, errTruncatedCodec
 	}
 	codec = b[:n]
 	seq = binary.BigEndian.Uint64(b[n:])
-	return addr, port, codec, seq, nil
+	payload = b[n+8:]
+	return addr, port, codec, seq, payload, nil
 }
 
 // unmarshalPacket decodes a datagram into a Packet, copying the
-// address and codec out of the buffer.
+// address, codec, and payload out of the buffer.
 func unmarshalPacket(b []byte) (Packet, error) {
-	addr, port, codec, seq, err := splitPacket(b)
+	addr, port, codec, seq, payload, err := splitPacket(b)
 	if err != nil {
 		return Packet{}, err
 	}
-	return Packet{
+	pkt := Packet{
 		From:  AddrPort{Addr: string(addr), Port: port},
 		Codec: sig.Codec(codec),
 		Seq:   seq,
-	}, nil
+	}
+	if len(payload) > 0 {
+		pkt.Payload = append([]byte(nil), payload...)
+	}
+	return pkt, nil
 }

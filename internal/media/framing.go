@@ -1,0 +1,362 @@
+// The pluggable payload layer of the media plane. The wire codec's
+// header (source, codec, sequence number) classifies packets; a
+// Framing fills and checks the bytes that ride after it, so the same
+// staging/batching/delivery pipeline can carry anything from empty
+// stand-in packets to real MPEG-TS container streams.
+//
+// Two framings ship here:
+//
+//   - TSFraming emits genuine single-program MPEG-TS: each packet's
+//     payload is a 7×188-byte burst — a PES-encapsulated elementary
+//     stream frame with PTS and PCR, with a PAT+PMT refresh replacing
+//     the head of every psiEvery-th burst. The receive half demuxes
+//     and validates every burst (sync bytes, per-PID continuity, PSI
+//     CRC32, PES start codes, the sequence number embedded in the
+//     elementary stream) and feeds the ts.* telemetry.
+//   - OpaqueFraming carries the same number of raw bytes with no
+//     container structure: the control in framed-vs-opaque benchmarks,
+//     isolating what the container itself costs.
+//
+// Both are allocation-free in steady state: all mutable state — the
+// muxer's per-PID continuity counters, the demuxer's expectation
+// table, the elementary-stream template — lives in the framing value,
+// which the plane creates once per agent (the "per-sender arena"), and
+// payloads are appended into the sender's staging arena.
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"ipmedia/internal/telemetry"
+	"ipmedia/internal/ts"
+)
+
+// Telemetry instrument names exported by the framing layer.
+const (
+	// MetricTSPackets counts TS packets demuxed at receivers.
+	MetricTSPackets = "ts.packets"
+	// MetricTSPSISections counts valid PAT/PMT sections received.
+	MetricTSPSISections = "ts.psi_sections"
+	// MetricTSCCDiscontinuities counts continuity-counter jumps seen at
+	// receivers (packet loss or corruption on a PID).
+	MetricTSCCDiscontinuities = "ts.cc_discontinuities"
+	// MetricTSCRCErrors counts undecodable TS payloads: failed PSI
+	// CRC32s plus structural failures (lost sync, bad adaptation
+	// fields, bad PES headers, payload/sequence mismatches).
+	MetricTSCRCErrors = "ts.crc_errors"
+	// MetricTSPCRJitter is the histogram of |wall-clock spacing − PCR
+	// spacing| between consecutive program-clock references.
+	MetricTSPCRJitter = "ts.pcr_jitter"
+)
+
+// ErrFraming classifies payload-integrity failures reported by a
+// Framing's CheckPayload: the plane routes them to the framing
+// counters (ts.crc_errors et al.) rather than media.decode_errors,
+// and the packet is not delivered.
+var ErrFraming = errors.New("media: framing integrity")
+
+// Static wrapped forms, so the per-packet error path allocates
+// nothing.
+var (
+	errFramingCC    = errorString("ts continuity counter discontinuity")
+	errFramingCRC   = errorString("ts PSI section CRC mismatch")
+	errFramingSync  = errorString("ts sync loss")
+	errFramingPES   = errorString("ts bad PES header")
+	errFramingSeq   = errorString("ts payload sequence mismatch")
+	errFramingEmpty = errorString("empty payload from framed sender")
+	errOpaqueSeq    = errorString("opaque payload mismatch")
+)
+
+// errorString is a framing error that wraps ErrFraming without
+// per-error allocation.
+type errorString string
+
+func (e errorString) Error() string   { return "media: framing integrity: " + string(e) }
+func (e errorString) Unwrap() error   { return ErrFraming }
+func (e errorString) Is(t error) bool { return t == ErrFraming }
+
+// Framing fills and checks the payload carried after the wire header
+// of each media packet. One instance serves one agent: AppendPayload
+// is called only from the agent's transmit path (pacer or Tick driver)
+// and CheckPayload only from its delivery path (socket reader or mem
+// plane), so the two halves may keep separate unsynchronized state but
+// must not share any.
+type Framing interface {
+	// Name labels the framing in benchmarks and reports.
+	Name() string
+	// PayloadSize returns the payload size AppendPayload emits, for
+	// arena-stride checks.
+	PayloadSize() int
+	// AppendPayload appends packet seq's payload to dst and returns
+	// the extended buffer.
+	AppendPayload(dst []byte, seq uint64) []byte
+	// CheckPayload validates one received payload. A non-nil error
+	// (wrapping ErrFraming) means the packet must not be delivered.
+	CheckPayload(seq uint64, payload []byte) error
+}
+
+// FramingFactory builds one Framing per agent; planes call it at
+// registration so every agent gets private framing state.
+type FramingFactory func() Framing
+
+// NewFramingFactory resolves a framing name ("ts", "opaque", "none")
+// to a factory; harnesses use it to select framing from a flag. The
+// opaque factory emits TS-sized raw payloads — the control leg for
+// framed-vs-opaque comparisons.
+func NewFramingFactory(name string) (FramingFactory, bool) {
+	switch name {
+	case "ts":
+		return func() Framing { return NewTSFraming() }, true
+	case "opaque":
+		return func() Framing { return NewOpaqueFraming(TSPayloadSize) }, true
+	case "none", "":
+		return nil, true
+	}
+	return nil, false
+}
+
+// The fixed shape of the TS framing's bursts.
+const (
+	// TSPacketsPerDatagram is the classic MPEG-TS-over-UDP packing:
+	// seven 188-byte packets per datagram.
+	TSPacketsPerDatagram = 7
+	// TSPayloadSize is the framed payload size: 1316 bytes.
+	TSPayloadSize = TSPacketsPerDatagram * ts.PacketSize
+
+	// tsPSIEvery is the PAT/PMT refresh cadence in datagrams.
+	tsPSIEvery = 64
+
+	// The single program's layout.
+	tsTransportStreamID = 1
+	tsProgramNumber     = 1
+	tsPMTPID            = 0x100
+	tsMediaPID          = 0x101
+
+	// Per-datagram clock steps: one burst nominally carries 20 ms of
+	// media, i.e. 1800 ticks of the 90 kHz PTS clock and 540000 ticks
+	// of the 27 MHz PCR clock.
+	tsPTSPerDatagram = 1800
+	tsPCRPerDatagram = 540000
+)
+
+// tsStreams is the PMT's elementary-stream loop: one private-data
+// stream (the paper's G.711-style audio has no registered MPEG type).
+var tsStreams = []ts.Stream{{Type: ts.StreamTypePrivate, PID: tsMediaPID}}
+
+// TSFraming carries single-program MPEG-TS bursts. See the package
+// comment for the burst shape; Muxer/Demuxer state lives inline so a
+// framed sender costs one instance, not per-packet allocations.
+type TSFraming struct {
+	// Transmit half (pacer/Tick goroutine only).
+	mux ts.Muxer
+	// esFull and esPSI are the elementary-stream frame templates for
+	// plain and PSI-bearing bursts; the leading 8 bytes carry the
+	// packet sequence number, stamped per burst.
+	esFull [1266]byte // ts.PESCapacity(7, withPCR)
+	esPSI  [898]byte  // ts.PESCapacity(5, withPCR)
+
+	// Receive half (delivery goroutine only).
+	demux      ts.Demuxer
+	prev       ts.Stats // last published demux stats, for counter deltas
+	emitFn     func(ts.Parsed)
+	wantSeq    uint64
+	seqOK      bool
+	lastPCR    uint64
+	lastPCRAt  int64 // wall clock of the previous PCR, UnixNano
+	pcrCounted uint64
+
+	mPackets *telemetry.Counter
+	mPSI     *telemetry.Counter
+	mCC      *telemetry.Counter
+	mCRC     *telemetry.Counter
+	mJitter  *telemetry.Histogram
+}
+
+// NewTSFraming creates a TS framing with fresh mux/demux state.
+func NewTSFraming() *TSFraming {
+	f := &TSFraming{
+		mPackets: telemetry.C(MetricTSPackets),
+		mPSI:     telemetry.C(MetricTSPSISections),
+		mCC:      telemetry.C(MetricTSCCDiscontinuities),
+		mCRC:     telemetry.C(MetricTSCRCErrors),
+		mJitter:  telemetry.H(MetricTSPCRJitter),
+	}
+	if len(f.esFull) != ts.PESCapacity(TSPacketsPerDatagram, true) ||
+		len(f.esPSI) != ts.PESCapacity(TSPacketsPerDatagram-2, true) {
+		panic("media: TS frame templates out of step with ts.PESCapacity")
+	}
+	for i := range f.esFull {
+		f.esFull[i] = byte(i) // deterministic "media" bytes
+	}
+	for i := range f.esPSI {
+		f.esPSI[i] = byte(i)
+	}
+	f.emitFn = f.onPacket
+	return f
+}
+
+// Name implements Framing.
+func (f *TSFraming) Name() string { return "ts" }
+
+// PayloadSize implements Framing: every burst is 7 packets, whether
+// PSI-bearing or not.
+func (f *TSFraming) PayloadSize() int { return TSPayloadSize }
+
+// AppendPayload muxes burst seq: PAT+PMT head on the PSI cadence, then
+// one PES-encapsulated frame stamped with seq, PTS, and PCR. The
+// result is always exactly TSPayloadSize bytes.
+func (f *TSFraming) AppendPayload(dst []byte, seq uint64) []byte {
+	if seq == 1 {
+		// A new stream's first burst carries the discontinuity indicator
+		// (§2.4.3.4): a receiver switched here mid-stream — e.g. a viewer
+		// seeking onto a fresh server session — accepts the
+		// continuity-counter restart like a splice, not corruption.
+		f.mux.SetDiscontinuity(true)
+	}
+	es := f.esFull[:]
+	if seq%tsPSIEvery == 1 {
+		dst, _ = f.mux.AppendPAT(dst, tsTransportStreamID, tsProgramNumber, tsPMTPID)
+		dst, _ = f.mux.AppendPMT(dst, tsPMTPID, tsProgramNumber, tsMediaPID, tsStreams)
+		es = f.esPSI[:]
+	}
+	binary.BigEndian.PutUint64(es, seq)
+	dst, _ = f.mux.AppendPES(dst, tsMediaPID, ts.StreamIDAudio,
+		seq*tsPTSPerDatagram, true, seq*tsPCRPerDatagram, es)
+	if seq == 1 {
+		f.mux.SetDiscontinuity(false)
+	}
+	return dst
+}
+
+// CheckPayload demuxes and validates one received burst, updating the
+// ts.* telemetry from the demuxer's counters. Any integrity failure
+// returns an ErrFraming-wrapping error and the packet is not
+// delivered.
+func (f *TSFraming) CheckPayload(seq uint64, payload []byte) error {
+	if len(payload) == 0 {
+		f.mCRC.Inc()
+		return errFramingEmpty
+	}
+	f.wantSeq, f.seqOK = seq, false
+	err := f.demux.Feed(payload, f.emitFn)
+	f.publishStats()
+	f.observePCR()
+	if err != nil {
+		return wrapTSErr(err)
+	}
+	if !f.seqOK {
+		f.mCRC.Inc()
+		return errFramingSeq
+	}
+	return nil
+}
+
+// onPacket checks the sequence number embedded in the burst's leading
+// elementary-stream bytes against the wire header's.
+func (f *TSFraming) onPacket(p ts.Parsed) {
+	if !p.PUSI || p.PID != tsMediaPID || f.seqOK {
+		return
+	}
+	_, _, _, _, es, err := ts.ParsePES(p.Payload)
+	if err == nil && len(es) >= 8 && binary.BigEndian.Uint64(es) == f.wantSeq {
+		f.seqOK = true
+	}
+}
+
+// publishStats feeds the telemetry counters with the demuxer's
+// since-last-call deltas.
+func (f *TSFraming) publishStats() {
+	s := f.demux.Stats()
+	f.mPackets.Add(s.Packets - f.prev.Packets)
+	f.mPSI.Add(s.PSISections - f.prev.PSISections)
+	f.mCC.Add(s.CCDiscontinuities - f.prev.CCDiscontinuities)
+	f.mCRC.Add(s.CRCErrors + s.SyncErrors + s.PESErrors -
+		f.prev.CRCErrors - f.prev.SyncErrors - f.prev.PESErrors)
+	f.prev = s
+}
+
+// observePCR feeds the PCR-jitter histogram: the deviation between
+// wall-clock spacing and PCR spacing of consecutive clock references.
+// Skipped entirely when telemetry is off.
+func (f *TSFraming) observePCR() {
+	if f.mJitter == nil {
+		return
+	}
+	pcr, n := f.demux.PCR()
+	if n == f.pcrCounted {
+		return
+	}
+	now := time.Now().UnixNano()
+	if f.pcrCounted > 0 && pcr > f.lastPCR {
+		pcrNS := int64((pcr - f.lastPCR) * 1000 / 27) // 27 MHz ticks → ns
+		jit := now - f.lastPCRAt - pcrNS
+		if jit < 0 {
+			jit = -jit
+		}
+		f.mJitter.Observe(time.Duration(jit))
+	}
+	f.lastPCR, f.lastPCRAt, f.pcrCounted = pcr, now, n
+}
+
+// DemuxStats exposes the receive half's counters (tests, examples).
+func (f *TSFraming) DemuxStats() ts.Stats { return f.demux.Stats() }
+
+// wrapTSErr maps a ts demux error to its static ErrFraming-wrapping
+// form without allocating.
+func wrapTSErr(err error) error {
+	switch {
+	case errors.Is(err, ts.ErrCC):
+		return errFramingCC
+	case errors.Is(err, ts.ErrCRC):
+		return errFramingCRC
+	case errors.Is(err, ts.ErrPES):
+		return errFramingPES
+	default:
+		return errFramingSync
+	}
+}
+
+// OpaqueFraming carries size raw bytes with no container structure:
+// the control leg that isolates the container's cost in
+// framed-vs-opaque benchmarks. The leading 8 bytes carry the sequence
+// number so the receive half still detects payload corruption.
+type OpaqueFraming struct {
+	buf  []byte
+	mCRC *telemetry.Counter
+}
+
+// NewOpaqueFraming creates an opaque framing of the given payload
+// size (at least 8 bytes for the sequence stamp).
+func NewOpaqueFraming(size int) *OpaqueFraming {
+	if size < 8 {
+		size = 8
+	}
+	f := &OpaqueFraming{buf: make([]byte, size), mCRC: telemetry.C(MetricTSCRCErrors)}
+	for i := range f.buf {
+		f.buf[i] = byte(i)
+	}
+	return f
+}
+
+// Name implements Framing.
+func (f *OpaqueFraming) Name() string { return "opaque" }
+
+// PayloadSize implements Framing.
+func (f *OpaqueFraming) PayloadSize() int { return len(f.buf) }
+
+// AppendPayload stamps seq and appends the raw template.
+func (f *OpaqueFraming) AppendPayload(dst []byte, seq uint64) []byte {
+	binary.BigEndian.PutUint64(f.buf, seq)
+	return append(dst, f.buf...)
+}
+
+// CheckPayload verifies the size and the sequence stamp.
+func (f *OpaqueFraming) CheckPayload(seq uint64, payload []byte) error {
+	if len(payload) != len(f.buf) || binary.BigEndian.Uint64(payload) != seq {
+		f.mCRC.Inc()
+		return errOpaqueSeq
+	}
+	return nil
+}

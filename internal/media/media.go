@@ -57,20 +57,24 @@ func (a AddrPort) IsZero() bool { return a.Addr == "" && a.Port == 0 }
 
 func (a AddrPort) String() string { return fmt.Sprintf("%s:%d", a.Addr, a.Port) }
 
-// Packet is one simulated media packet.
+// Packet is one simulated media packet. Payload is the framing bytes
+// after the wire header (nil for header-only stand-in packets); it may
+// alias a reused buffer and is only valid until the next emission.
 type Packet struct {
-	From  AddrPort
-	To    AddrPort
-	Codec sig.Codec
-	Seq   uint64
+	From    AddrPort
+	To      AddrPort
+	Codec   sig.Codec
+	Seq     uint64
+	Payload []byte
 }
 
 // Stats counts packet dispositions at one agent.
 type Stats struct {
-	Sent       uint64 // packets transmitted by this agent
-	Accepted   uint64 // packets received and consumed
-	Clipped    uint64 // packets received while open but before the matching selector
-	Unexpected uint64 // packets received while not open to the sender (discarded)
+	Sent          uint64 // packets transmitted by this agent
+	Accepted      uint64 // packets received and consumed
+	Clipped       uint64 // packets received while open but before the matching selector
+	Unexpected    uint64 // packets received while not open to the sender (discarded)
+	FramingErrors uint64 // packets dropped for payload-integrity failures (not delivered)
 }
 
 // sendState is one immutable snapshot of an agent's transmission
@@ -109,11 +113,19 @@ type Agent struct {
 	send atomic.Pointer[sendState]
 	exp  atomic.Pointer[expState]
 
-	seq        atomic.Uint64
-	sent       atomic.Uint64
-	accepted   atomic.Uint64
-	clipped    atomic.Uint64
-	unexpected atomic.Uint64
+	seq         atomic.Uint64
+	sent        atomic.Uint64
+	accepted    atomic.Uint64
+	clipped     atomic.Uint64
+	unexpected  atomic.Uint64
+	framingErrs atomic.Uint64
+
+	// framing fills and checks payloads; nil means header-only packets.
+	// Set before the agent carries traffic (the plane installs it at
+	// registration, before readers or pacers start); payloadBuf is the
+	// in-memory carrier's reused emission buffer.
+	framing    Framing
+	payloadBuf []byte
 
 	lastArrival atomic.Int64 // UnixNano of the previous delivery, 0 before the first
 
@@ -137,6 +149,16 @@ func NewAgent(name string, origin AddrPort) *Agent {
 
 // Name returns the agent's name.
 func (a *Agent) Name() string { return a.name }
+
+// SetFraming installs the agent's payload framing (its private mux and
+// demux state — the per-sender arena the continuity counters live in).
+// Must be called before the agent carries traffic: the per-packet
+// paths read the field without synchronization. Planes call it during
+// registration when a framing factory is installed.
+func (a *Agent) SetFraming(f Framing) { a.framing = f }
+
+// Framing returns the agent's payload framing, nil when header-only.
+func (a *Agent) Framing() Framing { return a.framing }
 
 // Origin returns the agent's receiving address.
 func (a *Agent) Origin() AddrPort { return a.origin }
@@ -175,14 +197,17 @@ func (a *Agent) Sending() (AddrPort, sig.Codec, bool) {
 // Stats returns a snapshot of the agent's packet counters.
 func (a *Agent) Stats() Stats {
 	return Stats{
-		Sent:       a.sent.Load(),
-		Accepted:   a.accepted.Load(),
-		Clipped:    a.clipped.Load(),
-		Unexpected: a.unexpected.Load(),
+		Sent:          a.sent.Load(),
+		Accepted:      a.accepted.Load(),
+		Clipped:       a.clipped.Load(),
+		Unexpected:    a.unexpected.Load(),
+		FramingErrors: a.framingErrs.Load(),
 	}
 }
 
-// emit produces the agent's next outgoing packet, if transmitting.
+// emit produces the agent's next outgoing packet, if transmitting. A
+// framed packet's payload aliases the agent's reused emission buffer,
+// valid until the next emit.
 func (a *Agent) emit() (Packet, bool) {
 	s := a.send.Load()
 	if s.to.IsZero() {
@@ -191,7 +216,12 @@ func (a *Agent) emit() (Packet, bool) {
 	seq := a.seq.Add(1)
 	a.sent.Add(1)
 	a.mOut.Inc()
-	return Packet{From: a.origin, To: s.to, Codec: s.codec, Seq: seq}, true
+	pkt := Packet{From: a.origin, To: s.to, Codec: s.codec, Seq: seq}
+	if f := a.framing; f != nil {
+		a.payloadBuf = f.AppendPayload(a.payloadBuf[:0], seq)
+		pkt.Payload = a.payloadBuf
+	}
+	return pkt, true
 }
 
 // emitBatchInto stages up to max outgoing packets against one
@@ -210,10 +240,16 @@ func (a *Agent) emitBatchInto(arena []byte, msgs [][]byte, max int) (int, AddrPo
 	if max > len(msgs) {
 		max = len(msgs)
 	}
+	f := a.framing
 	n := 0
 	for n < max {
 		slot := arena[n*maxDatagram : n*maxDatagram : (n+1)*maxDatagram]
-		msgs[n] = appendPacketFields(slot, a.origin, s.codec, a.seq.Add(1))
+		seq := a.seq.Add(1)
+		msg := appendPacketFields(slot, a.origin, s.codec, seq)
+		if f != nil {
+			msg = f.AppendPayload(msg, seq)
+		}
+		msgs[n] = msg
 		n++
 	}
 	a.sent.Add(uint64(n))
@@ -221,8 +257,16 @@ func (a *Agent) emitBatchInto(arena []byte, msgs [][]byte, max int) (int, AddrPo
 	return n, s.to
 }
 
-// deliver classifies an incoming packet (in-memory carrier).
+// deliver classifies an incoming packet (in-memory carrier). A framed
+// packet whose payload fails integrity checks is counted
+// (FramingErrors plus the framing's own telemetry) and not delivered.
 func (a *Agent) deliver(p Packet) {
+	if f := a.framing; f != nil {
+		if err := f.CheckPayload(p.Seq, p.Payload); err != nil {
+			a.framingErrs.Add(1)
+			return
+		}
+	}
 	e := a.exp.Load()
 	a.count(e, p.From == e.from, p.Codec == e.codec)
 }
@@ -231,11 +275,18 @@ func (a *Agent) deliver(p Packet) {
 // wire bytes (UDP carrier). The address and codec are compared as byte
 // slices against the expectation snapshot, so the steady-state path is
 // allocation-free; a malformed datagram is reported as an error and
-// counted nowhere.
+// counted nowhere, and a framed datagram failing payload integrity is
+// counted as a framing error and not delivered.
 func (a *Agent) deliverWire(b []byte) error {
-	addr, port, codec, _, err := splitPacket(b)
+	addr, port, codec, seq, payload, err := splitPacket(b)
 	if err != nil {
 		return err
+	}
+	if f := a.framing; f != nil {
+		if err := f.CheckPayload(seq, payload); err != nil {
+			a.framingErrs.Add(1)
+			return err
+		}
 	}
 	e := a.exp.Load()
 	fromMatch := port == e.from.Port && string(addr) == e.from.Addr
@@ -295,9 +346,10 @@ func (f Flow) String() string { return fmt.Sprintf("%s->%s(%s)", f.From, f.To, f
 // Plane is the simulated media network: a registry of agents by
 // receiving address, with synchronous packet delivery on Tick.
 type Plane struct {
-	mu     sync.Mutex
-	agents map[AddrPort]*Agent
-	lost   uint64
+	mu      sync.Mutex
+	agents  map[AddrPort]*Agent
+	lost    uint64
+	framing FramingFactory
 }
 
 // NewPlane creates an empty media plane.
@@ -313,9 +365,24 @@ func (p *Plane) Register(a *Agent) {
 	p.agents[a.Origin()] = a
 }
 
+// SetFraming installs a framing factory: every agent created after
+// this call gets its own Framing instance (private mux/demux state).
+// Call before endpoints register their agents.
+func (p *Plane) SetFraming(f FramingFactory) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.framing = f
+}
+
 // Agent creates and registers a new agent in one step.
 func (p *Plane) Agent(name string, origin AddrPort) *Agent {
 	a := NewAgent(name, origin)
+	p.mu.Lock()
+	f := p.framing
+	p.mu.Unlock()
+	if f != nil {
+		a.SetFraming(f())
+	}
 	p.Register(a)
 	return a
 }

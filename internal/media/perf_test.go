@@ -60,6 +60,39 @@ func BenchmarkAgentEmitBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTSFramedStageDeliver measures the framed fast path end to
+// end: one TS burst muxed into the sender arena behind the wire
+// header, then demuxed and integrity-checked at the receiver. Per op:
+// one 1343-byte datagram staged + delivered. 0 allocs/op is the gated
+// claim — the continuity counters and templates live in the per-agent
+// framing state, not per-packet allocations.
+func BenchmarkTSFramedStageDeliver(b *testing.B) {
+	from := AddrPort{Addr: "127.0.0.1", Port: 40000}
+	to := AddrPort{Addr: "127.0.0.1", Port: 40002}
+	send := NewAgent("A", from)
+	send.SetFraming(NewTSFraming())
+	send.SetSending(to, sig.G711)
+	recv := NewAgent("B", to)
+	recv.SetFraming(NewTSFraming())
+	recv.SetExpecting(from, sig.G711, true)
+	arena := make([]byte, batchSize*maxDatagram)
+	msgs := make([][]byte, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n, _ := send.emitBatchInto(arena, msgs, 1); n != 1 {
+			b.Fatal("stage failed")
+		}
+		if err := recv.deliverWire(msgs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := recv.Stats(); s.Accepted == 0 || s.FramingErrors != 0 {
+		b.Fatalf("framed delivery broken: %+v", s)
+	}
+}
+
 // TestMediaZeroAlloc is the CI gate (make alloc-gate) for the media
 // fast-path claim: steady-state packet marshal, transmit staging, and
 // agent delivery allocate nothing.
@@ -81,5 +114,20 @@ func TestMediaZeroAlloc(t *testing.T) {
 		if a := testing.Benchmark(bm.fn).AllocsPerOp(); a != 0 {
 			t.Errorf("%s allocates %d allocs/op, want 0", bm.name, a)
 		}
+	}
+}
+
+// TestTSFramingZeroAlloc extends the alloc gate to the framed path:
+// staging a TS-framed datagram and demux-validating it at the receiver
+// adds zero allocations per packet over the opaque path.
+func TestTSFramingZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed test")
+	}
+	if a := testing.Benchmark(BenchmarkTSFramedStageDeliver).AllocsPerOp(); a != 0 {
+		t.Errorf("TS framed stage+deliver allocates %d allocs/op, want 0", a)
 	}
 }

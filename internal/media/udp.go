@@ -68,8 +68,11 @@ type UDPPlane struct {
 	wg      sync.WaitGroup
 	closed  bool
 
-	batch           atomic.Bool // sendmmsg/recvmmsg fast path enabled
-	decodeErrLogged atomic.Bool // first undecodable datagram recorded in errs
+	batch            atomic.Bool // sendmmsg/recvmmsg fast path enabled
+	decodeErrLogged  atomic.Bool // first undecodable datagram recorded in errs
+	framingErrLogged atomic.Bool // first payload-integrity failure recorded in errs
+
+	framing FramingFactory
 
 	mDecodeErr *telemetry.Counter
 }
@@ -98,6 +101,15 @@ func (p *UDPPlane) SetBatchIO(on bool) {
 // BatchIO reports whether the batched syscall path is active.
 func (p *UDPPlane) BatchIO() bool { return p.batch.Load() }
 
+// SetFraming installs a framing factory: every agent created after
+// this call gets its own Framing instance, installed before the
+// agent's reader starts. Call before endpoints register their agents.
+func (p *UDPPlane) SetFraming(f FramingFactory) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.framing = f
+}
+
 // Errs returns socket errors recorded during operation.
 func (p *UDPPlane) Errs() []error {
 	p.mu.Lock()
@@ -121,6 +133,12 @@ func (p *UDPPlane) isClosed() bool {
 // reader that classifies incoming datagrams.
 func (p *UDPPlane) Agent(name string, origin AddrPort) *Agent {
 	a := NewAgent(name, origin)
+	p.mu.Lock()
+	f := p.framing
+	p.mu.Unlock()
+	if f != nil {
+		a.SetFraming(f())
+	}
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(origin.Addr), Port: origin.Port})
 	if err != nil {
 		p.fail(fmt.Errorf("media: bind %s: %w", origin, err))
@@ -170,13 +188,23 @@ func (p *UDPPlane) readLoop(a *Agent, conn *net.UDPConn, bio *batchIO) {
 // deliverDatagram classifies one datagram at an agent. Undecodable
 // datagrams are counted (media.decode_errors) and the first one is
 // recorded in the plane's error list so tests and operators see why a
-// stream is silent instead of a blind drop.
+// stream is silent instead of a blind drop; payload-integrity failures
+// are counted separately by the framing (ts.crc_errors et al.) with
+// their own first-occurrence record.
 func (p *UDPPlane) deliverDatagram(a *Agent, b []byte) {
-	if err := a.deliverWire(b); err != nil {
-		p.mDecodeErr.Inc()
-		if p.decodeErrLogged.CompareAndSwap(false, true) {
-			p.fail(fmt.Errorf("media: undecodable datagram for %s: %w", a.Name(), err))
+	err := a.deliverWire(b)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, ErrFraming) {
+		if p.framingErrLogged.CompareAndSwap(false, true) {
+			p.fail(fmt.Errorf("media: payload integrity failure at %s: %w", a.Name(), err))
 		}
+		return
+	}
+	p.mDecodeErr.Inc()
+	if p.decodeErrLogged.CompareAndSwap(false, true) {
+		p.fail(fmt.Errorf("media: undecodable datagram for %s: %w", a.Name(), err))
 	}
 }
 

@@ -1,0 +1,36 @@
+// The CRC32 used by MPEG-TS PSI sections (PAT, PMT): the MPEG-2
+// variant of ISO/IEC 13818-1 Annex A — polynomial 0x04C11DB7 applied
+// most-significant-bit first, initial value 0xFFFFFFFF, no input or
+// output reflection and no final XOR. This is NOT the IEEE CRC32 of
+// hash/crc32 (which reflects both ways); a PSI section is valid when
+// the CRC of the whole section including the trailing 4 CRC bytes is
+// zero.
+package ts
+
+// crcTable is the byte-at-a-time lookup table for the MPEG-2 CRC32,
+// built once at init from the generator polynomial.
+var crcTable [256]uint32
+
+func init() {
+	const poly = 0x04C11DB7
+	for i := range crcTable {
+		crc := uint32(i) << 24
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x80000000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		crcTable[i] = crc
+	}
+}
+
+// CRC32 computes the MPEG-2 CRC32 of b.
+func CRC32(b []byte) uint32 {
+	crc := uint32(0xFFFFFFFF)
+	for _, c := range b {
+		crc = crc<<8 ^ crcTable[byte(crc>>24)^c]
+	}
+	return crc
+}

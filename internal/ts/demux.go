@@ -1,0 +1,273 @@
+// Depacketization: single-packet parsing, PES header parsing, and a
+// stateful Demuxer that validates a stream of 188-byte packets —
+// sync bytes, per-PID continuity, PSI CRC32, PES start codes — and
+// counts every integrity failure. Decoding yields views into the
+// input buffer; the demuxer allocates nothing per packet.
+package ts
+
+import "errors"
+
+// The demuxer's integrity errors. Feed returns the first one observed
+// in a buffer while the Stats counters record every occurrence.
+var (
+	ErrShort      = errors.New("ts: short packet")
+	ErrSync       = errors.New("ts: bad sync byte")
+	ErrAdaptation = errors.New("ts: bad adaptation field")
+	ErrCC         = errors.New("ts: continuity counter discontinuity")
+	ErrCRC        = errors.New("ts: PSI section CRC mismatch")
+	ErrPES        = errors.New("ts: bad PES header")
+)
+
+// Parsed is one decoded TS packet header; Payload aliases the input.
+type Parsed struct {
+	PID           uint16
+	CC            uint8
+	PUSI          bool
+	TEI           bool
+	Discontinuity bool // adaptation discontinuity_indicator
+	HasPCR        bool
+	PCR           uint64 // 27 MHz ticks
+	Payload       []byte // nil when the packet carries none
+}
+
+// Parse decodes the first 188 bytes of b as one TS packet.
+func Parse(b []byte) (Parsed, error) {
+	var p Parsed
+	if len(b) < PacketSize {
+		return p, ErrShort
+	}
+	if b[0] != SyncByte {
+		return p, ErrSync
+	}
+	p.TEI = b[1]&0x80 != 0
+	p.PUSI = b[1]&0x40 != 0
+	p.PID = uint16(b[1]&0x1F)<<8 | uint16(b[2])
+	ctrl := b[3] >> 4 & 0x3
+	p.CC = b[3] & 0x0F
+	if ctrl == 0 { // reserved
+		return p, ErrAdaptation
+	}
+	off := 4
+	if ctrl&0x2 != 0 { // adaptation field present
+		afLen := int(b[4])
+		off = 5 + afLen
+		if off > PacketSize || (ctrl&0x1 != 0 && afLen > maxPayload-1-1) {
+			return p, ErrAdaptation
+		}
+		if afLen >= 1 {
+			flags := b[5]
+			p.Discontinuity = flags&0x80 != 0
+			if flags&0x10 != 0 { // PCR
+				if afLen < pcrAFLen {
+					return p, ErrAdaptation
+				}
+				base := uint64(b[6])<<25 | uint64(b[7])<<17 | uint64(b[8])<<9 |
+					uint64(b[9])<<1 | uint64(b[10])>>7
+				ext := uint64(b[10]&0x01)<<8 | uint64(b[11])
+				p.HasPCR = true
+				p.PCR = base*300 + ext
+			}
+		}
+	}
+	if ctrl&0x1 != 0 {
+		p.Payload = b[off:PacketSize]
+	}
+	return p, nil
+}
+
+// ParsePES decodes the PES header this package's muxer writes at the
+// start of payload (the PUSI packet's payload): stream id, PES packet
+// length, optional PTS, and the view of the elementary-stream bytes
+// present in this payload. esTotal is the declared elementary-stream
+// length (0 when the PES is unbounded), for reassembly across packets.
+func ParsePES(payload []byte) (streamID uint8, pts uint64, hasPTS bool, esTotal int, es []byte, err error) {
+	if len(payload) < 9 {
+		return 0, 0, false, 0, nil, ErrPES
+	}
+	if payload[0] != 0x00 || payload[1] != 0x00 || payload[2] != 0x01 {
+		return 0, 0, false, 0, nil, ErrPES
+	}
+	streamID = payload[3]
+	pesLen := int(payload[4])<<8 | int(payload[5])
+	if payload[6]&0xC0 != 0x80 { // '10' marker of the extension header
+		return 0, 0, false, 0, nil, ErrPES
+	}
+	hdrLen := int(payload[8])
+	if len(payload) < 9+hdrLen {
+		return 0, 0, false, 0, nil, ErrPES
+	}
+	if payload[7]&0x80 != 0 { // PTS present
+		if hdrLen < 5 {
+			return 0, 0, false, 0, nil, ErrPES
+		}
+		p := payload[9:]
+		pts = uint64(p[0]>>1&0x07)<<30 | uint64(p[1])<<22 |
+			uint64(p[2]>>1)<<15 | uint64(p[3])<<7 | uint64(p[4])>>1
+		hasPTS = true
+	}
+	if pesLen > 0 {
+		esTotal = pesLen - 3 - hdrLen
+		if esTotal < 0 {
+			return 0, 0, false, 0, nil, ErrPES
+		}
+	}
+	return streamID, pts, hasPTS, esTotal, payload[9+hdrLen:], nil
+}
+
+// Stats counts what one Demuxer has seen. CCDiscontinuities counts
+// continuity-counter jumps (packet loss or corruption); CRCErrors
+// counts failed PSI section checksums; SyncErrors counts packets that
+// did not parse at all (lost sync, short tail, bad adaptation field);
+// PESErrors counts PUSI payloads without a valid PES header.
+type Stats struct {
+	Packets           uint64
+	PSISections       uint64
+	PESStarts         uint64
+	CCDiscontinuities uint64
+	CRCErrors         uint64
+	SyncErrors        uint64
+	PESErrors         uint64
+}
+
+// Errors sums the integrity-failure counters.
+func (s Stats) Errors() uint64 {
+	return s.CCDiscontinuities + s.CRCErrors + s.SyncErrors + s.PESErrors
+}
+
+// Demuxer validates a TS packet stream: continuity per PID, PSI CRC
+// on the PAT and the PMT PID learned from it, PES start codes on
+// media PIDs. The zero value is ready to use.
+type Demuxer struct {
+	cc     [MaxPID + 1]uint8 // last seen CC | ccSeen marker
+	seen   [(MaxPID + 1) / 8]uint8
+	pmtPID uint16 // learned from the PAT; 0 = not learned yet
+	stats  Stats
+
+	lastPCR uint64
+	pcrSeen uint64 // count of PCRs observed
+}
+
+// Reset forgets all per-PID state and counters.
+func (d *Demuxer) Reset() { *d = Demuxer{} }
+
+// Stats returns a snapshot of the demuxer's counters.
+func (d *Demuxer) Stats() Stats { return d.stats }
+
+// PCR returns the most recent program clock reference (27 MHz ticks)
+// and how many PCRs have been seen.
+func (d *Demuxer) PCR() (uint64, uint64) { return d.lastPCR, d.pcrSeen }
+
+// Feed consumes len(b)/188 packets, validating each and invoking emit
+// (when non-nil) with every payload-bearing packet. It returns the
+// first integrity error found in b (every failure is also counted in
+// Stats); a trailing fragment shorter than 188 bytes is an ErrShort.
+func (d *Demuxer) Feed(b []byte, emit func(p Parsed)) error {
+	var first error
+	record := func(err error) {
+		if first == nil {
+			first = err
+		}
+	}
+	for len(b) > 0 {
+		if len(b) < PacketSize {
+			d.stats.SyncErrors++
+			record(ErrShort)
+			break
+		}
+		pkt := b[:PacketSize]
+		b = b[PacketSize:]
+		p, err := Parse(pkt)
+		if err != nil {
+			d.stats.SyncErrors++
+			record(err)
+			continue
+		}
+		d.stats.Packets++
+		if p.HasPCR {
+			d.lastPCR = p.PCR
+			d.pcrSeen++
+		}
+		if p.Payload != nil {
+			if err := d.checkCC(p); err != nil {
+				record(err)
+			}
+			if err := d.checkPayload(p); err != nil {
+				record(err)
+			}
+			if emit != nil {
+				emit(p)
+			}
+		}
+	}
+	return first
+}
+
+// checkCC verifies pid continuity, resyncing the expectation on a
+// mismatch so one gap costs one discontinuity, not one per packet.
+func (d *Demuxer) checkCC(p Parsed) error {
+	byteIx, bit := p.PID>>3, uint8(1)<<(p.PID&7)
+	if d.seen[byteIx]&bit == 0 {
+		d.seen[byteIx] |= bit
+		d.cc[p.PID] = p.CC
+		return nil
+	}
+	want := (d.cc[p.PID] + 1) & 0x0F
+	d.cc[p.PID] = p.CC
+	if p.CC != want && !p.Discontinuity {
+		d.stats.CCDiscontinuities++
+		return ErrCC
+	}
+	return nil
+}
+
+// checkPayload validates what a PUSI payload opens with: a CRC'd PSI
+// section on the PAT/PMT PIDs, a PES start code elsewhere.
+func (d *Demuxer) checkPayload(p Parsed) error {
+	if !p.PUSI {
+		return nil
+	}
+	if p.PID == PIDPAT || (d.pmtPID != 0 && p.PID == d.pmtPID) {
+		return d.checkSection(p)
+	}
+	d.stats.PESStarts++
+	if len(p.Payload) < 3 || p.Payload[0] != 0x00 || p.Payload[1] != 0x00 || p.Payload[2] != 0x01 {
+		d.stats.PESErrors++
+		return ErrPES
+	}
+	return nil
+}
+
+// checkSection verifies one PSI section's framing and CRC32 (the
+// MPEG-2 CRC of a whole section including its trailing CRC bytes is
+// zero) and learns the PMT PID from a valid PAT.
+func (d *Demuxer) checkSection(p Parsed) error {
+	b := p.Payload
+	if len(b) < 1 {
+		d.stats.CRCErrors++
+		return ErrCRC
+	}
+	ptr := int(b[0])
+	if len(b) < 1+ptr+3 {
+		d.stats.CRCErrors++
+		return ErrCRC
+	}
+	sec := b[1+ptr:]
+	secLen := int(sec[1]&0x0F)<<8 | int(sec[2])
+	if len(sec) < 3+secLen || secLen < 4 {
+		d.stats.CRCErrors++
+		return ErrCRC
+	}
+	sec = sec[:3+secLen]
+	if CRC32(sec) != 0 {
+		d.stats.CRCErrors++
+		return ErrCRC
+	}
+	d.stats.PSISections++
+	// A single-program PAT section is 5 header bytes, one 4-byte
+	// program entry, and the 4-byte CRC.
+	if sec[0] == TableIDPAT && secLen >= 5+4+4 {
+		// First program entry: program_number (2) then the PMT PID.
+		d.pmtPID = uint16(sec[10]&0x1F)<<8 | uint16(sec[11])
+	}
+	return nil
+}

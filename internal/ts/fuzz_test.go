@@ -1,0 +1,112 @@
+package ts
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTSPacket fuzzes the single-packet layer both ways: arbitrary
+// bytes must never panic the parser, and any payload the muxer
+// accepts must round-trip through Parse byte-exactly.
+func FuzzTSPacket(f *testing.F) {
+	var seedMux Muxer
+	seed, _ := seedMux.AppendPacket(nil, 0x101, true, true, 1234567, []byte("seed payload"))
+	f.Add(seed, uint16(0x101), true, uint64(1234567))
+	f.Add(make([]byte, PacketSize), uint16(0), false, uint64(0))
+	f.Add([]byte{SyncByte, 0xFF, 0xFF, 0xFF}, uint16(MaxPID), true, uint64(1)<<40)
+	f.Fuzz(func(t *testing.T, raw []byte, pid uint16, pusi bool, pcr uint64) {
+		// Never-panic: parse arbitrary bytes, feed them to a demuxer.
+		_, _ = Parse(raw)
+		var d Demuxer
+		_ = d.Feed(raw, func(p Parsed) {
+			if len(p.Payload) > maxPayload {
+				t.Fatalf("payload view %d bytes exceeds packet capacity", len(p.Payload))
+			}
+		})
+
+		// Round-trip: reuse the fuzz bytes as a payload where they fit.
+		payload := raw
+		if len(payload) > 176 {
+			payload = payload[:176]
+		}
+		var m Muxer
+		b, err := m.AppendPacket(nil, pid&MaxPID, pusi, true, pcr, payload)
+		if err != nil {
+			t.Fatalf("mux rejected valid payload: %v", err)
+		}
+		if len(b) != PacketSize {
+			t.Fatalf("muxed packet is %d bytes", len(b))
+		}
+		p, err := Parse(b)
+		if err != nil {
+			t.Fatalf("parse of muxed packet: %v", err)
+		}
+		if p.PID != pid&MaxPID || p.PUSI != pusi || !p.HasPCR {
+			t.Fatalf("header mismatch: got %+v", p)
+		}
+		// PCR wraps at 33 bits of 90 kHz base; compare modulo that.
+		if want := (pcr/300)&MaxPTS*300 + pcr%300; p.PCR != want {
+			t.Fatalf("pcr %d, want %d", p.PCR, want)
+		}
+		if !bytes.Equal(p.Payload, payload) {
+			t.Fatalf("payload mismatch")
+		}
+	})
+}
+
+// FuzzPES fuzzes PES encapsulation: any elementary stream must
+// round-trip through AppendPES → Demuxer.Feed → ParsePES with the
+// demuxer seeing a clean stream, and ParsePES must never panic on
+// arbitrary payload bytes.
+func FuzzPES(f *testing.F) {
+	f.Add([]byte("elementary stream"), uint64(90000), uint16(0x42))
+	f.Add([]byte{}, uint64(0), uint16(1))
+	f.Add(bytes.Repeat([]byte{0xAB}, 4000), uint64(1)<<40, uint16(0x1FFF))
+	f.Fuzz(func(t *testing.T, es []byte, pts uint64, pid uint16) {
+		// Never-panic on arbitrary "payload" bytes.
+		_, _, _, _, _, _ = ParsePES(es)
+
+		if len(es) > 1<<16 {
+			es = es[:1<<16]
+		}
+		pid &= MaxPID
+		if pid == PIDPAT {
+			pid = 0x101 // PAT PID would route the payload to the PSI checker
+		}
+		var m Muxer
+		b, err := m.AppendPES(nil, pid, StreamIDVideo, pts, false, 0, es)
+		if err != nil {
+			t.Fatalf("AppendPES: %v", err)
+		}
+		var d Demuxer
+		var got []byte
+		var gotPTS uint64
+		err = d.Feed(b, func(p Parsed) {
+			if p.PUSI {
+				_, seenPTS, hasPTS, _, part, err := ParsePES(p.Payload)
+				if err != nil {
+					t.Fatalf("ParsePES on muxed payload: %v", err)
+				}
+				if !hasPTS {
+					t.Fatal("muxed PES lost its PTS")
+				}
+				gotPTS = seenPTS
+				got = append(got, part...)
+			} else {
+				got = append(got, p.Payload...)
+			}
+		})
+		if err != nil {
+			t.Fatalf("demux of muxed PES: %v", err)
+		}
+		if s := d.Stats(); s.Errors() != 0 {
+			t.Fatalf("clean PES shows errors: %+v", s)
+		}
+		if gotPTS != pts&MaxPTS {
+			t.Fatalf("pts %d, want %d", gotPTS, pts&MaxPTS)
+		}
+		if !bytes.Equal(got, es) {
+			t.Fatalf("es mismatch: %d bytes in, %d out", len(es), len(got))
+		}
+	})
+}

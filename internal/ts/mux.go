@@ -1,0 +1,251 @@
+// Package ts is a zero-allocation MPEG-TS (ISO/IEC 13818-1)
+// packetizer and depacketizer for the media fast path: 188-byte
+// transport packets with sync byte, 13-bit PIDs, per-PID continuity
+// counters, adaptation fields carrying PCR and stuffing, PES
+// encapsulation with PTS, single-program PAT/PMT generation, and the
+// MPEG-2 table CRC32.
+//
+// Like the signaling codec (sig.Append*) and the media wire codec
+// (media.AppendPacket), every encoder is append-style — it extends a
+// caller-owned buffer and returns it — and every decoder yields views
+// into the input, so steady-state mux and demux allocate nothing. All
+// mutable state (continuity counters, the demuxer's expected-CC table
+// and learned PMT PID) lives inside the Muxer/Demuxer value, which the
+// media plane embeds in the per-sender framing state rather than
+// allocating per packet.
+//
+// Packet layout (ISO 13818-1 §2.4.3.2):
+//
+//	byte 0      sync byte 0x47
+//	byte 1      TEI | PUSI | priority | PID[12:8]
+//	byte 2      PID[7:0]
+//	byte 3      scrambling(2) | adaptation_field_control(2) | CC(4)
+//	bytes 4..   optional adaptation field, then payload
+//
+// The adaptation field opens with its own length byte, then a flags
+// byte (PCR_flag = 0x10), a 6-byte PCR (33-bit base at 90 kHz, 6
+// reserved bits, 9-bit extension at 27 MHz) when flagged, and 0xFF
+// stuffing; a packet whose payload is shorter than 184 bytes is padded
+// to exactly 188 by stuffing the adaptation field (§2.4.3.5).
+package ts
+
+import "errors"
+
+const (
+	// PacketSize is the fixed MPEG-TS packet size.
+	PacketSize = 188
+	// SyncByte opens every TS packet.
+	SyncByte = 0x47
+	// MaxPID is the largest PID (13 bits).
+	MaxPID = 0x1FFF
+	// PIDPAT is the well-known PID of the program association table.
+	PIDPAT = 0x0000
+	// PIDNull is the null-packet PID.
+	PIDNull = 0x1FFF
+
+	// maxPayload is the payload capacity of one packet with no
+	// adaptation field.
+	maxPayload = PacketSize - 4
+	// pcrAFLen is the adaptation-field length (the bytes after the
+	// length byte) when it carries only the flags byte and a PCR.
+	pcrAFLen = 1 + 6
+
+	// TableIDPAT and TableIDPMT are the PSI table ids (§2.4.4.4).
+	TableIDPAT = 0x00
+	TableIDPMT = 0x02
+
+	// StreamIDAudio and StreamIDVideo are the PES stream ids of the
+	// first audio and video streams (§2.4.3.6, Table 2-18).
+	StreamIDAudio = 0xC0
+	StreamIDVideo = 0xE0
+
+	// StreamTypePrivate is the PMT stream type for PES private data —
+	// payloads (like G.711 frames) with no registered MPEG stream type
+	// (§2.4.4.9, Table 2-29). StreamTypeH264 is AVC video.
+	StreamTypePrivate = 0x06
+	StreamTypeH264    = 0x1B
+
+	// pesHeaderLen is the size of the fixed PES header this muxer
+	// writes: start code (3), stream id (1), length (2), '10'+flags
+	// (2), header-data length (1), PTS (5).
+	pesHeaderLen = 14
+	// MaxPTS is the largest encodable PTS (33 bits of 90 kHz ticks).
+	MaxPTS = 1<<33 - 1
+)
+
+var (
+	errPayloadTooLarge = errors.New("ts: payload exceeds packet capacity")
+	errBadPID          = errors.New("ts: PID out of range")
+)
+
+// Muxer packetizes streams into TS packets, one continuity counter per
+// PID. The zero value is ready to use; the state is one byte per PID,
+// sized for embedding in per-sender framing state.
+type Muxer struct {
+	cc   [MaxPID + 1]uint8 // next continuity counter, 4 bits used
+	disc bool              // set the discontinuity indicator on AF-bearing packets
+}
+
+// SetDiscontinuity controls the adaptation-field discontinuity
+// indicator (§2.4.3.4) on subsequently muxed packets that carry an
+// adaptation field. A muxer opening a new stream sets it for its first
+// burst so receivers that were mid-stream on another source accept the
+// continuity-counter restart instead of counting a discontinuity —
+// the TS equivalent of a splice.
+func (m *Muxer) SetDiscontinuity(on bool) { m.disc = on }
+
+// appendHeader writes the 4-byte TS header plus an adaptation field
+// sized so that payloadLen payload bytes complete the 188-byte packet.
+// The caller must append exactly payloadLen bytes afterwards.
+// payloadLen must fit: at most 184, or 176 alongside a PCR.
+func (m *Muxer) appendHeader(dst []byte, pid uint16, pusi, hasPCR bool, pcr uint64, payloadLen int) ([]byte, error) {
+	if pid > MaxPID {
+		return dst, errBadPID
+	}
+	room := maxPayload
+	if hasPCR {
+		room -= 1 + pcrAFLen
+	}
+	if payloadLen > room {
+		return dst, errPayloadTooLarge
+	}
+	b1 := byte(pid >> 8)
+	if pusi {
+		b1 |= 0x40
+	}
+	// adaptation_field_control: a zero-length payload makes this an
+	// adaptation-only packet ('10'), since '11' requires payload bytes
+	// and '10' requires the field to fill the packet (§2.4.3.4).
+	var ctrl byte
+	needAF := hasPCR || payloadLen < maxPayload
+	if payloadLen > 0 {
+		ctrl = 0x10
+	} else {
+		needAF = true
+	}
+	if needAF {
+		ctrl |= 0x20
+	}
+	cc := m.cc[pid] & 0x0F
+	if payloadLen > 0 {
+		m.cc[pid] = (cc + 1) & 0x0F // payload-bearing packets consume a count (§2.4.3.3)
+	}
+	dst = append(dst, SyncByte, b1, byte(pid), ctrl|cc)
+	if !needAF {
+		return dst, nil
+	}
+	// afLen counts the bytes after the length byte; adaptation field
+	// plus payload fill the packet exactly. afLen 0 is the legal
+	// one-byte stuffing form (length byte only).
+	afLen := maxPayload - 1 - payloadLen
+	dst = append(dst, byte(afLen))
+	if afLen == 0 {
+		return dst, nil
+	}
+	flags := byte(0)
+	if m.disc {
+		flags |= 0x80
+	}
+	stuff := afLen - 1
+	if hasPCR {
+		flags |= 0x10
+		stuff -= 6
+	}
+	dst = append(dst, flags)
+	if hasPCR {
+		dst = appendPCR(dst, pcr)
+	}
+	for i := 0; i < stuff; i++ {
+		dst = append(dst, 0xFF)
+	}
+	return dst, nil
+}
+
+// AppendPacket appends one 188-byte TS packet on pid carrying payload
+// (at most 184 bytes, or 176 with a PCR). A short payload is padded
+// with adaptation-field stuffing so the packet is always exactly 188
+// bytes. hasPCR puts a program clock reference (27 MHz ticks) in the
+// adaptation field.
+func (m *Muxer) AppendPacket(dst []byte, pid uint16, pusi bool, hasPCR bool, pcr uint64, payload []byte) ([]byte, error) {
+	dst, err := m.appendHeader(dst, pid, pusi, hasPCR, pcr, len(payload))
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, payload...), nil
+}
+
+// appendPCR writes the 6-byte PCR field: 33-bit base (90 kHz), 6
+// reserved bits (all ones), 9-bit extension (27 MHz remainder).
+func appendPCR(dst []byte, pcr uint64) []byte {
+	base := (pcr / 300) & MaxPTS
+	ext := pcr % 300
+	return append(dst,
+		byte(base>>25), byte(base>>17), byte(base>>9), byte(base>>1),
+		byte(base<<7)|0x7E|byte(ext>>8), byte(ext))
+}
+
+// PESCapacity returns the elementary-stream size whose AppendPES
+// encapsulation (PTS header, and a leading PCR when withPCR) fills
+// exactly n TS packets with no stuffing — the size framing layers use
+// to emit fixed-shape bursts.
+func PESCapacity(n int, withPCR bool) int {
+	c := n*maxPayload - pesHeaderLen
+	if withPCR {
+		c -= 1 + pcrAFLen
+	}
+	return c
+}
+
+// AppendPES appends the PES encapsulation of es on pid: a PES header
+// with stream id, packet length, and PTS (90 kHz ticks, 33 bits),
+// split across as many TS packets as the payload needs. The first
+// packet carries PUSI (and the PCR when hasPCR); the last is stuffed
+// to the 188-byte boundary. Allocation-free when dst has capacity.
+func (m *Muxer) AppendPES(dst []byte, pid uint16, streamID uint8, pts uint64, hasPCR bool, pcr uint64, es []byte) ([]byte, error) {
+	room := maxPayload - pesHeaderLen
+	if hasPCR {
+		room -= 1 + pcrAFLen
+	}
+	first := len(es)
+	if first > room {
+		first = room
+	}
+	var hdr [pesHeaderLen]byte
+	pesLen := 3 + 5 + len(es) // bytes after the length field
+	if pesLen > 0xFFFF {
+		pesLen = 0 // unbounded, permitted for video elementary streams
+	}
+	pts &= MaxPTS
+	hdr[0], hdr[1], hdr[2] = 0x00, 0x00, 0x01
+	hdr[3] = streamID
+	hdr[4], hdr[5] = byte(pesLen>>8), byte(pesLen)
+	hdr[6] = 0x80 // '10' marker, no scrambling, no priority
+	hdr[7] = 0x80 // PTS present, no DTS
+	hdr[8] = 5    // header data length
+	hdr[9] = 0x21 | byte(pts>>29)&0x0E
+	hdr[10] = byte(pts >> 22)
+	hdr[11] = 0x01 | byte(pts>>14)&0xFE
+	hdr[12] = byte(pts >> 7)
+	hdr[13] = 0x01 | byte(pts<<1)&0xFE
+
+	start := len(dst)
+	dst, err := m.appendHeader(dst, pid, true, hasPCR, pcr, pesHeaderLen+first)
+	if err != nil {
+		return dst[:start], err
+	}
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, es[:first]...)
+	es = es[first:]
+	for len(es) > 0 {
+		n := len(es)
+		if n > maxPayload {
+			n = maxPayload
+		}
+		dst, err = m.AppendPacket(dst, pid, false, false, 0, es[:n])
+		if err != nil {
+			return dst[:start], err
+		}
+		es = es[n:]
+	}
+	return dst, nil
+}

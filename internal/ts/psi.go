@@ -1,0 +1,72 @@
+// Program-specific information: single-program PAT and PMT section
+// builders (ISO 13818-1 §2.4.4). Sections are assembled in a
+// stack-resident scratch buffer, CRC'd with the MPEG-2 table CRC32,
+// and emitted as one TS packet each (every section here fits 184
+// bytes), so PSI generation is allocation-free like the rest of the
+// muxer.
+package ts
+
+// Stream is one elementary stream entry in a PMT.
+type Stream struct {
+	Type uint8  // stream_type, e.g. StreamTypePrivate or StreamTypeH264
+	PID  uint16 // elementary PID
+}
+
+// psiScratch holds one section under construction: pointer_field +
+// longest section this package emits (a PMT with a handful of
+// streams) stays far under one packet's payload.
+type psiScratch [maxPayload]byte
+
+// AppendPAT appends one TS packet carrying a single-program program
+// association table: program programNumber's PMT lives on pmtPID.
+func (m *Muxer) AppendPAT(dst []byte, tsID, programNumber, pmtPID uint16) ([]byte, error) {
+	var s psiScratch
+	b := s[:0]
+	b = append(b, 0x00)       // pointer_field: section starts immediately
+	b = append(b, TableIDPAT) // table_id
+	// section_syntax_indicator '1', '0', reserved '11', then the
+	// 12-bit section_length: 5 header bytes + one program entry + CRC.
+	secLen := 5 + 4 + 4
+	b = append(b, 0xB0|byte(secLen>>8), byte(secLen))
+	b = append(b, byte(tsID>>8), byte(tsID))
+	b = append(b, 0xC1)       // reserved '11', version 0, current_next '1'
+	b = append(b, 0x00, 0x00) // section_number, last_section_number
+	b = append(b, byte(programNumber>>8), byte(programNumber))
+	b = append(b, 0xE0|byte(pmtPID>>8), byte(pmtPID))
+	b = appendSectionCRC(b, 1)
+	return m.AppendPacket(dst, PIDPAT, true, false, 0, b)
+}
+
+// AppendPMT appends one TS packet carrying the program map table of
+// programNumber on pmtPID: the program's PCR travels on pcrPID and its
+// elementary streams are listed with empty descriptor loops.
+func (m *Muxer) AppendPMT(dst []byte, pmtPID, programNumber, pcrPID uint16, streams []Stream) ([]byte, error) {
+	var s psiScratch
+	b := s[:0]
+	b = append(b, 0x00)       // pointer_field
+	b = append(b, TableIDPMT) // table_id
+	secLen := 9 + 5*len(streams) + 4
+	if 3+secLen > len(s)-1 { // table header + section vs. scratch minus pointer
+		return dst, errPayloadTooLarge
+	}
+	b = append(b, 0xB0|byte(secLen>>8), byte(secLen))
+	b = append(b, byte(programNumber>>8), byte(programNumber))
+	b = append(b, 0xC1)       // reserved '11', version 0, current_next '1'
+	b = append(b, 0x00, 0x00) // section_number, last_section_number
+	b = append(b, 0xE0|byte(pcrPID>>8), byte(pcrPID))
+	b = append(b, 0xF0, 0x00) // program_info_length 0
+	for _, st := range streams {
+		b = append(b, st.Type)
+		b = append(b, 0xE0|byte(st.PID>>8), byte(st.PID))
+		b = append(b, 0xF0, 0x00) // ES_info_length 0
+	}
+	b = appendSectionCRC(b, 1)
+	return m.AppendPacket(dst, pmtPID, true, false, 0, b)
+}
+
+// appendSectionCRC appends the MPEG-2 CRC32 of b[skip:] (skip steps
+// over the pointer_field, which is outside the section).
+func appendSectionCRC(b []byte, skip int) []byte {
+	crc := CRC32(b[skip:])
+	return append(b, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+}

@@ -1,0 +1,304 @@
+package ts
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestCRC32KnownVector pins the MPEG-2 CRC32 against published
+// vectors: "123456789" under CRC-32/MPEG-2 is 0x0376E6E7, and the CRC
+// of a section including its own CRC bytes is zero (the property the
+// demuxer checks).
+func TestCRC32KnownVector(t *testing.T) {
+	if got := CRC32([]byte("123456789")); got != 0x0376E6E7 {
+		t.Fatalf("CRC32 check vector: got %#08x, want 0x0376E6E7", got)
+	}
+	msg := []byte("arbitrary section body")
+	withCRC := appendSectionCRC(append([]byte(nil), msg...), 0)
+	if got := CRC32(withCRC); got != 0 {
+		t.Fatalf("CRC over section+CRC = %#08x, want 0", got)
+	}
+}
+
+// TestPacketRoundTrip muxes single packets through every shape —
+// full payload, stuffed payload, PCR — and parses them back.
+func TestPacketRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload int
+		pusi    bool
+		hasPCR  bool
+		pcr     uint64
+	}{
+		{"full", 184, false, false, 0},
+		{"stuffed", 100, true, false, 0},
+		{"one-byte-stuff", 183, false, false, 0},
+		{"pcr", 170, true, true, 123456789012},
+		{"pcr-max", 176, false, true, (uint64(1)<<33-1)*300 + 299},
+		{"tiny", 1, false, false, 0},
+	}
+	var m Muxer
+	for _, tc := range cases {
+		payload := make([]byte, tc.payload)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		b, err := m.AppendPacket(nil, 0x101, tc.pusi, tc.hasPCR, tc.pcr, payload)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(b) != PacketSize {
+			t.Fatalf("%s: packet is %d bytes, want %d", tc.name, len(b), PacketSize)
+		}
+		p, err := Parse(b)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if p.PID != 0x101 || p.PUSI != tc.pusi || p.HasPCR != tc.hasPCR {
+			t.Fatalf("%s: header mismatch: %+v", tc.name, p)
+		}
+		if tc.hasPCR && p.PCR != tc.pcr {
+			t.Fatalf("%s: PCR %d, want %d", tc.name, p.PCR, tc.pcr)
+		}
+		if !bytes.Equal(p.Payload, payload) {
+			t.Fatalf("%s: payload mismatch", tc.name)
+		}
+	}
+}
+
+// TestPacketLimits verifies the capacity errors.
+func TestPacketLimits(t *testing.T) {
+	var m Muxer
+	if _, err := m.AppendPacket(nil, 0x101, false, false, 0, make([]byte, 185)); !errors.Is(err, errPayloadTooLarge) {
+		t.Fatalf("oversize payload: %v", err)
+	}
+	if _, err := m.AppendPacket(nil, 0x101, false, true, 0, make([]byte, 177)); !errors.Is(err, errPayloadTooLarge) {
+		t.Fatalf("oversize payload with PCR: %v", err)
+	}
+	if _, err := m.AppendPacket(nil, MaxPID+1, false, false, 0, nil); !errors.Is(err, errBadPID) {
+		t.Fatalf("bad pid: %v", err)
+	}
+}
+
+// TestContinuityCounter verifies per-PID counting and 4-bit wrap.
+func TestContinuityCounter(t *testing.T) {
+	var m Muxer
+	var b []byte
+	for i := 0; i < 20; i++ {
+		var err error
+		b, err = m.AppendPacket(b, 0x101, false, false, 0, []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := m.AppendPacket(b, 0x102, false, false, 0, []byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p, err := Parse(b[i*PacketSize:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint8(i % 16); p.CC != want {
+			t.Fatalf("packet %d: cc %d, want %d", i, p.CC, want)
+		}
+	}
+	p, err := Parse(b[20*PacketSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PID != 0x102 || p.CC != 0 {
+		t.Fatalf("second pid starts cc at %d on pid %#x", p.CC, p.PID)
+	}
+}
+
+// TestPESRoundTrip packetizes elementary streams of several sizes and
+// reassembles them through the demuxer.
+func TestPESRoundTrip(t *testing.T) {
+	for _, esLen := range []int{0, 1, 100, 170, 171, 500, 1274, 5000} {
+		es := make([]byte, esLen)
+		for i := range es {
+			es[i] = byte(i * 13)
+		}
+		var m Muxer
+		const pid, pts, pcr = 0x101, uint64(1234567), uint64(9876543)
+		b, err := m.AppendPES(nil, pid, StreamIDAudio, pts, true, pcr, es)
+		if err != nil {
+			t.Fatalf("es %d: %v", esLen, err)
+		}
+		if len(b)%PacketSize != 0 {
+			t.Fatalf("es %d: %d bytes is not a whole number of packets", esLen, len(b))
+		}
+
+		var d Demuxer
+		var got []byte
+		var sawPTS uint64
+		err = d.Feed(b, func(p Parsed) {
+			if p.PID != pid {
+				t.Fatalf("es %d: stray pid %#x", esLen, p.PID)
+			}
+			if p.PUSI {
+				id, pts, hasPTS, total, esPart, err := ParsePES(p.Payload)
+				if err != nil {
+					t.Fatalf("es %d: ParsePES: %v", esLen, err)
+				}
+				if id != StreamIDAudio || !hasPTS || total != esLen {
+					t.Fatalf("es %d: PES header: id %#x pts? %v total %d", esLen, id, hasPTS, total)
+				}
+				sawPTS = pts
+				got = append(got, esPart...)
+			} else {
+				got = append(got, p.Payload...)
+			}
+		})
+		if err != nil {
+			t.Fatalf("es %d: feed: %v", esLen, err)
+		}
+		if sawPTS != pts {
+			t.Fatalf("es %d: pts %d, want %d", esLen, sawPTS, pts)
+		}
+		if !bytes.Equal(got, es) {
+			t.Fatalf("es %d: reassembled %d bytes, mismatch", esLen, len(got))
+		}
+		if lastPCR, n := d.PCR(); n != 1 || lastPCR != pcr {
+			t.Fatalf("es %d: pcr %d seen %d, want %d seen once", esLen, lastPCR, n, pcr)
+		}
+		if s := d.Stats(); s.Errors() != 0 {
+			t.Fatalf("es %d: clean stream shows errors: %+v", esLen, s)
+		}
+	}
+}
+
+// TestPSIRoundTrip generates a PAT and PMT, verifies their CRCs
+// through the demuxer, and checks that the demuxer learns the PMT PID
+// well enough to CRC-check the PMT.
+func TestPSIRoundTrip(t *testing.T) {
+	var m Muxer
+	b, err := m.AppendPAT(nil, 1, 1, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = m.AppendPMT(b, 0x100, 1, 0x101, []Stream{{Type: StreamTypePrivate, PID: 0x101}, {Type: StreamTypeH264, PID: 0x102}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Demuxer
+	if err := d.Feed(b, nil); err != nil {
+		t.Fatalf("clean PSI rejected: %v", err)
+	}
+	s := d.Stats()
+	if s.PSISections != 2 {
+		t.Fatalf("PSI sections %d, want 2 (PAT+PMT)", s.PSISections)
+	}
+	if d.pmtPID != 0x100 {
+		t.Fatalf("learned PMT PID %#x, want 0x100", d.pmtPID)
+	}
+
+	// Corrupt the PMT section (its last byte is the final CRC byte —
+	// earlier packet bytes are adaptation stuffing): CRC must catch it.
+	bad := append([]byte(nil), b...)
+	bad[2*PacketSize-1] ^= 0x01
+	var d2 Demuxer
+	if err := d2.Feed(bad, nil); !errors.Is(err, ErrCRC) {
+		t.Fatalf("corrupted PMT: %v, want ErrCRC", err)
+	}
+	if d2.Stats().CRCErrors != 1 {
+		t.Fatalf("CRC errors %d, want 1", d2.Stats().CRCErrors)
+	}
+}
+
+// TestCCDiscontinuity drops a packet mid-stream and verifies exactly
+// one discontinuity is counted (resync, not one per following packet).
+func TestCCDiscontinuity(t *testing.T) {
+	var m Muxer
+	var b []byte
+	payload := make([]byte, 184)
+	for i := 0; i < 10; i++ {
+		var err error
+		b, err = m.AppendPacket(b, 0x101, false, false, 0, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove the 5th packet.
+	gap := append(append([]byte(nil), b[:4*PacketSize]...), b[5*PacketSize:]...)
+	var d Demuxer
+	if err := d.Feed(gap, nil); !errors.Is(err, ErrCC) {
+		t.Fatalf("gap stream: %v, want ErrCC", err)
+	}
+	if got := d.Stats().CCDiscontinuities; got != 1 {
+		t.Fatalf("discontinuities %d, want exactly 1 after resync", got)
+	}
+
+	// A corrupted CC (bit flip in byte 3's low nibble) is also caught.
+	flip := append([]byte(nil), b...)
+	flip[3*PacketSize+3] ^= 0x01
+	var d2 Demuxer
+	if err := d2.Feed(flip, nil); !errors.Is(err, ErrCC) {
+		t.Fatalf("flipped cc: %v, want ErrCC", err)
+	}
+}
+
+// TestDiscontinuityIndicator verifies the splice case: a new muxer's
+// first packets carry the discontinuity indicator, so a demuxer
+// mid-stream on another source accepts the continuity-counter restart.
+func TestDiscontinuityIndicator(t *testing.T) {
+	var old Muxer
+	a, err := old.AppendPES(nil, 0x101, StreamIDAudio, 0, true, 0, make([]byte, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh Muxer
+	fresh.SetDiscontinuity(true)
+	b, err := fresh.AppendPES(nil, 0x101, StreamIDAudio, 0, true, 0, make([]byte, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.SetDiscontinuity(false)
+	p, err := Parse(b)
+	if err != nil || !p.Discontinuity {
+		t.Fatalf("first packet of the new stream: disc=%v err=%v", p.Discontinuity, err)
+	}
+
+	var d Demuxer
+	if err := d.Feed(a, nil); err != nil {
+		t.Fatalf("old stream: %v", err)
+	}
+	if err := d.Feed(b, nil); err != nil {
+		t.Fatalf("flagged splice rejected: %v", err)
+	}
+	if got := d.Stats().CCDiscontinuities; got != 0 {
+		t.Fatalf("flagged splice counted %d discontinuities, want 0", got)
+	}
+
+	// Without the flag the same splice IS a discontinuity.
+	var fresh2 Muxer
+	c, _ := fresh2.AppendPES(nil, 0x101, StreamIDAudio, 0, true, 0, make([]byte, 500))
+	var d2 Demuxer
+	_ = d2.Feed(a, nil)
+	if err := d2.Feed(c, nil); !errors.Is(err, ErrCC) {
+		t.Fatalf("unflagged splice: %v, want ErrCC", err)
+	}
+}
+
+// TestSyncLoss verifies a trashed sync byte and a truncated tail are
+// both counted and reported.
+func TestSyncLoss(t *testing.T) {
+	var m Muxer
+	b, err := m.AppendPES(nil, 0x101, StreamIDAudio, 0, false, 0, make([]byte, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 0x00
+	var d Demuxer
+	if err := d.Feed(bad, nil); !errors.Is(err, ErrSync) {
+		t.Fatalf("bad sync: %v, want ErrSync", err)
+	}
+	var d2 Demuxer
+	if err := d2.Feed(b[:PacketSize+10], nil); !errors.Is(err, ErrShort) {
+		t.Fatalf("short tail: %v, want ErrShort", err)
+	}
+}

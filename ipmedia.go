@@ -231,6 +231,13 @@ type (
 	MediaRegistry = media.Registry
 	// MediaFlow is one observed media flow.
 	MediaFlow = media.Flow
+	// MediaFraming fills and checks the payload each media packet
+	// carries; TSFraming is the MPEG-TS implementation.
+	MediaFraming = media.Framing
+	// MediaFramingFactory builds one framing per agent.
+	MediaFramingFactory = media.FramingFactory
+	// TSFraming carries genuine single-program MPEG-TS bursts.
+	TSFraming = media.TSFraming
 )
 
 // NewMediaPlane creates an empty in-memory media plane.
@@ -238,6 +245,10 @@ func NewMediaPlane() *MediaPlane { return media.NewPlane() }
 
 // NewUDPMediaPlane creates a media plane over real UDP sockets.
 func NewUDPMediaPlane() *UDPMediaPlane { return media.NewUDPPlane() }
+
+// NewTSFraming creates an MPEG-TS payload framing (188-byte packets,
+// PES encapsulation, PAT/PMT, continuity counters, PCR).
+func NewTSFraming() *TSFraming { return media.NewTSFraming() }
 
 // Path semantics and verification (paper Sections V and VIII).
 type (
