@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke ts-smoke chaos-smoke bench-chaos alloc-gate store-smoke bench-store
+.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke ts-smoke chaos-smoke bench-chaos alloc-gate store-smoke bench-store bench-diff profile-runtime
 
 # ci is the gate: static checks, build, the full test suite under the
 # race detector, the parallel-vs-sequential checker agreement test,
@@ -12,6 +12,7 @@ GO ?= go
 # a seeded chaos-storm so the fault-recovery story is re-proved on
 # every run.
 ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke ts-smoke chaos-smoke store-smoke
+	-$(MAKE) bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +31,7 @@ agree:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalEnvelope -fuzztime=10s ./internal/sig
 	$(GO) test -run='^$$' -fuzz=FuzzEncoderEquivalence -fuzztime=10s ./internal/sig
+	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeAliasing -fuzztime=10s ./internal/sig
 	$(GO) test -run='^$$' -fuzz=FuzzPacket -fuzztime=10s ./internal/media
 	$(GO) test -run='^$$' -fuzz=FuzzTSPacket -fuzztime=10s ./internal/ts
 	$(GO) test -run='^$$' -fuzz=FuzzPES -fuzztime=10s ./internal/ts
@@ -43,7 +45,9 @@ bench-smoke:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# alloc-gate asserts the zero-alloc claims: the steady-state event
+# alloc-gate asserts the zero-alloc claims: the signaling decode path
+# (interned strings, pooled Meta frames) and the end-to-end
+# decode->inbox->dispatch->release path, the steady-state event
 # dispatch path (box) both standalone and through a cluster shard, the
 # media fast path — packet marshal, transmit staging, and wire delivery
 # — the MPEG-TS container layer (PES mux, PSI generation, demux
@@ -51,7 +55,8 @@ bench:
 # layer's steady-state send (stamp, retain, ack bookkeeping), and the
 # store's disabled path and cached registry lookup allocate nothing.
 alloc-gate:
-	$(GO) test -run='TestRunnerEventZeroAlloc|TestClusterEventZeroAlloc' ./internal/box
+	$(GO) test -run='TestDecodeZeroAlloc|TestEncodeZeroAlloc' ./internal/sig
+	$(GO) test -run='TestRunnerEventZeroAlloc|TestClusterEventZeroAlloc|TestRunnerEventEndToEndAllocs' ./internal/box
 	$(GO) test -run='TestMediaZeroAlloc|TestTSFramingZeroAlloc' ./internal/media
 	$(GO) test -run='TestTSZeroAlloc' ./internal/ts
 	$(GO) test -run='TestRelSendSteadyStateZeroAlloc' ./internal/transport
@@ -64,7 +69,7 @@ alloc-gate:
 # every CI run re-proves the sharded runtime under load.
 storm-smoke:
 	$(GO) run ./cmd/callstorm -paths 500 -servers 4 -mode link -net mem -hold 250ms -duration 5s
-	GOMAXPROCS=4 $(GO) run ./cmd/callstorm -paths 500 -servers 4 -mode link -net ring -shards 4 -hold 250ms -duration 5s -gate
+	GOMAXPROCS=4 $(GO) run ./cmd/callstorm -paths 500 -servers 4 -mode link -net ring -shards 4 -hold 250ms -duration 5s -gate -alloc-gate 8
 
 # media-smoke blasts the in-memory media plane for ~2 seconds: a
 # pipeline liveness check, not a measurement.
@@ -136,6 +141,27 @@ bench-media:
 # raise -paths to 10000 to measure the saturated speedup directly.
 bench-runtime:
 	$(GO) run ./cmd/callstorm -paths 1200 -servers 8 -mode link -net ring -hold 1s -stagger 15s -ramp 60s -duration 15s -sweep 1,2,4,8 -out BENCH_runtime.json
+
+# bench-diff guards the committed runtime numbers: it re-reads the
+# BENCH_runtime.json in the working tree against the one committed at
+# HEAD and fails on a >10% per-event regression (ns_per_event or
+# allocs_per_event, any GOMAXPROCS leg). Run it after bench-runtime to
+# check a fresh measurement before committing it. In ci it is
+# informational (leading '-'): a dirtied benchmark file fails loudly
+# here but does not block unrelated work.
+bench-diff:
+	@git show HEAD:BENCH_runtime.json > .bench_runtime_head.json
+	$(GO) run ./cmd/benchdiff -old .bench_runtime_head.json -new BENCH_runtime.json -max-regress 10
+	@rm -f .bench_runtime_head.json
+
+# profile-runtime captures CPU and allocation profiles of a callstorm
+# leg sized like the bench-runtime single-shard leg, for
+# `go tool pprof` spelunking: which call sites still allocate, where
+# the event loop spends its time.
+profile-runtime:
+	$(GO) run ./cmd/callstorm -paths 1200 -servers 8 -mode link -net ring -hold 1s -duration 10s -cpuprofile callstorm.cpu.pprof -memprofile callstorm.allocs.pprof
+	@echo "profiles written: callstorm.cpu.pprof callstorm.allocs.pprof"
+	@echo "inspect with: go tool pprof -top -sample_index=alloc_objects callstorm.allocs.pprof"
 
 # bench-mc records the before/after checker numbers: the twelve-model
 # suite at workers 1 vs 4, written to BENCH_mc.json. Forcing 4 (rather

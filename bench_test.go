@@ -167,7 +167,7 @@ func BenchmarkE6CollabTV(b *testing.B) {
 			b.Fatal(err)
 		}
 		ctl.Do(func(ctx *ipmedia.Ctx) {
-			ctx.SendMeta("m", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "watch", Attrs: map[string]string{"movie": "x", "pos": "0"}})
+			ctx.SendMeta("m", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "watch", Attrs: ipmedia.NewAttrs("movie", "x", "pos", "0")})
 			ctx.SendMeta("m", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "play"})
 		})
 		waitB(b, func() bool {

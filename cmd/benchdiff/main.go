@@ -1,0 +1,122 @@
+// benchdiff compares two BENCH_runtime.json records — typically the
+// last committed one against a freshly measured one — and fails when
+// the hot-path numbers regress beyond a tolerance. It is the guard
+// that keeps the runtime benchmarks honest: a PR that re-measures the
+// curve cannot silently trade away the per-event costs the previous
+// PRs bought.
+//
+// Per GOMAXPROCS leg (matched across the two files) it compares:
+//
+//   - ns_per_event: CPU cost of one dispatched event
+//   - allocs_per_event: allocator pressure per event
+//
+// Improvements and changes within the tolerance pass; any leg
+// regressing more than -max-regress percent fails the run. Throughput
+// (calls_per_sec) is reported but not gated — on shared CI hosts it is
+// too load-sensitive to gate on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type leg struct {
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	NsPerEvent  float64 `json:"ns_per_event"`
+	AllocsPerEv float64 `json:"allocs_per_event"`
+}
+
+type record struct {
+	Date  string `json:"date"`
+	Curve []leg  `json:"gomaxprocs_curve"`
+	// Flat single-leg records (callstorm without -sweep) carry the
+	// fields at top level instead.
+	leg
+}
+
+func load(path string) (record, error) {
+	var r record
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Curve) == 0 && r.NsPerEvent > 0 {
+		r.Curve = []leg{r.leg}
+	}
+	return r, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_runtime.json (e.g. the committed one)")
+	newPath := flag.String("new", "BENCH_runtime.json", "fresh BENCH_runtime.json to check")
+	maxRegress := flag.Float64("max-regress", 10, "max tolerated regression, percent")
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old is required")
+		os.Exit(2)
+	}
+
+	oldRec, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRec, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	byGMP := map[int]leg{}
+	for _, l := range oldRec.Curve {
+		byGMP[l.GOMAXPROCS] = l
+	}
+
+	fmt.Printf("benchdiff: %s (%s) -> %s (%s), tolerance %.0f%%\n",
+		*oldPath, oldRec.Date, *newPath, newRec.Date, *maxRegress)
+	fmt.Printf("%-5s %14s %14s %8s   %14s %14s %8s\n",
+		"gmp", "ns/ev old", "ns/ev new", "delta", "allocs/ev old", "allocs/ev new", "delta")
+
+	pct := func(oldV, newV float64) float64 {
+		if oldV == 0 {
+			return 0
+		}
+		return (newV - oldV) / oldV * 100
+	}
+
+	failed := false
+	compared := 0
+	for _, n := range newRec.Curve {
+		o, ok := byGMP[n.GOMAXPROCS]
+		if !ok {
+			fmt.Printf("%-5d (no baseline leg; skipped)\n", n.GOMAXPROCS)
+			continue
+		}
+		compared++
+		dNs := pct(o.NsPerEvent, n.NsPerEvent)
+		dAl := pct(o.AllocsPerEv, n.AllocsPerEv)
+		mark := ""
+		if dNs > *maxRegress || dAl > *maxRegress {
+			mark = "  << REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-5d %14.0f %14.0f %+7.1f%%   %14.2f %14.2f %+7.1f%%%s\n",
+			n.GOMAXPROCS, o.NsPerEvent, n.NsPerEvent, dNs, o.AllocsPerEv, n.AllocsPerEv, dAl, mark)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable legs between the two records")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% tolerance\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within tolerance")
+}

@@ -40,6 +40,7 @@ import (
 
 	"ipmedia/internal/box"
 	"ipmedia/internal/core"
+	"ipmedia/internal/prof"
 	"ipmedia/internal/sig"
 	"ipmedia/internal/slot"
 	"ipmedia/internal/telemetry"
@@ -130,14 +131,25 @@ func main() {
 	flag.DurationVar(&cfg.giveup, "giveup", 10*time.Second, "abandon and redial a call that has not flowed after this long")
 	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS/shard counts; run one leg per value (e.g. 1,2,4,8)")
 	gate := flag.Bool("gate", false, "exit nonzero if any leg recorded giveups")
+	allocGate := flag.Float64("alloc-gate", 0, "exit nonzero if any leg exceeds this allocs/event budget (0: off)")
 	out := flag.String("out", "", "write the result JSON here (empty: stdout only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement window here")
+	memprofile := flag.String("memprofile", "", "write an allocation profile captured at the end of the measurement window here")
 	flag.Parse()
+
+	sess, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "callstorm:", err)
+		os.Exit(1)
+	}
 
 	var blob []byte
 	giveups := int64(0)
+	allocsWorst := 0.0
 	if *sweep == "" {
 		res := runStorm(cfg)
 		giveups = res.Giveups
+		allocsWorst = res.AllocsPerEvent
 		blob, _ = json.MarshalIndent(res, "", "  ")
 	} else {
 		sr := sweepResult{
@@ -162,6 +174,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "callstorm: === sweep leg: GOMAXPROCS=%d shards=%d ===\n", n, n)
 			res := runStorm(legCfg)
 			giveups += res.Giveups
+			if res.AllocsPerEvent > allocsWorst {
+				allocsWorst = res.AllocsPerEvent
+			}
 			sr.Legs = append(sr.Legs, res)
 			runtime.GC() // drop the leg's population before the next one
 		}
@@ -175,6 +190,11 @@ func main() {
 		blob, _ = json.MarshalIndent(sr, "", "  ")
 	}
 
+	if err := sess.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "callstorm:", err)
+		os.Exit(1)
+	}
+
 	fmt.Println(string(blob))
 	if *out != "" {
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
@@ -184,6 +204,10 @@ func main() {
 	}
 	if *gate && giveups > 0 {
 		fmt.Fprintf(os.Stderr, "callstorm: GATE FAILED: %d giveups (want 0)\n", giveups)
+		os.Exit(1)
+	}
+	if *allocGate > 0 && allocsWorst > *allocGate {
+		fmt.Fprintf(os.Stderr, "callstorm: GATE FAILED: %.2f allocs/event (budget %.2f)\n", allocsWorst, *allocGate)
 		os.Exit(1)
 	}
 }

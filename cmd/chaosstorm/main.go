@@ -51,6 +51,7 @@ import (
 	"ipmedia/internal/box"
 	"ipmedia/internal/core"
 	"ipmedia/internal/pathmon"
+	"ipmedia/internal/prof"
 	"ipmedia/internal/sig"
 	"ipmedia/internal/slot"
 	"ipmedia/internal/store"
@@ -147,7 +148,15 @@ func main() {
 	crash := flag.Bool("crash", false, "bind the durable store and crash/recover it mid-storm")
 	storeDir := flag.String("store-dir", "", "durable store directory (empty with -crash: a temp dir)")
 	storeBackend := flag.String("store-backend", "btree", "index backend for the bound store")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the storm here")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the storm here")
 	flag.Parse()
+
+	sess, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosstorm:", err)
+		os.Exit(1)
+	}
 
 	reg := telemetry.Enable()
 	baseline := runtime.NumGoroutine()
@@ -259,7 +268,7 @@ func main() {
 			if ev.Kind != box.EvEnvelope || !ev.Env.IsMeta() || ev.Env.Meta.Kind != sig.MetaSetup {
 				return
 			}
-			from, ch := ev.Env.Meta.Attrs["from"], ev.Env.Meta.Attrs["chan"]
+			from, ch := ev.Env.Meta.Get("from"), ev.Env.Meta.Get("chan")
 			if from == "" || ch == "" {
 				return
 			}
@@ -399,6 +408,10 @@ func main() {
 	if leaked {
 		buf := make([]byte, 1<<20)
 		fmt.Fprintf(os.Stderr, "chaosstorm: leaked goroutines:\n%s\n", buf[:runtime.Stack(buf, true)])
+	}
+
+	if err := sess.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosstorm:", err)
 	}
 
 	stTrack := tk.Stats()

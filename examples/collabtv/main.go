@@ -91,7 +91,7 @@ func main() {
 		}
 	}
 	collabA.Do(func(ctx *ipmedia.Ctx) {
-		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "watch", Attrs: map[string]string{"movie": "casablanca", "pos": "600"}})
+		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "watch", Attrs: ipmedia.NewAttrs("movie", "casablanca", "pos", "600")})
 	})
 
 	// The daughter's collaboration box, chained through collabA.
@@ -183,7 +183,7 @@ func main() {
 		log.Fatal(err)
 	}
 	collabC.Do(func(ctx *ipmedia.Ctx) {
-		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "watch", Attrs: map[string]string{"movie": "casablanca", "pos": "5400"}})
+		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "watch", Attrs: ipmedia.NewAttrs("movie", "casablanca", "pos", "5400")})
 		ctx.SendMeta("ms", ipmedia.Meta{Kind: ipmedia.MetaApp, App: "play"})
 		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("c-v", 0), ipmedia.TunnelSlot("ms", 0)))
 		ctx.SetGoal(ipmedia.NewFlowLink(ipmedia.TunnelSlot("c-a", 0), ipmedia.TunnelSlot("ms", 1)))

@@ -67,7 +67,7 @@ func main() {
 	// in1) must not hear what the emergency personnel say, but their
 	// audio into the conference is retained.
 	fmt.Println("\nemergency muting: the caller's output mix is silenced")
-	devs[0].SendApp("conf", "mix", map[string]string{"out": "in1", "in": ""})
+	devs[0].SendApp("conf", "mix", ipmedia.NewAttrs("out", "in1", "in", ""))
 	waitFor("caller's mix silenced", func() bool {
 		return !plane.HasFlow("bridge/in1", "caller") && plane.HasFlow("caller", "bridge/in1")
 	})
@@ -76,7 +76,7 @@ func main() {
 	// Whisper coaching: the caller hears only the calltaker again; a
 	// supervisor scenario would add a fourth leg.
 	fmt.Println("\nwhisper mix: caller hears only the calltaker")
-	devs[0].SendApp("conf", "mix", map[string]string{"out": "in1", "in": "in0"})
+	devs[0].SendApp("conf", "mix", ipmedia.NewAttrs("out", "in1", "in", "in0"))
 	waitFor("whisper mix applied", func() bool {
 		h := bridge.Hears("in1")
 		return len(h) == 1 && h[0] == "in0"

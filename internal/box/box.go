@@ -165,7 +165,19 @@ type Box struct {
 	dirty    []string // channels mutated since ResetDirtyChannels
 	track    bool     // record dirty channel names (runtime-driven boxes only)
 	goalCtrs map[string]*telemetry.Counter
+
+	// chanCache recycles chanInfo records by channel name: dial-heavy
+	// workloads destroy and re-create the same channels constantly, and
+	// a recycled record keeps its built-up tunnelSlot name cache, so a
+	// redial does no slot-name string building at all. Bounded so
+	// hostile channel-name churn cannot grow it without limit.
+	chanCache map[string]*chanInfo
+
+	widowScratch []string // reused by destroyChannel
 }
+
+// chanCacheCap bounds chanCache (matches the runner's name caches).
+const chanCacheCap = 256
 
 // New creates a box. The profile is used by all annotation-created
 // goals; application servers pass core.ServerProfile, media endpoints
@@ -254,7 +266,12 @@ func (b *Box) ChanVersion() uint64 { return b.chanVer }
 // AddChannel registers a signaling channel. The runtime calls it when
 // a channel is accepted; Dial registers the initiating side.
 func (b *Box) AddChannel(name string, initiator bool) {
-	b.chans[name] = &chanInfo{name: name, initiator: initiator}
+	ci := b.chanCache[name]
+	if ci == nil {
+		ci = &chanInfo{name: name}
+	}
+	ci.initiator = initiator
+	b.chans[name] = ci
 	b.chanVer++
 	b.markDirty(name)
 }
@@ -358,10 +375,18 @@ func asRaw(g core.Goal) (core.RawGoal, bool) {
 // that was flowlinked to a destroyed slot falls back to a closeSlot:
 // its path is broken, so its half of the channel is shut down cleanly.
 func (b *Box) destroyChannel(name string) {
+	if ci := b.chans[name]; ci != nil {
+		if b.chanCache == nil {
+			b.chanCache = make(map[string]*chanInfo, 8)
+		}
+		if len(b.chanCache) < chanCacheCap || b.chanCache[name] != nil {
+			b.chanCache[name] = ci
+		}
+	}
 	delete(b.chans, name)
 	b.chanVer++
 	b.markDirty(name)
-	var widowed []string
+	widowed := b.widowScratch[:0]
 	for sn := range b.slots {
 		ch, _, ok := slotChannel(sn)
 		if !ok || ch != name {
@@ -385,6 +410,7 @@ func (b *Box) destroyChannel(name string) {
 			b.outs = append(b.outs, Output{Kind: OutNote, Note: "widowed slot cleanup: " + err.Error()})
 		}
 	}
+	b.widowScratch = widowed[:0]
 }
 
 // Handle processes one event and returns the outputs it produced. It

@@ -85,12 +85,12 @@ const (
 type inboxItem struct {
 	kind  itemKind
 	r     *Runner
-	ev    Event               // itemEvent payload; ev.Channel also labels itemBatch/itemRing
-	batch []sig.Envelope      // itemBatch payload, owned by the pump
-	ack   chan<- struct{}     // itemBatch: signaled when the batch is processed
-	run   func()              // itemRun payload
+	ev    Event                // itemEvent payload; ev.Channel also labels itemBatch/itemRing
+	batch []sig.Envelope       // itemBatch payload, owned by the pump
+	ack   chan<- struct{}      // itemBatch: signaled when the batch is processed
+	run   func()               // itemRun payload
 	ring  transport.InlinePort // itemRing payload
-	done  chan struct{}       // itemEvent: signaled after dispatch (Do)
+	done  chan struct{}        // itemEvent: signaled after dispatch (Do)
 }
 
 // inbox is the shard's MPSC queue: producers append under a mutex,
@@ -289,7 +289,10 @@ func (r *Runner) traceEvent(dir, channel string, env sig.Envelope) {
 	if r.trace != nil {
 		r.trace(WireEvent{Box: r.box.Name(), Dir: dir, Channel: channel, Env: env, At: time.Now()})
 	}
-	if r.mTracer != nil {
+	// Armed is the advisory gate that keeps the always-on tracer free:
+	// rendering env.String() costs several allocations per event, so it
+	// only happens while someone is watching the trace.
+	if r.mTracer.Armed() {
 		r.mTracer.Record(dir, r.box.Name(), channel+" "+env.String())
 	}
 }
@@ -529,13 +532,17 @@ func (r *Runner) handle(ev Event) {
 		if r.lifecycle != nil && ev.Env.Meta != nil {
 			switch ev.Env.Meta.Kind {
 			case sig.MetaSetup:
-				r.lcSetup(ev.Channel, ev.Env.Meta.Attrs["from"])
+				r.lcSetup(ev.Channel, ev.Env.Meta.Get("from"))
 			case sig.MetaTeardown:
 				r.lcTeardown(ev.Channel)
 			}
 		}
 	}
 	outs, err := r.box.Handle(ev)
+	// Dispatch is complete: recycle the decode-owned Meta frame (no-op
+	// for hand-built envelopes). Handlers that keep attr data past this
+	// point hold the strings, never the frame.
+	ev.Env.Release()
 	r.process(outs)
 	r.box.Recycle(outs)
 	r.fail(err)
@@ -550,7 +557,10 @@ func (r *Runner) setupMetaFor(channel string) *sig.Meta {
 		return m
 	}
 	m := &sig.Meta{Kind: sig.MetaSetup,
-		Attrs: map[string]string{"from": r.box.Name(), "chan": channel}}
+		Attrs: sig.NewAttrs("from", r.box.Name(), "chan", channel)}
+	// Seed the decoder's intern table with the names this meta will put
+	// on the wire, so the peer decodes them without allocating.
+	sig.InternSeed(r.box.Name(), channel)
 	if len(r.setupMeta) < runnerCacheCap {
 		r.setupMeta[channel] = m
 	}

@@ -65,7 +65,7 @@ func TestBatchedMatchesSequential(t *testing.T) {
 	script = append(script, sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaSetup}})
 	for i := 0; i < n; i++ {
 		script = append(script, sig.Envelope{Meta: &sig.Meta{
-			Kind: sig.MetaApp, App: "seq", Attrs: map[string]string{"i": fmt.Sprint(i)},
+			Kind: sig.MetaApp, App: "seq", Attrs: sig.NewAttrs("i", fmt.Sprint(i)),
 		}})
 	}
 	script = append(script, sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaApp, App: "fin"}})
@@ -80,7 +80,7 @@ func TestBatchedMatchesSequential(t *testing.T) {
 				return
 			}
 			mu.Lock()
-			got = append(got, ev.Env.Meta.App+"/"+ev.Env.Meta.Attrs["i"])
+			got = append(got, ev.Env.Meta.App+"/"+ev.Env.Meta.Get("i"))
 			mu.Unlock()
 			if ev.Env.Meta.App == "fin" {
 				close(done)
@@ -227,5 +227,62 @@ func TestAwaitChannelNotification(t *testing.T) {
 	srv.AwaitChannel("in0", 5*time.Second)
 	if time.Since(start) > time.Second {
 		t.Fatal("AwaitChannel must return promptly after Stop, not wait out the timeout")
+	}
+}
+
+// BenchmarkRunnerEventEndToEnd measures the full signaling receive
+// path the storms exercise per event: wire decode (interned strings,
+// pooled Meta frames), inbox crossing, box dispatch, and the runner's
+// end-of-dispatch Release that recycles the decode frame.
+func BenchmarkRunnerEventEndToEnd(b *testing.B) {
+	r := NewRunner(New("bench", core.ServerProfile{Name: "bench"}), transport.NewMemNetwork())
+	defer r.Stop()
+	r.Do(func(ctx *Ctx) { ctx.Box().AddChannel("c", true) })
+
+	sig.InternSeed("bench", "c", "tick")
+	payload := sig.Envelope{Meta: &sig.Meta{Kind: sig.MetaApp, App: "tick",
+		Attrs: sig.NewAttrs("from", "bench", "chan", "c")}}.Marshal()
+
+	inject := func() {
+		e, err := sig.UnmarshalEnvelope(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Inject(Event{Kind: EvEnvelope, Channel: "c", Env: e})
+	}
+	// Warm the inbox ping-pong buffers, the frame pool, and the decode
+	// meta pool.
+	for i := 0; i < 1024; i++ {
+		inject()
+	}
+	r.Do(func(*Ctx) {})
+
+	barrier := func(*Ctx) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inject()
+		if i&63 == 63 {
+			// Tight periodic barrier: bounds in-flight decode frames so
+			// the meta pool cycles instead of growing.
+			r.Do(barrier)
+		}
+	}
+	r.Do(barrier)
+}
+
+// TestRunnerEventEndToEndAllocs is the CI gate for the end-to-end
+// claim: decode → inbox → dispatch → release allocates nothing in
+// steady state.
+func TestRunnerEventEndToEndAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pool reuse is randomized under -race")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed test")
+	}
+	res := testing.Benchmark(BenchmarkRunnerEventEndToEnd)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("end-to-end event path allocates %d allocs/op, want 0", a)
 	}
 }

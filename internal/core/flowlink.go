@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ipmedia/internal/sig"
 	"ipmedia/internal/slot"
@@ -72,7 +73,7 @@ func (g *FlowLink) Attach(ss Slots) ([]Action, error) {
 	if sa.State() != slot.Closed && sb.State() != slot.Closed && sa.Medium() != sb.Medium() {
 		return nil, fmt.Errorf("core: flowLink(%s,%s): medium mismatch %q vs %q", g.A, g.B, sa.Medium(), sb.Medium())
 	}
-	defer goalHists().link.Timer()()
+	defer goalHists().link.ObserveSince(time.Now())
 	g.UtdA, g.UtdB = false, false
 	em := NewEmitter(ss)
 	em.ackIfOwed(g.A)
@@ -127,7 +128,7 @@ func (g *FlowLink) reconcile(em *Emitter, ss Slots) {
 
 // OnEvent implements Goal.
 func (g *FlowLink) OnEvent(ss Slots, name string, ev slot.Event, in sig.Signal) ([]Action, error) {
-	defer goalHists().link.Timer()()
+	defer goalHists().link.ObserveSince(time.Now())
 	em := NewEmitter(ss)
 	other := g.other(name)
 	switch ev {

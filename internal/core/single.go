@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ipmedia/internal/sig"
 	"ipmedia/internal/slot"
@@ -69,7 +70,7 @@ func (g *OpenSlot) Attach(ss Slots) ([]Action, error) {
 
 // OnEvent implements Goal.
 func (g *OpenSlot) OnEvent(ss Slots, name string, ev slot.Event, in sig.Signal) ([]Action, error) {
-	defer goalHists().open.Timer()()
+	defer goalHists().open.ObserveSince(time.Now())
 	em := NewEmitter(ss)
 	s := ss.Slot(name)
 	switch ev {
@@ -192,7 +193,7 @@ func (g *CloseSlot) Attach(ss Slots) ([]Action, error) {
 
 // OnEvent implements Goal.
 func (g *CloseSlot) OnEvent(ss Slots, name string, ev slot.Event, in sig.Signal) ([]Action, error) {
-	defer goalHists().clos.Timer()()
+	defer goalHists().clos.ObserveSince(time.Now())
 	em := NewEmitter(ss)
 	switch ev {
 	case slot.EvOpen, slot.EvOpenRace:
@@ -273,7 +274,7 @@ func (g *HoldSlot) Attach(ss Slots) ([]Action, error) {
 
 // OnEvent implements Goal.
 func (g *HoldSlot) OnEvent(ss Slots, name string, ev slot.Event, in sig.Signal) ([]Action, error) {
-	defer goalHists().hold.Timer()()
+	defer goalHists().hold.ObserveSince(time.Now())
 	em := NewEmitter(ss)
 	s := ss.Slot(name)
 	switch ev {

@@ -60,8 +60,11 @@ type Config struct {
 	// non-auto-accept device. Called from the box goroutine: do not
 	// call device methods from it synchronously.
 	OnRing func(channel string)
-	// OnApp, if set, observes application meta-signals.
-	OnApp func(channel, app string, attrs map[string]string)
+	// OnApp, if set, observes application meta-signals. The attrs
+	// slice is only valid for the duration of the call (its backing
+	// frame is recycled afterwards); the strings read from it are
+	// safe to retain.
+	OnApp func(channel, app string, attrs []sig.Attr)
 	// MediaPace, if nonzero on a plane that supports paced streaming
 	// (the UDP plane), runs a continuous transmitter for the device's
 	// agent: every MediaPace it sends up to MediaPaceBatch packets
@@ -376,7 +379,7 @@ func (d *Device) Rehome(addr string, port int) {
 
 // SendApp emits an application meta-signal on a channel, e.g. the
 // "paid" event the IVR resource sends to the prepaid-card server.
-func (d *Device) SendApp(channel, app string, attrs map[string]string) {
+func (d *Device) SendApp(channel, app string, attrs []sig.Attr) {
 	d.r.Do(func(ctx *box.Ctx) {
 		ctx.SendMeta(channel, sig.Meta{Kind: sig.MetaApp, App: app, Attrs: attrs})
 	})

@@ -239,7 +239,7 @@ func TestBridgeConference(t *testing.T) {
 	// empty, so the bridge stops transmitting toward B; media from B
 	// into the bridge continues.
 	br.Runner().Do(func(ctx *box.Ctx) {})
-	devices[0].SendApp("conf", "mix", map[string]string{"out": "in1", "in": ""})
+	devices[0].SendApp("conf", "mix", sig.NewAttrs("out", "in1", "in", ""))
 	// The mix signal travels on A's channel? No: applications signal
 	// the bridge on their own channels; here we post it via B's channel
 	// owner for simplicity — any channel reaches the same bridge box.
@@ -251,7 +251,7 @@ func TestBridgeConference(t *testing.T) {
 	}
 	// Whisper coaching: A hears B and C; B hears only A... configure
 	// and verify the mix matrix.
-	devices[0].SendApp("conf", "mix", map[string]string{"out": "in1", "in": "in0"})
+	devices[0].SendApp("conf", "mix", sig.NewAttrs("out", "in1", "in", "in0"))
 	f.eventually("whisper mix applied", func() bool {
 		h := br.Hears("in1")
 		return len(h) == 1 && h[0] == "in0"
@@ -278,7 +278,7 @@ func TestMovieServerCollaborativeSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Do(func(ctx *box.Ctx) {
-		ctx.SendMeta("m", sig.Meta{Kind: sig.MetaSetup, Attrs: map[string]string{"movie": "casablanca", "pos": "100"}})
+		ctx.SendMeta("m", sig.Meta{Kind: sig.MetaSetup, Attrs: sig.NewAttrs("movie", "casablanca", "pos", "100")})
 	})
 	f.eventually("session created", func() bool {
 		s, ok := ms.Session("in0")
@@ -292,7 +292,7 @@ func TestMovieServerCollaborativeSession(t *testing.T) {
 		return s.Playing
 	})
 	r.Do(func(ctx *box.Ctx) {
-		ctx.SendMeta("m", sig.Meta{Kind: sig.MetaApp, App: "seek", Attrs: map[string]string{"pos": "0"}})
+		ctx.SendMeta("m", sig.Meta{Kind: sig.MetaApp, App: "seek", Attrs: sig.NewAttrs("pos", "0")})
 		ctx.SendMeta("m", sig.Meta{Kind: sig.MetaApp, App: "pause"})
 	})
 	f.eventually("paused at 0", func() bool {

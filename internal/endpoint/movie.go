@@ -73,9 +73,9 @@ func (ms *MovieServer) onMeta(ctx *box.Ctx, channel string, m *sig.Meta) {
 	defer ms.mu.Unlock()
 	switch m.Kind {
 	case sig.MetaSetup:
-		movie := m.Attrs["movie"]
+		movie := m.Get("movie")
 		pos := 0
-		if p, err := strconv.Atoi(m.Attrs["pos"]); err == nil {
+		if p, err := strconv.Atoi(m.Get("pos")); err == nil {
 			pos = p
 		}
 		ms.sessions[channel] = &MovieSession{Movie: movie, Pos: pos}
@@ -90,8 +90,8 @@ func (ms *MovieServer) onMeta(ctx *box.Ctx, channel string, m *sig.Meta) {
 		switch m.App {
 		case "watch":
 			// (Re)associate the channel with a movie and time pointer.
-			s.Movie = m.Attrs["movie"]
-			if p, err := strconv.Atoi(m.Attrs["pos"]); err == nil {
+			s.Movie = m.Get("movie")
+			if p, err := strconv.Atoi(m.Get("pos")); err == nil {
 				s.Pos = p
 			}
 		case "play":
@@ -99,7 +99,7 @@ func (ms *MovieServer) onMeta(ctx *box.Ctx, channel string, m *sig.Meta) {
 		case "pause":
 			s.Playing = false
 		case "seek":
-			if p, err := strconv.Atoi(m.Attrs["pos"]); err == nil {
+			if p, err := strconv.Atoi(m.Get("pos")); err == nil {
 				s.Pos = p
 			}
 		}

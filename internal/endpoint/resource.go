@@ -33,7 +33,7 @@ func NewToneGenerator(name string, net transport.Network, plane media.Registry) 
 // touchtone detection (paper Section I). It accepts any audio channel;
 // the application drives it with SendApp/OnApp meta-signals, like the
 // resource V that verifies prepaid funds in paper Figure 3.
-func NewIVR(name string, net transport.Network, plane media.Registry, onApp func(channel, app string, attrs map[string]string)) (*Device, error) {
+func NewIVR(name string, net transport.Network, plane media.Registry, onApp func(channel, app string, attrs []sig.Attr)) (*Device, error) {
 	return NewDevice(Config{Name: name, Net: net, Plane: plane, AutoAccept: true, OnApp: onApp})
 }
 
@@ -78,7 +78,7 @@ func NewBridge(name string, net transport.Network, plane media.Registry) (*Bridg
 				ctx.SendMeta(ev.Channel, sig.Meta{Kind: sig.MetaAvailable})
 			}
 			if m.Kind == sig.MetaApp && m.App == "mix" {
-				br.applyMix(m.Attrs)
+				br.applyMix(m)
 			}
 		}
 		br.refreshAgents(ctx.Box())
@@ -122,15 +122,15 @@ func slotChan(slotName string) string {
 }
 
 // applyMix configures the mix matrix from a "mix" meta-signal.
-func (br *Bridge) applyMix(attrs map[string]string) {
-	out := attrs["out"]
+func (br *Bridge) applyMix(m *sig.Meta) {
+	out := m.Get("out")
 	if out == "" {
 		return
 	}
 	br.mu.Lock()
 	defer br.mu.Unlock()
 	set := map[string]bool{}
-	if ins := attrs["in"]; ins != "" {
+	if ins := m.Get("in"); ins != "" {
 		start := 0
 		for i := 0; i <= len(ins); i++ {
 			if i == len(ins) || ins[i] == ',' {

@@ -1,0 +1,69 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the storm
+// harnesses to runtime/pprof. A Session brackets the interesting part
+// of a run: Start begins the CPU profile immediately; Stop ends it and
+// captures the allocation profile (the "allocs" profile, which counts
+// every allocation since process start, not just live heap) so a storm
+// leg can be diagnosed object-by-object with `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session is an in-flight profiling capture. The zero value (from
+// Start with both paths empty) is inert and safe to Stop.
+type Session struct {
+	cpu     *os.File
+	memPath string
+}
+
+// Start begins profiling per the flag values: a CPU profile streaming
+// to cpuPath, an allocation profile to be written to memPath at Stop.
+// Either path may be empty to skip that profile.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		s.cpu = f
+	}
+	return s, nil
+}
+
+// Stop ends the CPU profile and writes the allocation profile. Safe on
+// a nil or inert session.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		err := s.cpu.Close()
+		s.cpu = nil
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // flush pending frees so alloc counts are settled
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		s.memPath = ""
+	}
+	return nil
+}

@@ -49,7 +49,7 @@ func NewScreen(net transport.Network, cfg ScreenConfig) (*box.Runner, <-chan str
 		if ev == nil || !ctx.OnMeta("in0", sig.MetaSetup) {
 			return "", false
 		}
-		return ev.Env.Meta.Attrs["from"], true
+		return ev.Env.Meta.Get("from"), true
 	}
 
 	prog := &box.Program{

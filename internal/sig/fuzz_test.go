@@ -17,7 +17,7 @@ func FuzzUnmarshalEnvelope(f *testing.F) {
 		{Tunnel: 3, Sig: CloseAck()},
 		{Tunnel: 4, Sig: Describe(d)},
 		{Tunnel: 5, Sig: Select(Selector{Answers: d.ID, Addr: "h", Port: 1, Codec: G711})},
-		{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: map[string]string{"k": "v"}}},
+		{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: NewAttrs("k", "v")}},
 	}
 	for _, e := range seeds {
 		f.Add(e.Marshal())

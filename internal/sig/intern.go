@@ -1,0 +1,170 @@
+// String interning for the decode path. The protocol's vocabularies
+// are closed in practice — codec and medium names come from a fixed
+// set, attr keys from a handful of protocol constants, and box,
+// channel, and address names from the deployment's bounded population
+// (cf. the bounded, statically-known label vocabularies of
+// flow-network DSLs). Interning resolves decoded bytes to canonical
+// shared strings, so steady-state decoding allocates nothing for a
+// string it has seen before.
+//
+// The table is copy-on-write behind an atomic pointer: reads (the hot
+// path, every decoded string) are lock-free; writes (one per novel
+// string, bounded by the table capacity) copy the map under a mutex.
+// Capacity bounds adversarial growth: once full, novel strings simply
+// decode as fresh allocations, the pre-interning behavior.
+package sig
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Intern is a bounded bytes→canonical-string table with lock-free
+// lookups. The zero value is unusable; use NewIntern.
+type Intern struct {
+	capacity int
+	table    atomic.Pointer[map[string]string]
+	mu       sync.Mutex // serializes copy-on-write updates
+}
+
+// NewIntern creates a table holding at most capacity strings.
+func NewIntern(capacity int) *Intern {
+	t := &Intern{capacity: capacity}
+	m := make(map[string]string)
+	t.table.Store(&m)
+	return t
+}
+
+// Lookup resolves b to its canonical string if interned. It never
+// allocates.
+func (t *Intern) Lookup(b []byte) (string, bool) {
+	s, ok := (*t.table.Load())[string(b)] // compiler elides the conversion
+	return s, ok
+}
+
+// LookupString is Lookup for an existing string: it returns the
+// canonical copy if interned, else s itself.
+func (t *Intern) LookupString(s string) string {
+	if c, ok := (*t.table.Load())[s]; ok {
+		return c
+	}
+	return s
+}
+
+// Add interns s (bounded: past capacity it is a no-op) and returns the
+// canonical copy.
+func (t *Intern) Add(s string) string {
+	if c, ok := (*t.table.Load())[s]; ok {
+		return c
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.table.Load()
+	if c, ok := old[s]; ok {
+		return c
+	}
+	if len(old) >= t.capacity {
+		return s
+	}
+	next := make(map[string]string, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[s] = s
+	t.table.Store(&next)
+	return s
+}
+
+// intern resolves decoded bytes: the canonical string when interned,
+// a fresh copy otherwise. learn additionally interns fresh strings
+// (used for closed vocabularies like attr keys and app names, where
+// auto-learning converges; open-ended values are lookup-only so a
+// churning value space cannot squat the table).
+func (t *Intern) intern(b []byte, learn bool) string {
+	if s, ok := t.Lookup(b); ok {
+		return s
+	}
+	s := string(b)
+	if learn {
+		return t.Add(s)
+	}
+	return s
+}
+
+// Len reports the number of interned strings.
+func (t *Intern) Len() int { return len(*t.table.Load()) }
+
+// defaultIntern is the process-wide table used by the decoders,
+// pre-seeded with every protocol constant. Runtimes extend it with
+// their deployment vocabulary (box names, channel names, addresses)
+// via InternSeed.
+var defaultIntern = func() *Intern {
+	t := NewIntern(8192)
+	for _, s := range []string{
+		"",
+		string(Audio), string(Video),
+		string(G711), string(G726), string(G729),
+		string(H263), string(H264), string(NoMedia),
+		// Well-known meta attr keys and app names.
+		"from", "chan", "id", "ack",
+		"movie", "pos", "mix", "out", "in",
+	} {
+		t.Add(s)
+	}
+	return t
+}()
+
+// InternSeed interns deployment vocabulary — box names, channel names,
+// dial addresses, app names — into the decoder's table, so envelopes
+// naming them decode without allocating. The table is bounded
+// (capacity 8192); past that, seeds are dropped and the strings simply
+// decode as fresh allocations.
+func InternSeed(ss ...string) {
+	for _, s := range ss {
+		defaultIntern.Add(s)
+	}
+}
+
+// Interned returns the canonical interned copy of s if present, else s.
+func Interned(s string) string { return defaultIntern.LookupString(s) }
+
+// codecLists interns whole decoded codec lists, keyed by their wire
+// encoding: descriptors carry one of a handful of priority lists, so
+// decode resolves the encoded region to one shared immutable slice
+// instead of allocating a fresh []Codec (plus strings) per descriptor.
+type codecListIntern struct {
+	table atomic.Pointer[map[string][]Codec]
+	mu    sync.Mutex
+}
+
+const codecListCap = 256
+
+var codecLists = func() *codecListIntern {
+	t := &codecListIntern{}
+	m := make(map[string][]Codec)
+	t.table.Store(&m)
+	return t
+}()
+
+// add learns a freshly parsed codec list under its wire region
+// (bounded; past capacity the list stays unshared). It returns the
+// canonical slice: callers must treat decoded Codecs as immutable
+// (they always have — descriptors are values passed around by copy).
+func (t *codecListIntern) add(region []byte, cs []Codec) []Codec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.table.Load()
+	if have, ok := old[string(region)]; ok {
+		return have
+	}
+	if len(old) >= codecListCap {
+		return cs
+	}
+	next := make(map[string][]Codec, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[string(region)] = cs
+	t.table.Store(&next)
+	return cs
+}

@@ -70,15 +70,12 @@ func legacyMarshal(e Envelope) []byte {
 		b.WriteByte(tagMeta)
 		b.WriteByte(byte(e.Meta.Kind))
 		legacyPutString(&b, e.Meta.App)
-		keys := make([]string, 0, len(e.Meta.Attrs))
-		for k := range e.Meta.Attrs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		legacyPutU32(&b, uint32(len(keys)))
-		for _, k := range keys {
-			legacyPutString(&b, k)
-			legacyPutString(&b, e.Meta.Attrs[k])
+		attrs := append([]Attr(nil), e.Meta.Attrs...)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+		legacyPutU32(&b, uint32(len(attrs)))
+		for _, a := range attrs {
+			legacyPutString(&b, a.Key)
+			legacyPutString(&b, a.Val)
 		}
 		return b.Bytes()
 	}
@@ -91,11 +88,8 @@ func legacyMarshal(e Envelope) []byte {
 func randomEnvelope(r *rand.Rand) Envelope {
 	if r.Intn(4) == 0 {
 		m := &Meta{Kind: MetaKind(1 + r.Intn(5)), App: randString(r)}
-		if n := r.Intn(4); n > 0 {
-			m.Attrs = map[string]string{}
-			for i := 0; i < n; i++ {
-				m.Attrs[randString(r)] = randString(r)
-			}
+		for i, n := 0, r.Intn(4); i < n; i++ {
+			m.Set(randString(r), randString(r))
 		}
 		return Envelope{Meta: m}
 	}
@@ -124,7 +118,7 @@ func FuzzEncoderEquivalence(f *testing.F) {
 	d := Descriptor{ID: DescID{Origin: "dev", Seq: 3}, Addr: "10.0.0.1", Port: 5004, Codecs: []Codec{G711, G726}}
 	f.Add(Envelope{Tunnel: 2, Sig: Open(Audio, d)}.Marshal())
 	f.Add(Envelope{Tunnel: 0, Sig: Select(Selector{Answers: d.ID, Addr: "h", Port: 9, Codec: G711})}.Marshal())
-	f.Add(Envelope{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: map[string]string{"k": "v"}}}.Marshal())
+	f.Add(Envelope{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: NewAttrs("k", "v")}}.Marshal())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := UnmarshalEnvelope(data)
 		if err != nil {
@@ -162,9 +156,9 @@ func TestEncodeRejectsUndecodable(t *testing.T) {
 	for i := range tooManyCodecs {
 		tooManyCodecs[i] = G711
 	}
-	tooManyAttrs := make(map[string]string, MaxAttrs+1)
+	var tooManyAttrs []Attr
 	for i := 0; i <= MaxAttrs; i++ {
-		tooManyAttrs[fmt.Sprintf("k%d", i)] = "v"
+		tooManyAttrs = SetAttr(tooManyAttrs, fmt.Sprintf("k%06d", i), "v")
 	}
 	long := strings.Repeat("x", maxString+1)
 	cases := []struct {

@@ -14,7 +14,7 @@ func TestSeqEnvelopeRoundTrip(t *testing.T) {
 		{Tunnel: 0, Seq: 1, Sig: Open(Audio, d)},
 		{Tunnel: 3, Seq: 7, Sig: Oack(d)},
 		{Tunnel: 1, Seq: 1 << 30, Sig: Close()},
-		{Seq: 42, Meta: &Meta{Kind: MetaSetup, Attrs: map[string]string{"from": "a"}}},
+		{Seq: 42, Meta: &Meta{Kind: MetaSetup, Attrs: NewAttrs("from", "a")}},
 		{Seq: 2, Meta: &Meta{Kind: MetaApp, App: "rel/ack"}},
 	}
 	for _, e := range cases {

@@ -283,13 +283,130 @@ func (k MetaKind) String() string {
 	return fmt.Sprintf("meta(%d)", uint8(k))
 }
 
+// Attr is one key/value attribute of a meta-signal. Attributes live in
+// a flat sorted slice rather than a map: metas are tiny (a handful of
+// attrs), so a sorted slice is both smaller and faster than a map, it
+// encodes deterministically without per-envelope key sorting, and the
+// decode path can recycle one backing array across envelopes.
+type Attr struct {
+	Key, Val string
+}
+
 // Meta is a meta-signal. App carries an application-defined event name
-// for MetaApp; Attrs carries optional key/value payload (kept sorted in
-// the wire encoding for determinism).
+// for MetaApp; Attrs carries optional key/value payload, sorted by key
+// with unique keys (the canonical wire order). Build it with NewAttrs
+// or Set, which maintain the ordering invariant; hand-built literals
+// must list attrs in ascending key order or the encoders reject them.
 type Meta struct {
 	Kind  MetaKind
 	App   string
-	Attrs map[string]string
+	Attrs []Attr
+
+	// pooled marks a Meta owned by the decode pool; Envelope.Release
+	// recycles it. Always false on user-constructed metas.
+	pooled bool
+}
+
+// NewAttrs builds a sorted attribute slice from alternating key/value
+// pairs; it panics on an odd count. Later duplicates win, matching the
+// old map semantics.
+func NewAttrs(kv ...string) []Attr {
+	if len(kv)%2 != 0 {
+		panic("sig.NewAttrs: odd key/value count")
+	}
+	attrs := make([]Attr, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		attrs = SetAttr(attrs, kv[i], kv[i+1])
+	}
+	return attrs
+}
+
+// SetAttr sets key=val in a sorted attribute slice, inserting or
+// replacing in place, and returns the updated slice (append idiom).
+func SetAttr(attrs []Attr, key, val string) []Attr {
+	i := searchAttrs(attrs, key)
+	if i < len(attrs) && attrs[i].Key == key {
+		attrs[i].Val = val
+		return attrs
+	}
+	attrs = append(attrs, Attr{})
+	copy(attrs[i+1:], attrs[i:])
+	attrs[i] = Attr{Key: key, Val: val}
+	return attrs
+}
+
+// searchAttrs returns the insertion index of key (binary search; attr
+// lists are tiny, but sortedness makes this deterministic).
+func searchAttrs(attrs []Attr, key string) int {
+	lo, hi := 0, len(attrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if attrs[mid].Key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// attrsSorted reports whether attrs is in canonical order: strictly
+// ascending keys (sorted, no duplicates).
+func attrsSorted(attrs []Attr) bool {
+	for i := 1; i < len(attrs); i++ {
+		if attrs[i-1].Key >= attrs[i].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the value for key, or "" if absent.
+func (m *Meta) Get(key string) string {
+	v, _ := m.Lookup(key)
+	return v
+}
+
+// Lookup returns the value for key and whether it is present.
+func (m *Meta) Lookup(key string) (string, bool) {
+	if m == nil {
+		return "", false
+	}
+	if i := searchAttrs(m.Attrs, key); i < len(m.Attrs) && m.Attrs[i].Key == key {
+		return m.Attrs[i].Val, true
+	}
+	return "", false
+}
+
+// Set sets key=val, inserting or replacing while keeping the canonical
+// sorted order.
+func (m *Meta) Set(key, val string) {
+	m.Attrs = SetAttr(m.Attrs, key, val)
+}
+
+// Len reports the number of attributes.
+func (m *Meta) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.Attrs)
+}
+
+// Equal reports whether two metas carry the same kind, app, and
+// attributes. It ignores decode-pool ownership.
+func (m *Meta) Equal(o *Meta) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if m.Kind != o.Kind || m.App != o.App || len(m.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range m.Attrs {
+		if m.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (m Meta) String() string {

@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 )
 
@@ -146,15 +145,14 @@ func appendEnvelope(dst []byte, e Envelope) []byte {
 		}
 		dst = append(dst, byte(e.Meta.Kind))
 		dst = appendString(dst, e.Meta.App)
-		keys := make([]string, 0, len(e.Meta.Attrs))
-		for k := range e.Meta.Attrs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		dst = appendU32(dst, uint32(len(keys)))
-		for _, k := range keys {
-			dst = appendString(dst, k)
-			dst = appendString(dst, e.Meta.Attrs[k])
+		// Attrs are kept in canonical sorted order (Validate enforces
+		// it), so the encoder emits them as-is: no per-envelope key
+		// slice, no sorting — the encode path is allocation-free for
+		// metas too.
+		dst = appendU32(dst, uint32(len(e.Meta.Attrs)))
+		for _, a := range e.Meta.Attrs {
+			dst = appendString(dst, a.Key)
+			dst = appendString(dst, a.Val)
 		}
 		return dst
 	}
@@ -218,14 +216,17 @@ func (e Envelope) Validate() error {
 		if len(m.Attrs) > MaxAttrs {
 			return fmt.Errorf("%w: meta-signal has %d attrs (max %d)", ErrUnencodable, len(m.Attrs), MaxAttrs)
 		}
+		if !attrsSorted(m.Attrs) {
+			return fmt.Errorf("%w: meta attrs not in canonical order (sorted unique keys; build with NewAttrs or Set)", ErrUnencodable)
+		}
 		if err := validString("meta app", m.App); err != nil {
 			return err
 		}
-		for k, v := range m.Attrs {
-			if err := validString("attr key", k); err != nil {
+		for _, a := range m.Attrs {
+			if err := validString("attr key", a.Key); err != nil {
 				return err
 			}
-			if err := validString("attr value", v); err != nil {
+			if err := validString("attr value", a.Val); err != nil {
 				return err
 			}
 		}
@@ -255,8 +256,8 @@ func (e Envelope) Validate() error {
 // AppendBinary validates the envelope and appends its payload encoding
 // (without the length frame) to dst, returning the extended slice.
 // This is the zero-allocation encode path: with a caller-managed
-// buffer it performs no allocation for tunnel signals (meta-signals
-// allocate a small key slice for deterministic attribute ordering).
+// buffer it performs no allocation for tunnel signals or meta-signals
+// (attrs are stored pre-sorted, so no ordering scratch is needed).
 func (e Envelope) AppendBinary(dst []byte) ([]byte, error) {
 	if err := e.Validate(); err != nil {
 		return dst, err
@@ -303,46 +304,45 @@ func (r *wreader) u32() (uint32, error) {
 	return v, nil
 }
 
-func (r *wreader) str() (string, error) {
+// strBytes returns the raw bytes of the next length-prefixed string,
+// aliasing the payload buffer (valid only until the caller's buffer is
+// reused).
+func (r *wreader) strBytes() ([]byte, error) {
 	if r.off+2 > len(r.p) {
-		return "", ErrCorrupt
+		return nil, ErrCorrupt
 	}
 	n := int(binary.BigEndian.Uint16(r.p[r.off:]))
 	r.off += 2
 	if r.off+n > len(r.p) {
-		return "", ErrCorrupt
+		return nil, ErrCorrupt
 	}
-	s := internString(r.p[r.off : r.off+n])
+	b := r.p[r.off : r.off+n]
 	r.off += n
-	return s, nil
+	return b, nil
 }
 
-// internString maps the protocol's well-known names onto shared
-// constants, so decoding steady-state traffic does not allocate a
-// fresh string per codec or medium. The switch compiles to
-// comparisons against the cases without converting b.
-func internString(b []byte) string {
-	switch string(b) {
-	case "":
-		return ""
-	case string(Audio):
-		return string(Audio)
-	case string(Video):
-		return string(Video)
-	case string(G711):
-		return string(G711)
-	case string(G726):
-		return string(G726)
-	case string(G729):
-		return string(G729)
-	case string(H263):
-		return string(H263)
-	case string(H264):
-		return string(H264)
-	case string(NoMedia):
-		return string(NoMedia)
+// str decodes the next string, resolving it through the intern table:
+// every well-known protocol name and every seeded deployment name
+// decodes to its shared canonical copy with no allocation; genuinely
+// novel strings are copied out of the buffer.
+func (r *wreader) str() (string, error) {
+	b, err := r.strBytes()
+	if err != nil {
+		return "", err
 	}
-	return string(b)
+	return defaultIntern.intern(b, false), nil
+}
+
+// strLearn is str for closed vocabularies (attr keys, app names):
+// novel strings are additionally interned, bounded by the table
+// capacity, so a vocabulary discovered at runtime converges to
+// zero-alloc decoding.
+func (r *wreader) strLearn() (string, error) {
+	b, err := r.strBytes()
+	if err != nil {
+		return "", err
+	}
+	return defaultIntern.intern(b, true), nil
 }
 
 func decodeDescriptor(r *wreader) (Descriptor, error) {
@@ -370,16 +370,40 @@ func decodeDescriptor(r *wreader) (Descriptor, error) {
 		return d, ErrCorrupt
 	}
 	if n > 0 {
-		d.Codecs = make([]Codec, n)
-		for i := range d.Codecs {
-			s, err := r.str()
-			if err != nil {
-				return d, err
-			}
-			d.Codecs[i] = Codec(s)
+		if d.Codecs, err = decodeCodecList(r, int(n)); err != nil {
+			return d, err
 		}
 	}
 	return d, nil
+}
+
+// decodeCodecList decodes n length-prefixed codec names. Whole lists
+// are interned keyed by their wire region: descriptors carry one of a
+// handful of priority lists, so the steady state resolves the region
+// to a shared immutable slice without allocating. Callers must not
+// mutate decoded Codecs.
+func decodeCodecList(r *wreader, n int) ([]Codec, error) {
+	start := r.off
+	for i := 0; i < n; i++ {
+		if _, err := r.strBytes(); err != nil {
+			return nil, err
+		}
+	}
+	region := r.p[start:r.off]
+	if cs, ok := (*codecLists.table.Load())[string(region)]; ok {
+		return cs, nil
+	}
+	// First sight of this list: parse it for real and learn it.
+	cs := make([]Codec, n)
+	rr := wreader{p: region}
+	for i := range cs {
+		s, err := rr.str()
+		if err != nil {
+			return nil, err
+		}
+		cs[i] = Codec(s)
+	}
+	return codecLists.add(region, cs), nil
 }
 
 func decodeSelector(r *wreader) (Selector, error) {
@@ -472,39 +496,98 @@ func UnmarshalEnvelope(p []byte) (Envelope, error) {
 		}
 		return e, nil
 	case tagMeta, tagMetaSeq:
-		m := &Meta{}
+		m := borrowMeta()
 		k, err := r.u8()
 		if err != nil {
+			releaseMeta(m)
 			return Envelope{}, ErrCorrupt
 		}
 		m.Kind = MetaKind(k)
-		if m.App, err = r.str(); err != nil {
+		if m.App, err = r.strLearn(); err != nil {
+			releaseMeta(m)
 			return Envelope{}, err
 		}
 		n, err := r.u32()
-		if err != nil {
+		if err != nil || n > MaxAttrs {
+			releaseMeta(m)
+			if err == nil {
+				err = ErrCorrupt
+			}
 			return Envelope{}, err
 		}
-		if n > MaxAttrs {
-			return Envelope{}, ErrCorrupt
-		}
-		if n > 0 {
-			m.Attrs = make(map[string]string, n)
-			for i := uint32(0); i < n; i++ {
-				key, err := r.str()
-				if err != nil {
-					return Envelope{}, err
-				}
-				val, err := r.str()
-				if err != nil {
-					return Envelope{}, err
-				}
-				m.Attrs[key] = val
+		for i := uint32(0); i < n; i++ {
+			// Keys are a closed vocabulary: learn them. Values are
+			// open-ended: lookup only, so churning values (sequence
+			// numbers, tokens) cannot squat the table.
+			key, err := r.strLearn()
+			if err != nil {
+				releaseMeta(m)
+				return Envelope{}, err
 			}
+			val, err := r.str()
+			if err != nil {
+				releaseMeta(m)
+				return Envelope{}, err
+			}
+			// Enforce the canonical order the encoders emit (strictly
+			// ascending keys): accepting any order would make
+			// decode→re-encode non-identical.
+			if i > 0 && m.Attrs[len(m.Attrs)-1].Key >= key {
+				releaseMeta(m)
+				return Envelope{}, fmt.Errorf("%w: meta attrs out of canonical order", ErrCorrupt)
+			}
+			m.Attrs = append(m.Attrs, Attr{Key: key, Val: val})
 		}
 		return Envelope{Seq: seq, Meta: m}, nil
 	default:
 		return Envelope{}, fmt.Errorf("%w: unknown envelope tag %d", ErrCorrupt, tag)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pooled envelope lifetime.
+
+// metaPool recycles the Meta records (and their attr backing arrays)
+// built by UnmarshalEnvelope, so steady-state meta decoding allocates
+// nothing. A decoded envelope's Meta is owned by the decode layer:
+// whoever dispatches it calls Envelope.Release exactly once when the
+// envelope is done, after which the Meta and its Attrs slice must not
+// be touched. Individual attr *strings* are safe to retain — they are
+// interned or freshly copied, never recycled.
+var metaPool = sync.Pool{New: func() any { return &Meta{} }}
+
+func borrowMeta() *Meta {
+	m := metaPool.Get().(*Meta)
+	m.pooled = true
+	return m
+}
+
+// maxPooledAttrCap bounds the attr backing array retained by a pooled
+// Meta, so one pathological MaxAttrs envelope cannot pin a large array
+// in the pool forever.
+const maxPooledAttrCap = 32
+
+func releaseMeta(m *Meta) {
+	m.Kind, m.App = MetaInvalid, ""
+	if cap(m.Attrs) > maxPooledAttrCap {
+		m.Attrs = nil
+	}
+	m.Attrs = m.Attrs[:0]
+	m.pooled = false
+	metaPool.Put(m)
+}
+
+// Release recycles the decode-owned state of an envelope produced by
+// UnmarshalEnvelope (or ReadFrame); it is a no-op for envelopes built
+// by hand, whose Meta the application owns. Call it exactly once, when
+// dispatch of the envelope is complete: afterwards the envelope's Meta
+// pointer and Attrs slice are dead (attr strings previously read from
+// it remain valid). Releasing is an optimization, not an obligation —
+// an unreleased Meta is simply collected by the GC.
+func (e *Envelope) Release() {
+	if m := e.Meta; m != nil && m.pooled {
+		e.Meta = nil
+		releaseMeta(m)
 	}
 }
 

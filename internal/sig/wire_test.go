@@ -52,7 +52,7 @@ func TestWireRoundTripMeta(t *testing.T) {
 	for _, e := range []Envelope{
 		{Meta: &Meta{Kind: MetaSetup}},
 		{Meta: &Meta{Kind: MetaTeardown}},
-		{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: map[string]string{"amount": "10", "card": "x"}}},
+		{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: NewAttrs("amount", "10", "card", "x")}},
 	} {
 		got := roundTrip(t, e)
 		if got.Meta == nil {
@@ -70,9 +70,9 @@ func TestWireRoundTripMeta(t *testing.T) {
 func TestMetaAttrEncodingDeterministic(t *testing.T) {
 	// Map iteration order must not leak into the wire encoding: the
 	// model checker fingerprints in-flight signals by their bytes.
-	e := Envelope{Meta: &Meta{Kind: MetaApp, App: "x", Attrs: map[string]string{
-		"a": "1", "b": "2", "c": "3", "d": "4", "e": "5", "f": "6",
-	}}}
+	e := Envelope{Meta: &Meta{Kind: MetaApp, App: "x", Attrs: NewAttrs(
+		"f", "6", "e", "5", "d", "4", "c", "3", "b", "2", "a", "1",
+	)}}
 	first := e.Marshal()
 	for i := 0; i < 50; i++ {
 		if !bytes.Equal(first, e.Marshal()) {
@@ -223,7 +223,7 @@ func TestWriteFrameSingleWrite(t *testing.T) {
 	envs := []Envelope{
 		{Tunnel: 2, Sig: Open(Audio, d)},
 		{Tunnel: 0, Sig: Close()},
-		{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: map[string]string{"amount": "10"}}},
+		{Meta: &Meta{Kind: MetaApp, App: "paid", Attrs: NewAttrs("amount", "10")}},
 	}
 	var w writeCounter
 	for i, e := range envs {

@@ -134,7 +134,7 @@ func (s *Slot) transition(to State) {
 		m.ttf.Observe(time.Since(s.openedAt))
 		s.openedAt = time.Time{}
 	}
-	if m.tracer != nil {
+	if m.tracer.Armed() {
 		m.tracer.Record("slot", s.name, from.String()+"->"+to.String())
 	}
 }

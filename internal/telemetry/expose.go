@@ -49,6 +49,10 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 // the registry in the text exposition format.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// Someone is watching: arm the signal tracer so hot paths start
+	// feeding it. The first scrape returns an empty trace; subsequent
+	// ones show events recorded since.
+	r.Tracer().Arm(true)
 	s := r.Snapshot()
 	if _, err := s.WriteTo(w); err != nil {
 		return

@@ -192,6 +192,15 @@ func (h *Histogram) Timer() func() {
 	return func() { h.Observe(time.Since(start)) }
 }
 
+// ObserveSince records the time elapsed since start. It is the
+// allocation-free alternative to Timer for hot paths: deferring a
+// method call with an evaluated argument builds no closure. Nil-safe.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
+}
+
 // HistSnapshot is a point-in-time summary of a histogram.
 type HistSnapshot struct {
 	Count uint64
@@ -265,9 +274,15 @@ type Registry struct {
 }
 
 // NewRegistry creates an empty registry with a tracer of the default
-// capacity.
+// capacity. The registry's tracer starts disarmed — the signal trace
+// is a debugging aid, and formatting every envelope and transition
+// into it costs several allocations per event; the HTTP expose handler
+// arms it on first scrape, so tracing switches on exactly when someone
+// starts watching.
 func NewRegistry() *Registry {
-	return &Registry{tracer: NewTracer(2048)}
+	r := &Registry{tracer: NewTracer(2048)}
+	r.tracer.Arm(false)
+	return r
 }
 
 // Counter returns the named counter, creating it if needed; nil on a

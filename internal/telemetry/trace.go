@@ -7,6 +7,7 @@ package telemetry
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,20 +27,40 @@ func (e TraceEvent) String() string {
 // Tracer is a bounded ring buffer of TraceEvents. All methods are safe
 // for concurrent use and are no-ops on a nil receiver.
 type Tracer struct {
-	mu   sync.Mutex
-	buf  []TraceEvent
-	next int // index of the next write
-	seq  uint64
-	full bool
+	armed atomic.Bool // advisory: should call sites bother formatting?
+	mu    sync.Mutex
+	buf   []TraceEvent
+	next  int // index of the next write
+	seq   uint64
+	full  bool
 }
 
 // NewTracer creates a tracer keeping the most recent capacity events.
+// A new tracer is armed.
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{buf: make([]TraceEvent, capacity)}
+	t := &Tracer{buf: make([]TraceEvent, capacity)}
+	t.armed.Store(true)
+	return t
 }
+
+// Arm sets whether hot-path call sites should feed the tracer. The
+// flag is advisory: Record itself always records. It exists so the
+// expensive part — rendering an envelope or a transition to a string —
+// can be skipped entirely while nobody is watching the trace, which is
+// the difference between a free tracer and several allocations per
+// event. Nil-safe.
+func (t *Tracer) Arm(on bool) {
+	if t != nil {
+		t.armed.Store(on)
+	}
+}
+
+// Armed reports whether call sites should format and record events.
+// Nil tracers are never armed.
+func (t *Tracer) Armed() bool { return t != nil && t.armed.Load() }
 
 // Record appends an event, overwriting the oldest if the buffer is
 // full. It is a no-op on a nil receiver.

@@ -233,9 +233,10 @@ func (l *relListener) greet(under Port) {
 		}
 	}
 	m := hello.Meta
-	id := m.Attrs["id"]
-	peerAck64, _ := strconv.ParseUint(m.Attrs["ack"], 10, 32)
+	id := m.Get("id")
+	peerAck64, _ := strconv.ParseUint(m.Get("ack"), 10, 32)
 	peerAck := uint32(peerAck64)
+	hello.Release() // layer control, consumed here (attr strings stay valid)
 
 	l.mu.Lock()
 	p, known := l.byID[id]
@@ -376,10 +377,10 @@ func (p *RelPort) sendHelloLocked(under Port) {
 	under.Send(sig.Envelope{Meta: &sig.Meta{
 		Kind: sig.MetaApp,
 		App:  relHelloApp,
-		Attrs: map[string]string{
-			"id":  p.id,
-			"ack": strconv.FormatUint(uint64(p.rt.CumAck()), 10),
-		},
+		Attrs: sig.NewAttrs(
+			"id", p.id,
+			"ack", strconv.FormatUint(uint64(p.rt.CumAck()), 10),
+		),
 	}})
 }
 
@@ -500,6 +501,7 @@ func (p *RelPort) handleIn(e sig.Envelope, gen int) {
 	if m := e.Meta; m != nil && m.Kind == sig.MetaApp {
 		switch m.App {
 		case relAckApp:
+			e.Release() // layer control, consumed here
 			p.mu.Lock()
 			if gen == p.gen {
 				p.greeted = true
@@ -514,7 +516,8 @@ func (p *RelPort) handleIn(e sig.Envelope, gen int) {
 		case relHelloApp:
 			// A hello on a live binding is the peer's reply after a
 			// reconnect: trim and replay what it still lacks.
-			ack64, _ := strconv.ParseUint(m.Attrs["ack"], 10, 32)
+			ack64, _ := strconv.ParseUint(m.Get("ack"), 10, 32)
+			e.Release() // layer control, consumed here
 			p.mu.Lock()
 			if gen == p.gen {
 				p.greeted = true
@@ -538,6 +541,7 @@ func (p *RelPort) handleIn(e sig.Envelope, gen int) {
 		p.closing = true
 	}
 	if p.rt.Accept(e, p.deliver) {
+		e.Release() // duplicate: dropped without delivery
 		p.net.dupDropped.Inc()
 	}
 	p.scheduleAckLocked()

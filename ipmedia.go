@@ -64,7 +64,15 @@ type (
 	Meta = sig.Meta
 	// MetaKind classifies meta-signals.
 	MetaKind = sig.MetaKind
+	// Attr is one key/value attribute of a meta-signal. Meta attrs are
+	// a slice in canonical sorted order; build them with NewAttrs.
+	Attr = sig.Attr
 )
+
+// NewAttrs builds a meta-signal attribute list from alternating
+// key/value pairs, in the canonical sorted order the wire format
+// requires.
+func NewAttrs(kv ...string) []Attr { return sig.NewAttrs(kv...) }
 
 // The meta-signal kinds (paper Section III-A).
 const (
@@ -201,7 +209,7 @@ func NewToneGenerator(name string, net Network, plane *MediaPlane) (*Device, err
 }
 
 // NewIVR creates an audio-signaling resource.
-func NewIVR(name string, net Network, plane *MediaPlane, onApp func(channel, app string, attrs map[string]string)) (*Device, error) {
+func NewIVR(name string, net Network, plane *MediaPlane, onApp func(channel, app string, attrs []Attr)) (*Device, error) {
 	return endpoint.NewIVR(name, net, plane, onApp)
 }
 
