@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke ts-smoke chaos-smoke bench-chaos alloc-gate store-smoke bench-store bench-diff profile-runtime
+.PHONY: ci vet build test fuzz bench agree bench-smoke bench-mc bench-runtime bench-media storm-smoke media-smoke ts-smoke chaos-smoke bench-chaos alloc-gate store-smoke bench-store bench-diff profile-runtime cluster-smoke bench-cluster
 
 # ci is the gate: static checks, build, the full test suite under the
 # race detector, the parallel-vs-sequential checker agreement test,
@@ -11,7 +11,7 @@ GO ?= go
 # load, a short in-memory media-storm so the media pipeline does, and
 # a seeded chaos-storm so the fault-recovery story is re-proved on
 # every run.
-ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke ts-smoke chaos-smoke store-smoke
+ci: vet build test agree fuzz bench-smoke alloc-gate storm-smoke media-smoke ts-smoke chaos-smoke store-smoke cluster-smoke
 	-$(MAKE) bench-diff
 
 vet:
@@ -104,6 +104,26 @@ chaos-smoke:
 store-smoke:
 	$(GO) run ./cmd/storestorm -keys 500 -lookups 20000 -cdrs 5000
 	$(GO) run ./cmd/chaosstorm -paths 8 -servers 3 -duration 5s -seed 1 -crash
+
+# cluster-smoke is the multi-process resilience gate: call lifecycles
+# across 2 supervised shard processes with a SIGKILL of the busiest
+# shard mid-storm. clusterstorm exits nonzero unless the victim is
+# restarted (and no shard exhausts its restart intensity), calls keep
+# completing in the victim's new epoch, fleet-wide Section V checking
+# stays clean, every client drains, cross-shard setups stay under the
+# bound, fleet CDR reconciliation accounts for every acked CDR, and no
+# child process or parent goroutine outlives the run. The race leg
+# re-proves the router's dial-vs-readdress path under the detector —
+# the exact interleaving a supervisor restart exercises.
+cluster-smoke:
+	$(GO) test -race -run='TestRouterAddrRace|TestRouterDialWaitsForAddress' ./internal/box
+	$(GO) run ./cmd/clusterstorm -shards 2 -paths 8 -servers 4 -duration 6s -hold 200ms -giveup 6s -min-cps 1 -seed 1
+
+# bench-cluster records the multi-process numbers — aggregate calls/s
+# across the fleet vs the single-process baseline, restart recovery
+# time, cross-shard setup latency — written to BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/clusterstorm -shards 3 -paths 24 -servers 6 -duration 12s -seed 1 -out BENCH_cluster.json
 
 # bench-chaos records the recovery numbers — recovery-latency
 # percentiles, retransmit/reconnect counts, give-up rate — under the

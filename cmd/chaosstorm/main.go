@@ -37,6 +37,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -462,8 +463,8 @@ func main() {
 		BacklogDropped:   counter(transport.MetricBacklogDropped),
 
 		LTLPolls:      stTrack.Polls,
-		LTLViolations: stTrack.Violations,
-		Wedged:        wedged,
+		LTLViolations: nonNull(stTrack.Violations),
+		Wedged:        nonNull(wedged),
 
 		RecoveryCount: int64(len(recoveries)),
 		RecoveryP50MS: pctMS(0.50),
@@ -503,6 +504,13 @@ func main() {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "chaosstorm: GATE FAILED: "+format+"\n", args...)
 		os.Exit(1)
+	}
+	// A verdict field serialized as null means the harness never produced
+	// a verdict at all — downstream tooling must not read that as "zero
+	// violations". The gate treats null as a failure in its own right.
+	if bytes.Contains(blob, []byte(`"ltl_violations": null`)) ||
+		bytes.Contains(blob, []byte(`"wedged_paths": null`)) {
+		fail("result serialized null for a formula-verdict field")
 	}
 	if n := len(stTrack.Violations); n > 0 {
 		fail("%d bounded-time formula violations, first: %s", n, stTrack.Violations[0])
@@ -667,4 +675,13 @@ func clientProgram(stats *stormStats, addr string, hold, stagger, giveup time.Du
 		{Name: "idle"},
 	}
 	return &box.Program{Initial: "stagger", States: states}
+}
+
+// nonNull guards the verdict fields: a nil slice JSON-encodes as null,
+// and null must never be mistaken for "none found".
+func nonNull(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
 }

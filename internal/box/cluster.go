@@ -57,7 +57,18 @@ func (c *Cluster) Shards() int { return len(c.shards) }
 
 // ShardOf reports the shard index a box name places onto.
 func (c *Cluster) ShardOf(name string) int {
-	return jumpHash(fnv64(name), len(c.shards))
+	return ShardOfName(name, len(c.shards))
+}
+
+// ShardOfName is the one placement function of the runtime: the shard
+// index box name places onto in an n-shard fleet. The in-process
+// cluster and the multi-process router share it, so a box keeps its
+// owner when shards are promoted from goroutines to OS processes.
+func ShardOfName(name string, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return jumpHash(fnv64(name), n)
 }
 
 // Runner places b on its hash-assigned shard and returns its runner.

@@ -1,0 +1,205 @@
+// Router: placement-agnostic channels for a multi-process fleet. The
+// router is a transport.Network whose Dial consults the cluster's one
+// placement function (ShardOfName) and picks the wire accordingly: a
+// box owned by this shard process is reached over the process-local
+// network (inline rings drained by our own loops), a box owned by a
+// peer shard is reached over that shard's inter-shard carrier via the
+// transport mux. Listen is symmetric — every listener is reachable
+// both locally and from every peer — so boxes still cannot observe
+// their placement: "shards today, processes tomorrow" stays a config
+// change, not a model change.
+//
+// The address table (shard index → carrier address) is swappable at
+// runtime: when the supervisor restarts a crashed shard it comes back
+// on a fresh ephemeral carrier address, and SetAddr both installs the
+// new address and invalidates the mux carrier toward the old one —
+// otherwise redials climbing the backoff ladder toward the dead
+// address would pin every cross-shard channel down until the reliable
+// layer's give-up budget expired, well past the paper's §V bound.
+package box
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ipmedia/internal/transport"
+)
+
+// RouterAddrWait bounds how long a Dial toward a peer shard waits for
+// that shard's carrier address to be known. It covers the window
+// between a shard crash and the supervisor's address re-broadcast;
+// dials inside the window block briefly instead of failing.
+const RouterAddrWait = 3 * time.Second
+
+// Router routes box channels by placement. It implements
+// transport.Network for the box runtime of one shard process.
+type Router struct {
+	self  int
+	n     int
+	local transport.Network
+	mux   *transport.Mux
+
+	mu     sync.Mutex
+	addrs  []string
+	closed bool
+}
+
+// NewRouter creates the router for shard self of an n-shard fleet.
+// local carries same-process channels; mux carries cross-process ones.
+func NewRouter(self, n int, local transport.Network, mux *transport.Mux) *Router {
+	if n < 1 {
+		n = 1
+	}
+	return &Router{self: self, n: n, local: local, mux: mux, addrs: make([]string, n)}
+}
+
+// Self reports this router's shard index.
+func (r *Router) Self() int { return r.self }
+
+// Shards reports the fleet size.
+func (r *Router) Shards() int { return r.n }
+
+// Owner reports the shard that owns a box address.
+func (r *Router) Owner(addr string) int { return ShardOfName(addr, r.n) }
+
+// SetAddr installs shard's carrier address. If the shard moved (a
+// supervisor restart put it on a fresh ephemeral port) the carrier
+// toward the old address is invalidated so its channels fail fast and
+// redial against the new one.
+func (r *Router) SetAddr(shard int, addr string) {
+	if shard < 0 || shard >= r.n || shard == r.self {
+		return
+	}
+	r.mu.Lock()
+	old := r.addrs[shard]
+	r.addrs[shard] = addr
+	r.mu.Unlock()
+	if old != "" && old != addr {
+		r.mux.Invalidate(old)
+	}
+}
+
+// AddrOf reports the known carrier address of a shard ("" if unknown).
+func (r *Router) AddrOf(shard int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shard < 0 || shard >= r.n {
+		return ""
+	}
+	return r.addrs[shard]
+}
+
+// awaitAddr waits up to RouterAddrWait for shard's carrier address.
+// Restarts are rare and the wait is bounded, so a small poll is
+// simpler and no less correct than a broadcast variable.
+func (r *Router) awaitAddr(shard int) (string, error) {
+	deadline := time.Now().Add(RouterAddrWait)
+	for {
+		r.mu.Lock()
+		closed, addr := r.closed, r.addrs[shard]
+		r.mu.Unlock()
+		if closed {
+			return "", transport.ErrClosed
+		}
+		if addr != "" {
+			return addr, nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("box: router: no carrier address for shard %d", shard)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Dial implements transport.Network: local wire for our own boxes,
+// mux channel over the owner's carrier for everyone else.
+func (r *Router) Dial(addr string) (transport.Port, error) {
+	owner := ShardOfName(addr, r.n)
+	if owner == r.self {
+		return r.local.Dial(addr)
+	}
+	carrier, err := r.awaitAddr(owner)
+	if err != nil {
+		return nil, err
+	}
+	return r.mux.Dial(carrier, addr)
+}
+
+// Listen implements transport.Network: the listener accepts channels
+// from both the process-local network and every inter-shard carrier.
+func (r *Router) Listen(addr string) (transport.Listener, error) {
+	ll, err := r.local.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	ml, err := r.mux.Listen(addr)
+	if err != nil {
+		ll.Close()
+		return nil, err
+	}
+	l := &routedListener{
+		addr: addr,
+		subs: []transport.Listener{ll, ml},
+		out:  make(chan transport.Port, 64),
+		done: make(chan struct{}),
+	}
+	for _, sub := range l.subs {
+		go l.fan(sub)
+	}
+	return l, nil
+}
+
+// Close marks the router closed; pending awaitAddr calls fail. The
+// local network and mux have their own lifecycles and are not closed
+// here.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+}
+
+// routedListener fans two accept streams (local + mux) into one.
+type routedListener struct {
+	addr string
+	subs []transport.Listener
+	out  chan transport.Port
+	done chan struct{}
+	once sync.Once
+}
+
+func (l *routedListener) fan(sub transport.Listener) {
+	for {
+		p, err := sub.Accept()
+		if err != nil {
+			return
+		}
+		select {
+		case l.out <- p:
+		case <-l.done:
+			p.Close()
+			return
+		}
+	}
+}
+
+func (l *routedListener) Accept() (transport.Port, error) {
+	select {
+	case p := <-l.out:
+		return p, nil
+	case <-l.done:
+		return nil, transport.ErrClosed
+	}
+}
+
+func (l *routedListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		for _, sub := range l.subs {
+			sub.Close()
+		}
+	})
+	return nil
+}
+
+func (l *routedListener) Addr() string { return l.addr }

@@ -1,0 +1,98 @@
+// Serializable tracker reports. A multi-process fleet checks the
+// paper's §V formulas per shard — each shard process runs its own
+// Monitor and Tracker over its own boxes — so the fleet-wide verdict
+// is a merge of per-shard reports shipped over the control channel.
+// Report is that wire form: JSON, with every slice non-null, so a
+// clean shard serializes to "violations": [] rather than null and a
+// gate that fails on null cannot misfire on an innocent report.
+package pathmon
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Report is a serializable summary of one tracker's run.
+type Report struct {
+	Polls       int      `json:"polls"`
+	Violations  []string `json:"violations"`
+	Wedged      []string `json:"wedged"`
+	Recoveries  int      `json:"recoveries"`
+	MaxRecovery int64    `json:"max_recovery_ns"`
+}
+
+// Report summarizes the tracker without a final drain — violations
+// accumulated so far and recovery observations.
+func (t *Tracker) Report() Report {
+	st := t.Stats()
+	r := Report{
+		Polls:      st.Polls,
+		Violations: nonNull(st.Violations),
+		Wedged:     []string{},
+	}
+	r.Recoveries = len(st.Recoveries)
+	for _, d := range st.Recoveries {
+		if int64(d) > r.MaxRecovery {
+			r.MaxRecovery = int64(d)
+		}
+	}
+	return r
+}
+
+// FinalReport summarizes the tracker after quiesce: Report plus the
+// wedged-path classification from a final drain poll. An error from
+// the drain is itself a wedge — a monitor that cannot answer is not a
+// clean system.
+func (t *Tracker) FinalReport() Report {
+	r := t.Report()
+	wedged, err := t.Drain()
+	if err != nil {
+		wedged = append(wedged, "drain failed: "+err.Error())
+	}
+	r.Wedged = nonNull(wedged)
+	return r
+}
+
+// Merge folds other into r: counts add, lists concatenate, the max
+// recovery is the fleet max.
+func (r Report) Merge(other Report) Report {
+	r.Polls += other.Polls
+	r.Violations = append(nonNull(r.Violations), other.Violations...)
+	r.Wedged = append(nonNull(r.Wedged), other.Wedged...)
+	r.Recoveries += other.Recoveries
+	if other.MaxRecovery > r.MaxRecovery {
+		r.MaxRecovery = other.MaxRecovery
+	}
+	return r
+}
+
+// MaxRecoveryDuration is MaxRecovery as a duration.
+func (r Report) MaxRecoveryDuration() time.Duration { return time.Duration(r.MaxRecovery) }
+
+// Encode renders the report as JSON (never fails: the type is plain).
+func (r Report) Encode() string {
+	r.Violations = nonNull(r.Violations)
+	r.Wedged = nonNull(r.Wedged)
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// DecodeReport parses an encoded report, normalizing null slices away.
+func DecodeReport(s string) (Report, error) {
+	var r Report
+	if err := json.Unmarshal([]byte(s), &r); err != nil {
+		return r, err
+	}
+	r.Violations = nonNull(r.Violations)
+	r.Wedged = nonNull(r.Wedged)
+	return r, nil
+}
+
+// nonNull is the null-slice guard: JSON-encoding a nil slice yields
+// null, and null reads as "unknown" where the gates must read "none".
+func nonNull(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package pathmon
+
+import (
+	"strings"
+	"testing"
+)
+
+// A clean report must serialize with empty arrays, never null: the
+// fleet gates treat null as "unknown" and fail.
+func TestReportEncodeNeverNull(t *testing.T) {
+	enc := Report{}.Encode()
+	if strings.Contains(enc, "null") {
+		t.Fatalf("clean report encodes null: %s", enc)
+	}
+	dec, err := DecodeReport(`{"polls":3,"violations":null,"wedged":null}`)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if dec.Violations == nil || dec.Wedged == nil {
+		t.Fatalf("decode left null slices: %+v", dec)
+	}
+	if strings.Contains(dec.Encode(), "null") {
+		t.Fatalf("re-encode reintroduced null: %s", dec.Encode())
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	a := Report{Polls: 2, Violations: []string{"v1"}, Recoveries: 1, MaxRecovery: 100}
+	b := Report{Polls: 3, Wedged: []string{"w1"}, Recoveries: 2, MaxRecovery: 250}
+	m := a.Merge(b)
+	if m.Polls != 5 || len(m.Violations) != 1 || len(m.Wedged) != 1 ||
+		m.Recoveries != 3 || m.MaxRecovery != 250 {
+		t.Fatalf("merge: %+v", m)
+	}
+	// Merging zero-value reports must not introduce nils.
+	z := Report{}.Merge(Report{})
+	if z.Violations == nil || z.Wedged == nil {
+		t.Fatalf("zero merge left nils: %+v", z)
+	}
+}
+
+// Round-trip through the wire form used on the control channel.
+func TestReportRoundTrip(t *testing.T) {
+	r := Report{Polls: 7, Violations: []string{"a", "b"}, Wedged: []string{"c"},
+		Recoveries: 2, MaxRecovery: 1234}
+	got, err := DecodeReport(r.Encode())
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if got.Polls != 7 || len(got.Violations) != 2 || len(got.Wedged) != 1 ||
+		got.Recoveries != 2 || got.MaxRecovery != 1234 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

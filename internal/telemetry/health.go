@@ -1,0 +1,56 @@
+// Liveness and readiness endpoints beside the exposition. A shard
+// process under cluster supervision serves these so the supervisor can
+// distinguish "dead" from "slow": /healthz answers 200 whenever the
+// HTTP loop is alive (the supervisor's last check before a kill), and
+// /readyz answers 200 only after the shard flips itself ready — load
+// balancers and storm drivers can hold traffic until then.
+package telemetry
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health is a process's readiness latch.
+type Health struct {
+	ready atomic.Bool
+}
+
+// SetReady flips the /readyz answer.
+func (h *Health) SetReady(ok bool) {
+	if h != nil {
+		h.ready.Store(ok)
+	}
+}
+
+// Ready reports the current readiness (false on nil).
+func (h *Health) Ready() bool { return h != nil && h.ready.Load() }
+
+// Handler serves the registry exposition at / alongside /healthz and
+// /readyz. Both r and h may be nil: a nil registry renders an empty
+// exposition but the health endpoints still answer — liveness must not
+// depend on telemetry being enabled.
+func Handler(r *Registry, h *Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if h.Ready() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ready\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("not ready\n"))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			return
+		}
+		r.ServeHTTP(w, req)
+	})
+	return mux
+}

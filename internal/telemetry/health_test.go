@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, h *Health, r *Registry, path string) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	Handler(r, h).ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	h := &Health{}
+	r := NewRegistry()
+	r.Counter("x").Inc()
+
+	if code := get(t, h, r, "/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	if code := get(t, h, r, "/readyz"); code != 503 {
+		t.Fatalf("/readyz before SetReady = %d, want 503", code)
+	}
+	h.SetReady(true)
+	if code := get(t, h, r, "/readyz"); code != 200 {
+		t.Fatalf("/readyz after SetReady = %d, want 200", code)
+	}
+	h.SetReady(false)
+	if code := get(t, h, r, "/readyz"); code != 503 {
+		t.Fatalf("/readyz after SetReady(false) = %d, want 503", code)
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(r, h).ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("exposition at / = %d (%d bytes)", rec.Code, rec.Body.Len())
+	}
+}
+
+// Liveness must not depend on telemetry being enabled: a nil registry
+// and nil health still answer, readiness defaulting to not-ready.
+func TestHealthNilSafe(t *testing.T) {
+	if code := get(t, nil, nil, "/healthz"); code != 200 {
+		t.Fatalf("nil /healthz = %d, want 200", code)
+	}
+	if code := get(t, nil, nil, "/readyz"); code != 503 {
+		t.Fatalf("nil /readyz = %d, want 503", code)
+	}
+	if code := get(t, nil, nil, "/"); code != 200 {
+		t.Fatalf("nil exposition = %d, want 200", code)
+	}
+	var h *Health
+	h.SetReady(true) // must not panic
+	if h.Ready() {
+		t.Fatalf("nil Health reports ready")
+	}
+}

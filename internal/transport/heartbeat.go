@@ -1,0 +1,100 @@
+// Heartbeats for the cluster control plane. A shard process proves
+// liveness to its supervisor by sending a small MetaApp envelope on
+// the control channel at a fixed cadence; the supervisor side tracks
+// arrivals and counts misses. The machinery is deliberately dumb —
+// detection policy (how many misses before a probe, before a kill)
+// belongs to the supervisor, not the transport.
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipmedia/internal/sig"
+)
+
+// HeartbeatApp is the control-envelope application name heartbeats
+// travel under.
+const HeartbeatApp = "ctl/hb"
+
+// Heartbeater sends heartbeat envelopes on a port at a fixed cadence,
+// on the transport timer wheel (no goroutine per heartbeater). The
+// optional payload hook stamps each beat with caller attributes —
+// the cluster shards piggyback their vital signs (completed calls,
+// durable CDRs, formula violations) so the supervisor's last-known
+// view of a shard survives the shard's death.
+type Heartbeater struct {
+	port    Port
+	every   time.Duration
+	payload func(m *sig.Meta)
+	stopped atomic.Bool
+}
+
+// StartHeartbeat begins beating on p every interval. payload, if
+// non-nil, may add attributes to each beat's meta (it runs on the
+// timer wheel and must not block). The first beat is sent immediately.
+func StartHeartbeat(p Port, every time.Duration, payload func(m *sig.Meta)) *Heartbeater {
+	h := &Heartbeater{port: p, every: every, payload: payload}
+	h.beat()
+	return h
+}
+
+// Stop ceases beating. Idempotent.
+func (h *Heartbeater) Stop() { h.stopped.Store(true) }
+
+func (h *Heartbeater) beat() {
+	if h.stopped.Load() {
+		return
+	}
+	m := &sig.Meta{Kind: sig.MetaApp, App: HeartbeatApp}
+	if h.payload != nil {
+		h.payload(m)
+	}
+	if h.port.Send(sig.Envelope{Meta: m}) != nil {
+		// The control channel is gone; the supervisor will notice the
+		// silence. Nothing useful to do here.
+		h.stopped.Store(true)
+		return
+	}
+	procWheel().Schedule(h.every, h.beat)
+}
+
+// HeartbeatMonitor is the supervisor-side view of one peer's beats:
+// Beat records an arrival, Check classifies the silence since.
+type HeartbeatMonitor struct {
+	mu    sync.Mutex
+	every time.Duration
+	last  time.Time
+}
+
+// NewHeartbeatMonitor tracks a peer expected to beat every interval.
+// The clock starts at creation, so a peer that never beats at all
+// still accrues misses.
+func NewHeartbeatMonitor(every time.Duration) *HeartbeatMonitor {
+	return &HeartbeatMonitor{every: every, last: time.Now()}
+}
+
+// Beat records one heartbeat arrival.
+func (m *HeartbeatMonitor) Beat() {
+	m.mu.Lock()
+	m.last = time.Now()
+	m.mu.Unlock()
+}
+
+// Reset restarts the silence clock (after a restart, the new process
+// owes its first beat one interval from now, not from the old epoch).
+func (m *HeartbeatMonitor) Reset() { m.Beat() }
+
+// Missed reports how many whole beat intervals have elapsed since the
+// last arrival beyond the first — 0 while the peer is on cadence.
+func (m *HeartbeatMonitor) Missed() int {
+	m.mu.Lock()
+	last := m.last
+	m.mu.Unlock()
+	silent := time.Since(last)
+	if silent <= m.every {
+		return 0
+	}
+	return int(silent / m.every)
+}

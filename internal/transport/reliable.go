@@ -48,7 +48,17 @@ import (
 const (
 	relHelloApp = "rel/hello"
 	relAckApp   = "rel/ack"
+	// relResetApp is the acceptor's refusal of a resume hello whose
+	// channel identity it does not know: the acceptor lost its channel
+	// state (typically a process restart), so the dialer's sequence
+	// space is meaningless to it. The dialer must fail the channel
+	// cleanly rather than re-adopt it — re-adopting would wedge the
+	// receiver behind sequence numbers that will never arrive.
+	relResetApp = "rel/reset"
 )
+
+// resetMeta is the shared payload of every reset envelope.
+var resetMeta = &sig.Meta{Kind: sig.MetaApp, App: relResetApp}
 
 // ackMeta is the shared payload of every ack envelope; the cumulative
 // ack rides in the envelope's Seq field, so acking allocates nothing.
@@ -113,6 +123,7 @@ type RelNetwork struct {
 
 	reconnects *telemetry.Counter
 	giveups    *telemetry.Counter
+	resets     *telemetry.Counter
 	retransmit *telemetry.Counter
 	dupDropped *telemetry.Counter
 }
@@ -126,6 +137,7 @@ func NewRelNetwork(under Network, cfg RelConfig) *RelNetwork {
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		reconnects: telemetry.C(MetricReconnects),
 		giveups:    telemetry.C(MetricGiveups),
+		resets:     telemetry.C(MetricResets),
 		retransmit: telemetry.C(slot.MetricRetransmits),
 		dupDropped: telemetry.C(slot.MetricDupDropped),
 	}
@@ -234,12 +246,25 @@ func (l *relListener) greet(under Port) {
 	}
 	m := hello.Meta
 	id := m.Get("id")
+	resume := m.Get("mode") == "resume"
 	peerAck64, _ := strconv.ParseUint(m.Get("ack"), 10, 32)
 	peerAck := uint32(peerAck64)
 	hello.Release() // layer control, consumed here (attr strings stay valid)
 
 	l.mu.Lock()
 	p, known := l.byID[id]
+	if !known && resume {
+		// The dialer is resuming a channel we have no state for: this
+		// process restarted since the channel was established. Adopting
+		// it as new would wedge the dialer's receive window behind
+		// sequence numbers that died with the old process — refuse with
+		// a reset so the dialer fails the channel fast and redials a
+		// fresh one.
+		l.mu.Unlock()
+		under.Send(sig.Envelope{Meta: resetMeta})
+		under.Close()
+		return
+	}
 	if !known {
 		p = newRelPort(l.net, id, "", false)
 		p.lst = l
@@ -304,6 +329,7 @@ type RelPort struct {
 	mu          sync.Mutex
 	under       Port // nil while disconnected
 	gen         int  // bumps on every (re)bind; stales old pumps
+	resumed     bool // dialer side: at least one redial happened; hellos carry mode=resume
 	st          slot.SendTracker
 	rt          slot.RecvTracker
 	closing     bool // clean shutdown observed; do not recover or count a giveup
@@ -357,6 +383,9 @@ func (p *RelPort) rebind(under Port, peerAck uint32) {
 		// before our pump saw the death): the newest wire wins.
 		old.Close()
 	}
+	if p.dialer {
+		p.resumed = true
+	}
 	p.under = under
 	p.gen++
 	gen := p.gen
@@ -372,14 +401,21 @@ func (p *RelPort) rebind(under Port, peerAck uint32) {
 }
 
 // sendHelloLocked announces identity and receive progress on a fresh
-// underlying port. Caller holds p.mu.
+// underlying port. A dialer that has redialed at least once marks its
+// hello mode=resume, licensing the acceptor to reset the channel if it
+// no longer knows the identity. Caller holds p.mu.
 func (p *RelPort) sendHelloLocked(under Port) {
+	mode := "new"
+	if p.resumed {
+		mode = "resume"
+	}
 	under.Send(sig.Envelope{Meta: &sig.Meta{
 		Kind: sig.MetaApp,
 		App:  relHelloApp,
 		Attrs: sig.NewAttrs(
 			"id", p.id,
 			"ack", strconv.FormatUint(uint64(p.rt.CumAck()), 10),
+			"mode", mode,
 		),
 	}})
 }
@@ -444,7 +480,13 @@ func (p *RelPort) Send(e sig.Envelope) error {
 	if under == nil {
 		return nil
 	}
-	return under.Send(stamped)
+	// The envelope is in the send tracker: even if this wire dies mid-
+	// send, the retransmit path delivers it over the next one. A wire
+	// error here is not a channel error — the pump notices the loss and
+	// redials — so the reliable contract ("accepted for delivery")
+	// holds and Send reports success.
+	under.Send(stamped)
+	return nil
 }
 
 // armRexmitLocked keeps exactly one self-rearming retransmit timer
@@ -512,6 +554,15 @@ func (p *RelPort) handleIn(e sig.Envelope, gen int) {
 			if done {
 				p.closeNow() // the lingering tail is delivered; finish the close
 			}
+			return
+		case relResetApp:
+			// The acceptor does not know this channel (its process
+			// restarted): the channel is unrecoverable. Fail it now —
+			// the up queue closes, the runner sees portLost and
+			// synthesizes a teardown, and the box above redials a fresh
+			// channel with a fresh identity.
+			e.Release() // layer control, consumed here
+			p.reset(gen)
 			return
 		case relHelloApp:
 			// A hello on a live binding is the peer's reply after a
@@ -657,6 +708,26 @@ func (p *RelPort) tryRedial(gen int, backoff time.Duration, deadline time.Time) 
 // peerAckUnknown: a re-dial does not yet know the peer's progress, so
 // it trims nothing and lets the hello reply do it.
 func (p *RelPort) peerAckUnknown() uint32 { return 0 }
+
+// reset fails the channel promptly after the peer refused to resume
+// it: unlike a giveup there is nothing to wait for — the peer is alive
+// and has authoritatively disowned the identity.
+func (p *RelPort) reset(gen int) {
+	p.mu.Lock()
+	if p.closed || p.gen != gen {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	under := p.under
+	p.under = nil
+	p.mu.Unlock()
+	if under != nil {
+		under.Close()
+	}
+	p.net.resets.Inc()
+	p.finish()
+}
 
 // giveupIfDown abandons the channel if it has been continuously down
 // since generation gen: recovery is bounded, degradation is not

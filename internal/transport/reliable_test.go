@@ -349,3 +349,67 @@ func TestRelSendSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state reliable send allocates %d allocs/op, want 0", a)
 	}
 }
+
+// TestRelPortSurvivesRepeatedPartitions: partitions landing
+// back-to-back — each heal followed by another sever as soon as the
+// next wire is up, before the previous incarnation's teardown has
+// drained — must each be a blip, never a portLost. The acceptor
+// rebinds the same channel identity on every redial, so across the
+// whole flapping episode both directions deliver the exact stream in
+// order and the give-up counter stays at zero.
+func TestRelPortSurvivesRepeatedPartitions(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	fn := NewFaultNetwork(NewMemNetwork(), FaultProfile{PartitionFor: 30 * time.Millisecond})
+	defer fn.Stop()
+	n := NewRelNetwork(fn, RelConfig{
+		RexmitInterval: 20 * time.Millisecond,
+		AckDelay:       5 * time.Millisecond,
+		RedialMin:      5 * time.Millisecond,
+		GiveUpAfter:    5 * time.Second,
+	})
+	dialer, accepted := relPair(t, n, "a")
+	defer dialer.Close()
+	defer accepted.Close()
+
+	const rounds, per = 6, 40
+	seq := 0
+	for r := 0; r < rounds; r++ {
+		// Sever first, then send: the round's envelopes can only arrive
+		// over the next wire, so draining them proves a redial happened
+		// and the identity rebound. Each round severs the incarnation the
+		// previous round just brought up — back-to-back, while the old
+		// one's teardown is still draining.
+		fn.Sever()
+		for i := 0; i < per; i++ {
+			dialer.Send(sig.Envelope{Tunnel: seq, Sig: sig.Close()})
+			accepted.Send(sig.Envelope{Tunnel: seq, Sig: sig.CloseAck()})
+			seq++
+		}
+		for _, end := range []Port{accepted, dialer} {
+			got := drainN(t, end, per)
+			for i, e := range got {
+				if e.Tunnel != r*per+i {
+					t.Fatalf("round %d: envelope %d arrived as tunnel %d", r, r*per+i, e.Tunnel)
+				}
+			}
+		}
+	}
+	if got := reg.Counter(MetricReconnects).Value(); got < rounds {
+		t.Fatalf("%d severs of live wires produced only %d reconnects", rounds, got)
+	}
+	if got := reg.Counter(MetricGiveups).Value(); got != 0 {
+		t.Fatalf("flapping wire counted as %d giveups — runners would see portLost", got)
+	}
+	// Both ends still live after the episode: a fresh exchange flows
+	// without redial or reset.
+	dialer.Send(sig.Envelope{Tunnel: 99999, Sig: sig.Close()})
+	if got := drainN(t, accepted, 1); got[0].Tunnel != 99999 {
+		t.Fatalf("forward path dead after flapping: %v", got[0])
+	}
+	accepted.Send(sig.Envelope{Tunnel: 88888, Sig: sig.CloseAck()})
+	if got := drainN(t, dialer, 1); got[0].Tunnel != 88888 {
+		t.Fatalf("reverse path dead after flapping: %v", got[0])
+	}
+}

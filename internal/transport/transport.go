@@ -54,6 +54,12 @@ const (
 	// recovery budget was exhausted; each one surfaces to the box
 	// runtime as a channel loss and drives the path's slots to closed.
 	MetricGiveups = "path.giveups"
+	// MetricResets counts reliable channels failed fast by a rel/reset:
+	// the dialer tried to resume a channel whose identity the acceptor
+	// no longer knows (the accepting process restarted and lost its
+	// channel state). Unlike a giveup, a reset is a prompt, clean
+	// failure — the peer is alive, only the channel is unrecoverable.
+	MetricResets = "transport.resets"
 )
 
 // Port is one end of a signaling channel. Sends never block: receive
